@@ -1,0 +1,10 @@
+"""Experiment bench E1: Lemma 4.3/B.1 — PSIOA composition bound c_comp*(b1+b2).
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e1_composition_bound(run_report):
+    run_report("E1")

@@ -1,0 +1,10 @@
+"""Experiment bench E2: Lemma B.2 — PCA composition bound.
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e2_pca_bound(run_report):
+    run_report("E2")

@@ -1,0 +1,10 @@
+"""Experiment bench E3: Lemma 4.5/B.3 — hiding bound c_hide*(b+b').
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e3_hiding_bound(run_report):
+    run_report("E3")

@@ -1,0 +1,10 @@
+"""Experiment bench E4: Theorem 4.16/B.4 — transitivity of approximate implementation.
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e4_transitivity(run_report):
+    run_report("E4")

@@ -1,0 +1,10 @@
+"""Experiment bench E5: Lemma 4.13 — composability of approximate implementation.
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e5_composability(run_report):
+    run_report("E5")

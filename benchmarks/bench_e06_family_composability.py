@@ -1,0 +1,10 @@
+"""Experiment bench E6: Theorem 4.15 — neg,pt composability for families.
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e6_family_composability(run_report):
+    run_report("E6")

@@ -1,0 +1,10 @@
+"""Experiment bench E7: Lemma 4.23/C.1 — structured PCA closure under composition.
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e7_structured_closure(run_report):
+    run_report("E7")

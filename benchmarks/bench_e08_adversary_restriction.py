@@ -1,0 +1,10 @@
+"""Experiment bench E8: Lemma 4.25 — adversary restriction.
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e8_adversary_restriction(run_report):
+    run_report("E8")

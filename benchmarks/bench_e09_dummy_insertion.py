@@ -1,0 +1,10 @@
+"""Experiment bench E9: Lemma 4.29/D.1 — dummy adversary insertion (error exactly 0).
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e9_dummy_insertion(run_report):
+    run_report("E9")

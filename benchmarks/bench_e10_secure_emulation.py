@@ -1,0 +1,10 @@
+"""Experiment bench E10: Theorem 4.30/D.2 — composability of dynamic secure emulation.
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e10_secure_emulation(run_report):
+    run_report("E10")

@@ -1,0 +1,10 @@
+"""Experiment bench E11: Monotonicity w.r.t. creation (Section 4.4 / [7]).
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e11_creation_monotonicity(run_report):
+    run_report("E11")

@@ -1,0 +1,10 @@
+"""Experiment bench E12: Scheduler-schema ablation (Section 4.4 design choice).
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e12_scheduler_ablation(run_report):
+    run_report("E12")

@@ -1,0 +1,11 @@
+"""Experiment bench E13: dynamic secure emulation of run-time-created
+sessions (extension; the paper's §4.4 future-work direction).
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e13_dynamic_emulation(run_report):
+    run_report("E13")

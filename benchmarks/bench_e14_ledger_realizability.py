@@ -1,0 +1,11 @@
+"""Experiment bench E14: which ideal ledger functionality is realizable
+(extension; the UC-literature ordering-interface lesson as a computation).
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the theorem-shape check; the benchmark records the wall-clock
+cost of regenerating the table.
+"""
+
+
+def test_e14_ledger_realizability(run_report):
+    run_report("E14")

@@ -1,0 +1,35 @@
+"""Performance: the compositional consensus protocol.
+
+Scaling of exact verification with the number of coin rounds — each extra
+round doubles the probabilistic branching of the composed execution tree.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.composition import compose
+from repro.core.psioa import reachable_states
+from repro.semantics.insight import accept_insight, f_dist
+from repro.systems.consensus import consensus_environment
+from repro.systems.consensus_compositional import consensus_pair, consensus_pair_schema
+
+SCHEMA = consensus_pair_schema()
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_consensus_violation_probability(benchmark, k):
+    env = consensus_environment(0, 1)
+    system = consensus_pair(k)
+    scheduler = next(iter(SCHEMA(compose(env, system), 40)))
+
+    dist = benchmark(f_dist, accept_insight(), env, system, scheduler)
+    assert dist(1) == Fraction(1, 2 ** k)
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_consensus_state_space(benchmark, k):
+    def work():
+        return len(reachable_states(consensus_pair(k), max_states=500_000))
+
+    assert benchmark(work) > 10

@@ -1,0 +1,70 @@
+"""Performance: exact execution-measure computation (epsilon_sigma).
+
+The unfolding engine is the inner loop of every f-dist and every
+implementation check; this bench tracks its scaling with scheduler depth
+and with probabilistic branching.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.composition import compose
+from repro.semantics.insight import accept_insight, f_dist
+from repro.semantics.measure import execution_measure
+from repro.semantics.scheduler import ActionSequenceScheduler, PriorityScheduler
+from repro.systems.channels import (
+    channel_environment,
+    guessing_adversary,
+    real_channel,
+)
+from repro.secure.emulation import hidden_world
+from repro.systems.coin import coin, coin_observer
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_unfold_branching_chain(benchmark, depth):
+    """A chain of coins: the execution tree doubles per toss."""
+    from repro.core.psioa import TablePSIOA
+    from repro.core.signature import Signature
+    from repro.probability.measures import DiscreteMeasure, dirac
+
+    signatures = {}
+    transitions = {}
+    for i in range(depth):
+        signatures[i] = Signature(outputs={("flip", i)})
+        transitions[(i, ("flip", i))] = DiscreteMeasure(
+            {(i + 1): Fraction(1, 2), (i, "dead"): Fraction(1, 2)}
+        )
+        signatures[(i, "dead")] = Signature(outputs={("stuck", i)})
+        transitions[((i, "dead"), ("stuck", i))] = dirac((i, "gone"))
+        signatures[(i, "gone")] = Signature()
+    signatures[depth] = Signature()
+    chain = TablePSIOA("chain", 0, signatures, transitions)
+    sched = PriorityScheduler([lambda a: True], depth * 2)
+
+    measure = benchmark(execution_measure, chain, sched)
+    assert measure.total_mass == 1
+
+
+@pytest.mark.parametrize("script_len", [3, 6, 12])
+def test_fdist_coin_world(benchmark, script_len):
+    env = coin_observer()
+    biased = coin("biased", Fraction(2, 3))
+    script = (["toss", "head", "acc"] * ((script_len + 2) // 3))[:script_len]
+    sched = ActionSequenceScheduler(script, local_only=True)
+
+    dist = benchmark(f_dist, accept_insight(), env, biased, sched)
+    assert dist.total_mass == 1
+
+
+def test_fdist_channel_world(benchmark):
+    """The full secure-channel world: env || hide(real || Adv)."""
+    env = channel_environment(1)
+    system = hidden_world(real_channel("real", 3), guessing_adversary())
+    sched = PriorityScheduler(
+        [lambda a: isinstance(a, tuple), lambda a: a == "acc"], 10
+    )
+
+    dist = benchmark(f_dist, accept_insight(), env, system, sched)
+    assert dist.total_mass == 1

@@ -1,0 +1,55 @@
+"""Performance: PCA intrinsic transitions and dynamic-system exploration.
+
+Tracks the cost of the dynamicity machinery: configuration hashing,
+preserving/intrinsic transitions with creation and destruction, and full
+reachable exploration of the dynamic ledger.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.config.transitions import intrinsic_transition, preserving_transition
+from repro.config.configuration import Configuration
+from repro.core.psioa import reachable_states
+from repro.systems.coin import coin
+from repro.systems.ledger import ledger_client, ledger_manager_pca, spawning_pca
+
+
+@pytest.mark.parametrize("clients", [1, 2, 3])
+def test_ledger_exploration(benchmark, clients):
+    def work():
+        pca = ledger_manager_pca(clients, name=("ledger", clients))
+        return len(reachable_states(pca, max_states=500_000))
+
+    states = benchmark(work)
+    assert states >= clients + 1
+
+
+def test_intrinsic_transition_with_creation(benchmark):
+    pca = spawning_pca(lambda: coin(("spawned",), Fraction(1, 2)))
+    config = pca.config(pca.start)
+
+    eta = benchmark(intrinsic_transition, config, "spawn", [coin(("spawned",), Fraction(1, 2))])
+    assert len(eta) == 1
+
+
+def test_preserving_transition_wide_configuration(benchmark):
+    members = [
+        coin(("w", i), Fraction(1, 2), toss=("t", i), head=("h", i), tail=("l", i))
+        for i in range(6)
+    ]
+    config = Configuration.initial(members)
+
+    eta = benchmark(preserving_transition, config, ("t", 0))
+    assert len(eta) == 2
+
+
+def test_configuration_hashing(benchmark):
+    members = [ledger_client(i) for i in range(8)]
+    config = Configuration.initial(members)
+
+    def work():
+        return {config.replace_states({("client", i): "pending"}) for i in range(8)}
+
+    assert len(benchmark(work)) == 8

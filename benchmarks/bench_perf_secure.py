@@ -1,0 +1,90 @@
+"""Performance: the security layer — dummy-adversary forwarding overhead
+and implementation-distance search cost.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.secure.dummy import ForwardScheduler, build_dummy_worlds
+from repro.secure.implementation import implementation_distance
+from repro.secure.structured import structure
+from repro.semantics.insight import accept_insight, print_insight
+from repro.semantics.measure import execution_measure
+from repro.semantics.schema import SchedulerSchema
+from repro.semantics.scheduler import ActionSequenceScheduler
+from repro.systems.coin import coin, coin_observer
+
+
+def _dummy_setup():
+    from repro.core.psioa import TablePSIOA
+    from repro.core.signature import Signature
+    from repro.probability.measures import dirac
+
+    sc = structure(coin("sys", Fraction(1, 2)), {"head", "tail"})
+    env_sigs = {
+        "watch": Signature(inputs={"head", "tail"}),
+        "happy": Signature(inputs={"head", "tail"}, outputs={"acc"}),
+        "done": Signature(inputs={"head", "tail"}),
+    }
+    env_trans = {
+        ("watch", "head"): dirac("happy"),
+        ("watch", "tail"): dirac("watch"),
+        ("happy", "head"): dirac("happy"),
+        ("happy", "tail"): dirac("happy"),
+        ("happy", "acc"): dirac("done"),
+        ("done", "head"): dirac("done"),
+        ("done", "tail"): dirac("done"),
+    }
+    env = TablePSIOA("E", "watch", env_sigs, env_trans)
+    adv_sig = Signature(inputs={("g", "toss")})
+    adv = TablePSIOA("Adv", "s", {"s": adv_sig}, {("s", ("g", "toss")): dirac("s")})
+    return env, sc, adv
+
+
+def test_dummy_world_unfold_phi(benchmark):
+    """Baseline: the renamed world without the dummy."""
+    env, sc, adv = _dummy_setup()
+    phi, psi, dummy, g = build_dummy_worlds(env, sc, adv)
+    sigma = ActionSequenceScheduler([("g", "toss"), "head", "acc"], local_only=True)
+
+    measure = benchmark(execution_measure, phi, sigma)
+    assert measure.total_mass == 1
+
+
+def test_dummy_world_unfold_psi(benchmark):
+    """The dummy world under Forward^s: each forwarded action doubles."""
+    env, sc, adv = _dummy_setup()
+    phi, psi, dummy, g = build_dummy_worlds(env, sc, adv)
+    sigma = ActionSequenceScheduler([("g", "toss"), "head", "acc"], local_only=True)
+    sigma_prime = ForwardScheduler(sigma, phi, dummy)
+
+    measure = benchmark(execution_measure, psi, sigma_prime)
+    assert measure.total_mass == 1
+
+
+@pytest.mark.parametrize("bound", [2, 3])
+def test_implementation_distance_search(benchmark, bound):
+    """Exhaustive oblivious search: |acts|^bound schedulers per environment."""
+    import itertools
+
+    def members(automaton, b):
+        for length in range(b + 1):
+            for seq in itertools.product(["toss", "head", "tail", "acc"], repeat=length):
+                yield ActionSequenceScheduler(seq, local_only=True)
+
+    schema = SchedulerSchema("obl", members)
+    fair = coin("fair", Fraction(1, 2))
+    biased = coin("biased", Fraction(3, 4))
+
+    distance = benchmark(
+        implementation_distance,
+        biased,
+        fair,
+        schema=schema,
+        insight=accept_insight(),
+        environments=[coin_observer()],
+        q1=bound,
+        q2=bound,
+    )
+    assert distance <= Fraction(1, 4)

@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every experiment bench runs its experiment exactly once under
+``benchmark.pedantic`` (experiments are deterministic — repeated rounds
+would only re-measure the same computation), prints the experiment's table
+(run with ``-s`` to see it), and asserts the theorem-shape check.
+Performance benches (``bench_perf_*``) use the default calibration loop.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_report(benchmark, capsys):
+    """Run an experiment once under the benchmark, print its table, assert it passed."""
+
+    def runner(experiment_id: str):
+        from repro.experiments.common import run_experiment
+
+        report = benchmark.pedantic(
+            run_experiment, args=(experiment_id,), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(report)
+        assert report.passed, f"{experiment_id} failed:\n{report.table}"
+        return report
+
+    return runner

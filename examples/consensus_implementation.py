@@ -1,0 +1,94 @@
+"""Randomized consensus approximately implements ideal consensus.
+
+A distributed-computing instance of the approximate implementation
+relation (Definition 4.12) where the error comes from *protocol
+randomness* rather than cryptography: a ``k``-round shared-coin binary
+consensus suffers residual disagreement with probability ``2^{-k}``; the
+ideal functionality always agrees.  The script:
+
+1. runs the protocol on agreeing and conflicting proposals and shows the
+   exact safety-violation probability,
+2. sweeps the number of coin rounds and reports the error profile,
+3. verifies the profile is negligible (``<=_{neg,pt}``) and demonstrates
+   transitivity of the implementation relation across protocol versions.
+
+Run:  python examples/consensus_implementation.py
+"""
+
+from fractions import Fraction
+
+from repro.analysis.report import render_profile
+from repro.core.composition import compose
+from repro.experiments.common import kind_priority_schema, run_experiment
+from repro.secure.implementation import (
+    family_implementation_profile,
+    implementation_distance,
+    neg_pt_implements,
+)
+from repro.semantics.insight import accept_insight, f_dist
+from repro.systems.consensus import (
+    consensus_environment,
+    ideal_consensus,
+    ideal_consensus_family,
+    real_consensus,
+    real_consensus_family,
+)
+
+SCHEMA = kind_priority_schema(["propose", "decide"], plain=["acc"])
+INSIGHT = accept_insight()
+Q = 8
+
+
+def violation_probability(system, v1: int, v2: int):
+    env = consensus_environment(v1, v2)
+    scheduler = next(iter(SCHEMA(compose(env, system), Q)))
+    return f_dist(INSIGHT, env, system, scheduler)(1)
+
+
+def main() -> None:
+    print("1. Safety-violation probability of the real protocol:")
+    for k in (1, 2, 3):
+        protocol = real_consensus(("c", k), k)
+        agree = violation_probability(protocol, 1, 1)
+        conflict = violation_probability(protocol, 0, 1)
+        print(f"  k={k} rounds: agreeing proposals -> {agree}, "
+              f"conflicting proposals -> {conflict} (= 2^-{k})")
+    ideal = ideal_consensus()
+    print(f"  ideal functionality: conflicting proposals -> "
+          f"{violation_probability(ideal, 0, 1)}")
+
+    print("\n2. Implementation error profile over the round count:")
+    envs = [consensus_environment(v1, v2) for v1 in (0, 1) for v2 in (0, 1)]
+    profile = family_implementation_profile(
+        real_consensus_family(),
+        ideal_consensus_family(),
+        schema=SCHEMA,
+        insight=INSIGHT,
+        environment_family=lambda k: envs,
+        q1=lambda k: Q,
+        q2=lambda k: Q,
+        ks=range(1, 7),
+    )
+    print(render_profile(
+        "real-consensus(k) <= ideal-consensus",
+        profile,
+        note=f"negligible: {neg_pt_implements(profile)}",
+    ))
+
+    print("3. Transitivity across protocol versions (Theorem 4.16):")
+    v1 = real_consensus("v1", 3)   # 3 rounds
+    v2 = real_consensus("v2", 2)   # 2 rounds
+    v3 = ideal_consensus("v3")
+    kw = dict(schema=SCHEMA, insight=INSIGHT, environments=envs, q1=Q, q2=Q)
+    d12 = implementation_distance(v1, v2, **kw)
+    d23 = implementation_distance(v2, v3, **kw)
+    d13 = implementation_distance(v1, v3, **kw)
+    print(f"  d(v1, v2) = {d12}, d(v2, v3) = {d23}, d(v1, v3) = {d13}")
+    print(f"  d13 <= d12 + d23 ?  {d13 <= d12 + d23}")
+
+    print("\n4. The full transitivity experiment (E4):")
+    print(run_experiment("E4"))
+
+
+if __name__ == "__main__":
+    main()

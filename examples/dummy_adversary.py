@@ -1,0 +1,100 @@
+"""The dummy adversary, step by step (Definition 4.27, Lemma 4.29).
+
+The composability proof of dynamic secure emulation hinges on one fact:
+putting a forwarding "dummy" between a system and its adversary is
+*perfectly* invisible.  This script makes the construction concrete:
+
+1. build a structured system (adversary-facing toss, environment-facing
+   result), the renaming ``g``, and ``Dummy(A, g)``,
+2. show the two worlds ``Phi = E || g(A) || Adv`` and
+   ``Psi = E || hide(A || Dummy, AAct) || Adv``,
+3. expand an execution through ``Forward^e`` and collapse it back,
+4. build the ``Forward^s`` scheduler and verify the f-dist equality is
+   *exact* (rational arithmetic, distance the integer 0).
+
+Run:  python examples/dummy_adversary.py
+"""
+
+from fractions import Fraction
+
+from repro.core.executions import Fragment
+from repro.core.psioa import TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import dirac, total_variation
+from repro.secure.dummy import (
+    ForwardScheduler,
+    build_dummy_worlds,
+    collapse_execution,
+    forward_execution,
+)
+from repro.secure.structured import structure
+from repro.semantics.insight import print_insight
+from repro.semantics.measure import execution_measure
+from repro.semantics.scheduler import ActionSequenceScheduler
+from repro.systems.coin import coin
+
+
+def observer():
+    signatures = {
+        "watch": Signature(inputs={"head", "tail"}),
+        "happy": Signature(inputs={"head", "tail"}, outputs={"acc"}),
+        "done": Signature(inputs={"head", "tail"}),
+    }
+    transitions = {
+        ("watch", "head"): dirac("happy"),
+        ("watch", "tail"): dirac("watch"),
+        ("happy", "head"): dirac("happy"),
+        ("happy", "tail"): dirac("happy"),
+        ("happy", "acc"): dirac("done"),
+        ("done", "head"): dirac("done"),
+        ("done", "tail"): dirac("done"),
+    }
+    return TablePSIOA("E", "watch", signatures, transitions)
+
+
+def main() -> None:
+    system = structure(coin("A", Fraction(1, 2)), {"head", "tail"})
+    env = observer()
+    adv = TablePSIOA(
+        "Adv",
+        "s",
+        {"s": Signature(inputs={("g", "toss")})},
+        {("s", ("g", "toss")): dirac("s")},
+    )
+
+    phi, psi, dummy, g = build_dummy_worlds(env, system, adv)
+    print("the adversary renaming g:", g)
+    print("dummy start state:", dummy.start)
+    print("Phi start:", phi.start)
+    print("Psi start:", psi.start, "(system component carries the dummy's pending slot)")
+
+    # Forward^e on a concrete execution.
+    alpha = Fragment(
+        (("watch", "q0", "s"), ("watch", "qH", "s"), ("happy", "qF", "s")),
+        (("g", "toss"), "head"),
+    )
+    print(f"\nPhi execution   ({len(alpha)} steps): {alpha.actions}")
+    alpha_prime = forward_execution(alpha, dummy)
+    print(f"Forward^e image ({len(alpha_prime)} steps): {alpha_prime.actions}")
+    print("  - the g-step expanded into (hidden latch, release toward Adv)")
+    assert collapse_execution(alpha_prime, dummy) == alpha
+    print("  - collapse inverts the expansion exactly")
+
+    # Forward^s and the exact f-dist equality.
+    sigma = ActionSequenceScheduler([("g", "toss"), "head", "acc"], local_only=True)
+    sigma_prime = ForwardScheduler(sigma, phi, dummy)
+    print(f"\nscheduler bounds: q1 = {sigma.step_bound()}, "
+          f"q2 = {sigma_prime.step_bound()} (= 2*q1, as Lemma D.1 constructs)")
+
+    insight = print_insight()
+    dist_phi = execution_measure(phi, sigma).map(lambda e: insight(env, phi, e))
+    dist_psi = execution_measure(psi, sigma_prime).map(lambda e: insight(env, psi, e))
+    print("\nenvironment perception in Phi:", dict(dist_phi.items()))
+    print("environment perception in Psi:", dict(dist_psi.items()))
+    distance = total_variation(dist_phi, dist_psi)
+    print(f"total-variation distance = {distance!r}  (exactly zero: Lemma 4.29)")
+    assert distance == 0
+
+
+if __name__ == "__main__":
+    main()

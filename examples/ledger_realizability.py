@@ -1,0 +1,84 @@
+"""Ideal-functionality design: which ideal ledger is realizable?
+
+Blockchain formalizations must choose what the *ideal* ledger promises.
+This example uses the framework to decide a classic design question as a
+computation: a real ordering service that lets the network adversary pick
+the commit order of a batch
+
+* **does** securely emulate the ideal ledger that exposes the same
+  ordering choice to the adversary, and
+* **provably cannot** emulate the strict-FIFO ideal — the reversing
+  adversary produces commit orders no simulator can reproduce.
+
+The script walks both worlds step by step and then prints the E14 table.
+
+Run:  python examples/ledger_realizability.py
+"""
+
+from repro.core.composition import compose
+from repro.experiments.common import run_experiment
+from repro.secure.adversary import is_adversary
+from repro.secure.dummy import hide_adversary_actions
+from repro.semantics.insight import accept_insight, f_dist
+from repro.semantics.measure import execution_measure
+from repro.semantics.scheduler import ActionSequenceScheduler
+from repro.systems.ledger import (
+    fifo_ideal_ledger,
+    ideal_fifo_script,
+    ledger_environment,
+    ordering_adversary,
+    ordering_ledger,
+    reversing_script,
+)
+
+
+def main() -> None:
+    real = ordering_ledger()
+    adversary = ordering_adversary()
+    print("the real ordering ledger's adversary interface:",
+          sorted(map(repr, real.global_aact())))
+    print("Definition 4.24 check — ordering adversary is an adversary:",
+          is_adversary(adversary, real))
+
+    # A reversed run of the real world.
+    env = ledger_environment()
+    world_sys = hide_adversary_actions(
+        compose(real, adversary, name="real-world"),
+        frozenset(real.global_aact()),
+    )
+    world = compose(env, world_sys)
+    sigma = ActionSequenceScheduler(reversing_script(), local_only=True)
+    measure = execution_measure(world, sigma)
+    (execution,) = measure.support()
+    print("\nreal world under the reversing resolution:")
+    print("  ", " -> ".join(repr(a) for a in execution.actions))
+    print("  environment accepts (order reversed):",
+          f_dist(accept_insight(), env, world_sys, sigma)(1))
+
+    # The FIFO ideal cannot follow.
+    fifo = fifo_ideal_ledger()
+    print("\nthe strict-FIFO ideal's adversary interface:",
+          sorted(map(repr, fifo.global_aact())),
+          "- no ordering input for a simulator to drive")
+    from repro.core.psioa import TablePSIOA
+    from repro.core.signature import Signature
+    from repro.probability.measures import dirac
+
+    sim = TablePSIOA(
+        "sim", "s",
+        {"s": Signature(inputs={("pending",)})},
+        {("s", ("pending",)): dirac("s")},
+    )
+    ideal_sys = hide_adversary_actions(
+        compose(fifo, sim, name="ideal-world"), frozenset(fifo.global_aact())
+    )
+    sigma_ideal = ActionSequenceScheduler(ideal_fifo_script(), local_only=True)
+    print("  ideal world accepts:",
+          f_dist(accept_insight(), env, ideal_sys, sigma_ideal)(1))
+
+    print("\nThe full experiment (E14):")
+    print(run_experiment("E14"))
+
+
+if __name__ == "__main__":
+    main()

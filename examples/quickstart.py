@@ -1,0 +1,101 @@
+"""Quickstart: build automata, compose them, schedule them, measure them.
+
+Walks the foundational layer of the framework end to end:
+
+1. define a probabilistic automaton (a biased coin) and an observer
+   environment,
+2. compose them (Definition 2.18) and resolve nondeterminism with an
+   oblivious scheduler (Definition 3.1),
+3. compute the exact execution measure and the observer's perception
+   (``f-dist``, Definition 3.5),
+4. decide an approximate implementation claim (Definition 4.12).
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    ActionSequenceScheduler,
+    accept_insight,
+    coin,
+    coin_observer,
+    compose,
+    execution_measure,
+    f_dist,
+    implements,
+    perception_distance,
+    trace_insight,
+    validate_psioa,
+)
+from repro.semantics.schema import SchedulerSchema
+
+
+def main() -> None:
+    # 1. Two systems and a distinguisher environment. --------------------------
+    fair = coin("fair", Fraction(1, 2))
+    biased = coin("biased", Fraction(3, 4))
+    env = coin_observer()  # raises 'acc' after seeing heads
+    for automaton in (fair, biased, env):
+        validate_psioa(automaton)  # Definition 2.1 constraints
+    print("automata validated: fair, biased, observer")
+
+    # 2. Compose and schedule. --------------------------------------------------
+    world = compose(env, biased)
+    sigma = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+    measure = execution_measure(world, sigma)
+    print(f"\nexact execution measure of E || biased under sigma "
+          f"({len(measure)} completed executions):")
+    for execution, weight in sorted(measure.items(), key=lambda kv: repr(kv[0])):
+        print(f"  P = {weight}:  trace = {execution.trace(world.signature)}")
+
+    # 3. The observer's perception. ---------------------------------------------
+    accept = f_dist(accept_insight(), env, biased, sigma)
+    print(f"\nP[observer accepts | biased] = {accept(1)}")
+    traces = f_dist(trace_insight(), env, biased, sigma)
+    print(f"trace distribution: {dict(traces.items())}")
+
+    # 4. Distinguishing advantage and the implementation relation. -----------------
+    advantage = perception_distance(
+        accept_insight(), env, fair, sigma, biased, sigma
+    )
+    print(f"\ndistinguishing advantage fair-vs-biased = {advantage} (= the bias)")
+
+    def schema_members(automaton, bound):
+        import itertools
+
+        for length in range(bound + 1):
+            for seq in itertools.product(["toss", "head", "tail", "acc"], repeat=length):
+                yield ActionSequenceScheduler(seq, local_only=True)
+
+    schema = SchedulerSchema("oblivious", schema_members)
+    result = implements(
+        biased,
+        fair,
+        schema=schema,
+        insight=accept_insight(),
+        environments=[env],
+        q1=3,
+        q2=3,
+        epsilon=Fraction(1, 4),
+    )
+    print(
+        f"biased <=_(eps=1/4) fair ?  {result.holds}  "
+        f"(measured distance {result.distance})"
+    )
+    too_tight = implements(
+        biased,
+        fair,
+        schema=schema,
+        insight=accept_insight(),
+        environments=[env],
+        q1=3,
+        q2=3,
+        epsilon=Fraction(1, 8),
+    )
+    print(f"biased <=_(eps=1/8) fair ?  {too_tight.holds}  "
+          f"(counterexample: {too_tight.counterexample})")
+
+
+if __name__ == "__main__":
+    main()

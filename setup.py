@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment used for offline reproduction has setuptools without the
+``wheel`` package, so PEP 517 editable installs fail with ``invalid command
+'bdist_wheel'``.  This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``pip install -e .``, which pip falls back
+to) work everywhere.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

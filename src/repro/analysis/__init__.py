@@ -1,0 +1,51 @@
+"""Analysis tooling: exploration, Monte-Carlo cross-validation,
+distinguisher search and report rendering.
+
+These utilities sit beside the exact semantics:
+
+* :mod:`repro.analysis.explore` — state/execution-tree statistics;
+* :mod:`repro.analysis.montecarlo` — seeded sampling of scheduled runs,
+  empirical f-dists and Hoeffding confidence intervals, used to
+  cross-check the exact unfolding engine;
+* :mod:`repro.analysis.distinguish` — best-distinguisher search: the
+  maximal perception distance over an environment × scheduler universe
+  (the operational content of "no environment can distinguish");
+* :mod:`repro.analysis.report` — fixed-width tables for the experiment
+  harness (the rows EXPERIMENTS.md records).
+"""
+
+from repro.analysis.explore import state_space_summary, execution_tree_size
+from repro.analysis.montecarlo import (
+    sample_execution,
+    empirical_f_dist,
+    hoeffding_radius,
+    crosscheck_f_dist,
+)
+from repro.analysis.distinguish import (
+    best_distinguisher,
+    DistinguisherResult,
+    estimated_perception_distance,
+)
+from repro.analysis.report import render_table, render_profile
+from repro.analysis.simulation import (
+    lifting_feasible,
+    is_strong_simulation,
+    simulation_counterexample,
+)
+
+__all__ = [
+    "state_space_summary",
+    "execution_tree_size",
+    "sample_execution",
+    "empirical_f_dist",
+    "hoeffding_radius",
+    "crosscheck_f_dist",
+    "best_distinguisher",
+    "DistinguisherResult",
+    "estimated_perception_distance",
+    "render_table",
+    "render_profile",
+    "lifting_feasible",
+    "is_strong_simulation",
+    "simulation_counterexample",
+]

@@ -1,0 +1,64 @@
+"""State-space and execution-tree statistics.
+
+Used by benchmarks to report workload sizes and by tests to assert
+structural properties (e.g. that dynamic creation actually grows the
+configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.core.psioa import PSIOA, reachable_states
+from repro.semantics.measure import execution_measure
+from repro.semantics.scheduler import Scheduler
+
+__all__ = ["state_space_summary", "execution_tree_size", "StateSpaceSummary"]
+
+
+@dataclass(frozen=True)
+class StateSpaceSummary:
+    """Size metrics of a finite-reachable automaton."""
+
+    states: int
+    transitions: int
+    actions: int
+    max_branching: int
+
+
+def state_space_summary(automaton: PSIOA, *, max_states: int = 100_000) -> StateSpaceSummary:
+    """Reachable states, transition count, action alphabet size and maximal
+    probabilistic branching factor."""
+    states = reachable_states(automaton, max_states=max_states)
+    transitions = 0
+    actions: set = set()
+    max_branching = 0
+    for state in states:
+        signature = automaton.signature(state)
+        actions |= signature.all_actions
+        for action in signature.all_actions:
+            transitions += 1
+            eta = automaton.transition(state, action)
+            if len(eta) > max_branching:
+                max_branching = len(eta)
+    return StateSpaceSummary(
+        states=len(states),
+        transitions=transitions,
+        actions=len(actions),
+        max_branching=max_branching,
+    )
+
+
+def execution_tree_size(
+    automaton: PSIOA,
+    scheduler: Scheduler,
+    *,
+    max_depth: Optional[int] = None,
+) -> Dict[str, int]:
+    """Number of completed executions and total steps of the scheduled
+    unfolding (the measure's support structure)."""
+    measure = execution_measure(automaton, scheduler, max_depth=max_depth)
+    executions = len(measure)
+    steps = sum(len(execution) for execution in measure.support())
+    return {"executions": executions, "total_steps": steps}

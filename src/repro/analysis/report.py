@@ -1,0 +1,68 @@
+"""Fixed-width table rendering for the experiment harness.
+
+Every experiment prints its result as a plain-text table (the rows
+EXPERIMENTS.md records), so benchmark output is directly comparable across
+runs and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+__all__ = ["render_table", "render_profile"]
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    note: str = "",
+) -> str:
+    """Render a titled fixed-width table.
+
+    Column widths adapt to content; floats are shown with six significant
+    digits, exact rationals verbatim.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.6g}"
+        return str(cell)
+
+    rendered_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = [f"== {title} =="]
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in rendered_rows:
+        out.append(line(row))
+    if note:
+        out.append(f"   {note}")
+    return "\n".join(out)
+
+
+def render_profile(
+    title: str,
+    profile: Sequence[Tuple[int, float]],
+    *,
+    value_name: str = "epsilon(k)",
+    note: str = "",
+) -> str:
+    """Render an error profile ``(k, value)`` with per-step decay ratios."""
+    rows = []
+    previous = None
+    for k, value in profile:
+        ratio = "" if previous in (None, 0) or value == 0 and previous == 0 else (
+            f"{value / previous:.4f}" if previous else ""
+        )
+        rows.append((k, value, ratio))
+        previous = value
+    return render_table(title, ["k", value_name, "ratio"], rows, note=note)

@@ -1,0 +1,148 @@
+"""Reference decoders and the operation-count cost model (Defs 4.1/4.2).
+
+The paper's bound ``b`` quantifies the worst-case running time of the
+deterministic Turing machines that decode an automaton (``M_start``,
+``M_sig``, ``M_trans``, ``M_step``) and the probabilistic machine that
+executes it (``M_state``); PCA add ``M_conf``, ``M_created``, ``M_hidden``.
+
+We substitute Turing machines with *reference decoders*: Python routines
+that operate on the actual bit-string encodings and charge one unit per
+elementary bit operation to a :class:`CostMeter`.  Every routine is
+linear-time in the encodings it touches, so measured costs have exactly the
+additive structure the composition/hiding lemmas rely on (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.bounded.encoding import (
+    encode_action,
+    encode_bits,
+    encode_state,
+)
+from repro.core.psioa import PSIOA
+from repro.probability.measures import DiscreteMeasure
+
+__all__ = ["CostMeter", "ReferenceDecoders"]
+
+
+class CostMeter:
+    """Counts elementary operations (bit comparisons/copies) of a decoder run."""
+
+    __slots__ = ("operations",)
+
+    def __init__(self) -> None:
+        self.operations = 0
+
+    def charge(self, amount: int) -> None:
+        self.operations += amount
+
+    def compare(self, left: str, right: str) -> bool:
+        """Bit-string equality at linear cost."""
+        self.charge(min(len(left), len(right)) + 1)
+        return left == right
+
+    def scan(self, bits: str) -> None:
+        """Read a bit string end to end."""
+        self.charge(len(bits))
+
+    def copy(self, bits: str) -> str:
+        self.charge(len(bits))
+        return bits
+
+
+class ReferenceDecoders:
+    """The decoding machines of Definition 4.1 for a concrete PSIOA.
+
+    Each method performs the decision the definition requires, operating on
+    encodings and charging the meter.  ``worst_case(q, a)`` runs every
+    machine on the given state/action and returns the operation count —
+    the quantity maximized by
+    :func:`repro.bounded.bounds.measure_time_bound`.
+    """
+
+    def __init__(self, automaton: PSIOA) -> None:
+        self.automaton = automaton
+
+    # -- Definition 4.1 (2)(i): M_start -------------------------------------------
+
+    def m_start(self, state: Hashable, meter: CostMeter) -> bool:
+        """Decide whether ``state`` is the unique start state."""
+        return meter.compare(encode_state(state), encode_state(self.automaton.start))
+
+    # -- Definition 4.1 (2)(ii): M_sig ---------------------------------------------
+
+    def m_sig(self, state: Hashable, action: Hashable, meter: CostMeter) -> Optional[str]:
+        """Classify ``action`` at ``state``: 'in' / 'out' / 'int' / None.
+
+        Scans the (finite) per-state signature, comparing encodings.
+        """
+        encoded = encode_action(action)
+        signature = self.automaton.signature(state)
+        meter.scan(encode_state(state))
+        for kind, component in (
+            ("in", signature.inputs),
+            ("out", signature.outputs),
+            ("int", signature.internals),
+        ):
+            for candidate in sorted(component, key=repr):
+                if meter.compare(encoded, encode_action(candidate)):
+                    return kind
+        return None
+
+    # -- Definition 4.1 (2)(iii): M_trans --------------------------------------------
+
+    def m_trans(self, state: Hashable, action: Hashable, eta: DiscreteMeasure, meter: CostMeter) -> bool:
+        """Decide whether ``(q, a, eta)`` is the transition of the automaton."""
+        if self.m_sig(state, action, meter) is None:
+            return False
+        actual = self.automaton.transition(state, action)
+        for target in sorted(set(actual.support()) | set(eta.support()), key=repr):
+            meter.scan(encode_state(target))
+            meter.scan(encode_bits(actual(target)))
+            if actual(target) != eta(target):
+                return False
+        return True
+
+    # -- Definition 4.1 (2)(iv): M_step -----------------------------------------------
+
+    def m_step(self, state: Hashable, action: Hashable, target: Hashable, meter: CostMeter) -> bool:
+        """Decide whether ``(q, a, q')`` is a step (``q' in supp(eta)``)."""
+        if self.m_sig(state, action, meter) is None:
+            return False
+        eta = self.automaton.transition(state, action)
+        encoded = encode_state(target)
+        for candidate in sorted(eta.support(), key=repr):
+            if meter.compare(encoded, encode_state(candidate)):
+                return True
+        return False
+
+    # -- Definition 4.1 (3): M_state ------------------------------------------------------
+
+    def m_state(self, state: Hashable, action: Hashable, meter: CostMeter) -> DiscreteMeasure:
+        """Produce the next-state distribution (the probabilistic machine;
+        we account for the full distribution rather than one sample so the
+        bound covers every coin-flip outcome)."""
+        if self.m_sig(state, action, meter) is None:
+            raise KeyError(action)
+        eta = self.automaton.transition(state, action)
+        for target in sorted(eta.support(), key=repr):
+            meter.scan(encode_state(target))
+            meter.scan(encode_bits(eta(target)))
+        return eta
+
+    # -- aggregate -------------------------------------------------------------------------
+
+    def worst_case(self, state: Hashable, action: Hashable) -> int:
+        """Total operation count of running every machine on ``(q, a)``."""
+        meter = CostMeter()
+        self.m_start(state, meter)
+        kind = self.m_sig(state, action, meter)
+        if kind is not None:
+            eta = self.automaton.transition(state, action)
+            self.m_trans(state, action, eta, meter)
+            for target in eta.support():
+                self.m_step(state, action, target, meter)
+            self.m_state(state, action, meter)
+        return meter.operations

@@ -1,0 +1,132 @@
+"""Families of automata and schedulers (paper Definitions 4.7–4.11).
+
+A PSIOA (resp. PCA) family is an indexed set ``(A_k)_{k in N}``; families
+compose pointwise, and a family is ``b``-time-bounded for
+``b : N -> R`` when each member is ``b(k)``-time-bounded.  Families are the
+carriers of the asymptotic statements (``<=_{neg,pt}``, secure emulation);
+the experiment harness realizes them up to a finite horizon and fits
+polynomial/negligible envelopes over the sampled profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.bounded.bounds import measure_pca_time_bound, measure_time_bound
+from repro.config.pca import PCA, compose_pca
+from repro.core.composition import compose
+from repro.core.psioa import PSIOA
+from repro.probability.asymptotics import PolynomialBound, fit_polynomial_envelope
+from repro.semantics.scheduler import Scheduler
+
+__all__ = [
+    "PSIOAFamily",
+    "SchedulerFamily",
+    "compose_families",
+    "bound_profile",
+    "polynomial_bound_profile",
+]
+
+
+@dataclass
+class PSIOAFamily:
+    """An indexed family ``(A_k)_{k in N}`` of PSIOA or PCA (Definition 4.7).
+
+    ``build(k)`` constructs the ``k``-th member; members are memoized so a
+    family behaves like the paper's indexed set.
+    """
+
+    name: str
+    build: Callable[[int], PSIOA]
+    _cache: Dict[int, PSIOA] = field(default_factory=dict, repr=False)
+
+    def __getitem__(self, k: int) -> PSIOA:
+        member = self._cache.get(k)
+        if member is None:
+            member = self.build(k)
+            self._cache[k] = member
+        return member
+
+    def members(self, ks: Sequence[int]) -> List[PSIOA]:
+        return [self[k] for k in ks]
+
+    def map(self, transform: Callable[[int, PSIOA], PSIOA], name: Optional[str] = None) -> "PSIOAFamily":
+        """A derived family applying ``transform`` memberwise (hiding,
+        renaming, wrapping with adversaries, ...)."""
+        return PSIOAFamily(name or f"{self.name}'", lambda k: transform(k, self[k]))
+
+
+@dataclass
+class SchedulerFamily:
+    """An indexed family of schedulers ``(sigma_k)_{k in N}`` (Definition 4.9).
+
+    ``b``-time-boundedness (Definition 4.10) holds when each member's step
+    bound is at most ``b(k)``; :meth:`is_time_bounded` checks it over a
+    sampled horizon.
+    """
+
+    name: str
+    build: Callable[[int], Scheduler]
+    _cache: Dict[int, Scheduler] = field(default_factory=dict, repr=False)
+
+    def __getitem__(self, k: int) -> Scheduler:
+        member = self._cache.get(k)
+        if member is None:
+            member = self.build(k)
+            self._cache[k] = member
+        return member
+
+    def is_time_bounded(self, bound: Callable[[int], float], ks: Sequence[int]) -> bool:
+        for k in ks:
+            member_bound = self[k].step_bound()
+            if member_bound is None or member_bound > bound(k):
+                return False
+        return True
+
+
+def compose_families(*families: PSIOAFamily, name: Optional[str] = None) -> PSIOAFamily:
+    """Pointwise composition ``(A_k || B_k)_{k in N}`` (Definition 4.7).
+
+    PCA families compose as PCA (Definition 2.19); mixed or plain PSIOA
+    families compose as PSIOA (Definition 2.18).
+    """
+    composed_name = name or "||".join(f.name for f in families)
+
+    def build(k: int) -> PSIOA:
+        members = [f[k] for f in families]
+        if all(isinstance(m, PCA) for m in members):
+            return compose_pca(*members)
+        return compose(*members)
+
+    return PSIOAFamily(composed_name, build)
+
+
+def bound_profile(
+    family: PSIOAFamily,
+    ks: Sequence[int],
+    *,
+    max_states: int = 50_000,
+) -> Tuple[Tuple[int, int], ...]:
+    """Measured time bounds ``(k, b(k))`` over a horizon (Definition 4.8)."""
+    out: List[Tuple[int, int]] = []
+    for k in ks:
+        member = family[k]
+        if isinstance(member, PCA):
+            out.append((k, measure_pca_time_bound(member, max_states=max_states)))
+        else:
+            out.append((k, measure_time_bound(member, max_states=max_states)))
+    return tuple(out)
+
+
+def polynomial_bound_profile(
+    family: PSIOAFamily,
+    ks: Sequence[int],
+    *,
+    max_degree: int = 6,
+    max_states: int = 50_000,
+) -> PolynomialBound:
+    """Fit the smallest-degree monomial envelope over the bound profile —
+    the finite-horizon reading of "polynomial-time-bounded family"."""
+    profile = [(k, float(b)) for k, b in bound_profile(family, ks, max_states=max_states)]
+    return fit_polynomial_envelope(profile, max_degree=max_degree)

@@ -1,0 +1,34 @@
+"""Configurations and probabilistic configuration automata (paper Section 2.5).
+
+This package implements the *dynamic* half of the formalism:
+
+* :class:`~repro.config.configuration.Configuration` — a finite set of
+  PSIOA identifiers with their current states (Definitions 2.9–2.12),
+* preserving transitions ``C -a-> eta_p`` and intrinsic transitions
+  ``C =a=>_phi eta`` in which automata are created and destroyed
+  (Definitions 2.13–2.14),
+* :class:`~repro.config.pca.CanonicalPCA` — probabilistic configuration
+  automata (Definition 2.16) built from a dynamic-system specification so
+  the simulation constraints hold by construction,
+* PCA hiding and partial composition (Definitions 2.17 and 2.19),
+* :func:`~repro.config.validate.validate_pca` — a checker for the four PCA
+  constraints over any finite-reachable PCA.
+"""
+
+from repro.config.configuration import Configuration
+from repro.config.transitions import preserving_transition, intrinsic_transition
+from repro.config.pca import PCA, CanonicalPCA, ComposedPCA, compose_pca, hide_pca
+from repro.config.validate import validate_pca, PcaError
+
+__all__ = [
+    "Configuration",
+    "preserving_transition",
+    "intrinsic_transition",
+    "PCA",
+    "CanonicalPCA",
+    "ComposedPCA",
+    "compose_pca",
+    "hide_pca",
+    "validate_pca",
+    "PcaError",
+]

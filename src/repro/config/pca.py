@@ -1,0 +1,253 @@
+"""Probabilistic configuration automata (paper Definitions 2.16–2.19).
+
+A PCA ``X`` is a PSIOA ``psioa(X)`` equipped with three extra mappings:
+
+* ``config(X)`` — each state corresponds to a reduced compatible
+  configuration,
+* ``created(X)(q)(a)`` — the identifiers created when ``a`` fires at ``q``,
+* ``hidden-actions(X)(q)`` — outputs of the configuration hidden at ``q``,
+
+subject to the four constraints of Definition 2.16 (start preservation,
+top/down simulation, bottom/up simulation, action hiding).
+
+The library's primary constructor is :class:`CanonicalPCA`, whose states
+*are* canonical reduced configurations; the simulation constraints then
+hold by construction (the transition relation is literally the intrinsic
+transition of Definition 2.14).  Arbitrary PCA can also be assembled and
+checked with :func:`~repro.config.validate.validate_pca`.
+
+PCA subclasses :class:`~repro.core.psioa.PSIOA`, so every PSIOA operation
+(composition with environments, scheduling, renaming) applies unchanged —
+this mirrors the paper's convention ``states(X) = states(psioa(X))`` etc.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Optional, Sequence, Tuple
+
+from repro.config.configuration import Configuration
+from repro.config.transitions import intrinsic_transition
+from repro.core.composition import ComposedPSIOA
+from repro.core.psioa import PSIOA, PsioaError
+from repro.core.signature import Action, Signature, hide_signature
+from repro.probability.measures import DiscreteMeasure
+
+__all__ = ["PCA", "CanonicalPCA", "ComposedPCA", "HiddenPCA", "compose_pca", "hide_pca"]
+
+State = Hashable
+
+
+class PCA(PSIOA):
+    """Abstract base of probabilistic configuration automata (Definition 2.16).
+
+    Subclasses provide the three PCA mappings on top of the inherited PSIOA
+    behaviour.  ``psioa(X)`` is the object itself (exposed as
+    :attr:`as_psioa` for notational parity with the paper).
+    """
+
+    __slots__ = ()
+
+    @property
+    def as_psioa(self) -> PSIOA:
+        """``psioa(X)`` — the underlying PSIOA (the PCA object itself)."""
+        return self
+
+    def config(self, state: State) -> Configuration:
+        """``config(X)(q)`` — the reduced compatible configuration at ``q``."""
+        raise NotImplementedError
+
+    def created(self, state: State, action: Action) -> Tuple[PSIOA, ...]:
+        """``created(X)(q)(a)`` — automata created when ``a`` fires at ``q``."""
+        raise NotImplementedError
+
+    def hidden_actions(self, state: State) -> frozenset:
+        """``hidden-actions(X)(q)`` — configuration outputs hidden at ``q``."""
+        raise NotImplementedError
+
+
+class CanonicalPCA(PCA):
+    """A PCA whose states are canonical reduced configurations.
+
+    Parameters
+    ----------
+    name:
+        PCA identifier.
+    initial:
+        Either a :class:`Configuration` placing every member at its start
+        state, or an iterable of PSIOA (placed at their start states).
+        Constraint 1 of Definition 2.16 (start preservation) is enforced.
+    created:
+        ``(configuration, action) -> iterable of PSIOA`` — the creation
+        mapping; defaults to creating nothing.  Must return identifiers
+        disjoint from the configuration (Definition 2.14).
+    hidden:
+        ``configuration -> iterable of actions`` — outputs to hide;
+        defaults to hiding nothing.  Values are intersected with the
+        configuration's outputs so constraint 4 cannot be violated.
+
+    Constraints 2 and 3 (top/down and bottom/up simulation) hold by
+    construction: the transition out of a state is *defined as* the
+    intrinsic transition of its configuration, with ``config`` the identity
+    correspondence.
+    """
+
+    __slots__ = ("_created_fn", "_hidden_fn", "_sig_cache")
+
+    def __init__(
+        self,
+        name: Hashable,
+        initial: Configuration | Iterable[PSIOA],
+        *,
+        created: Optional[Callable[[Configuration, Action], Iterable[PSIOA]]] = None,
+        hidden: Optional[Callable[[Configuration], Iterable[Action]]] = None,
+    ) -> None:
+        if not isinstance(initial, Configuration):
+            initial = Configuration.initial(initial)
+        for automaton, state in initial.items():
+            if state != automaton.start:
+                raise PsioaError(
+                    f"constraint 1 (start preservation): {automaton.name!r} starts at "
+                    f"{state!r} instead of {automaton.start!r}"
+                )
+        start = initial.reduce()
+        if not start.is_compatible():
+            raise PsioaError(
+                f"initial configuration incompatible: {start.incompatibility_reason()}"
+            )
+        self._created_fn = created or (lambda _c, _a: ())
+        self._hidden_fn = hidden or (lambda _c: ())
+        self._sig_cache: Dict[Configuration, Signature] = {}
+        super().__init__(name, start, self._pca_signature, self._pca_transition)
+
+    # -- PCA mappings -------------------------------------------------------------
+
+    def config(self, state: State) -> Configuration:
+        if not isinstance(state, Configuration):
+            raise PsioaError(f"state of {self.name!r} must be a Configuration, got {state!r}")
+        return state
+
+    def created(self, state: State, action: Action) -> Tuple[PSIOA, ...]:
+        return tuple(self._created_fn(self.config(state), action))
+
+    def hidden_actions(self, state: State) -> frozenset:
+        configuration = self.config(state)
+        return frozenset(self._hidden_fn(configuration)) & configuration.signature().outputs
+
+    # -- PSIOA behaviour ------------------------------------------------------------
+
+    def _pca_signature(self, state: State) -> Signature:
+        configuration = self.config(state)
+        cached = self._sig_cache.get(configuration)
+        if cached is None:
+            cached = hide_signature(configuration.signature(), self.hidden_actions(state))
+            self._sig_cache[configuration] = cached
+        return cached
+
+    def _pca_transition(self, state: State, action: Action) -> DiscreteMeasure:
+        configuration = self.config(state)
+        if action not in self._pca_signature(state).all_actions:
+            raise PsioaError(f"action {action!r} not enabled at {configuration!r}")
+        return intrinsic_transition(configuration, action, self.created(state, action))
+
+
+class ComposedPCA(PCA):
+    """Partial composition of PCA (Definition 2.19).
+
+    ``psioa(X1 || ... || Xn) = psioa(X1) || ... || psioa(Xn)`` — realized by
+    delegating PSIOA behaviour to a :class:`~repro.core.composition.ComposedPSIOA`
+    over the component PCA.  The PCA mappings are pointwise unions:
+
+    * ``config(q) = U_i config(X_i)(q |` X_i)`` (disjoint union),
+    * ``created(q)(a) = U_i created(X_i)(q |` X_i)(a)`` with the convention
+      that a component not having ``a`` in its signature contributes nothing,
+    * ``hidden-actions(q) = U_i hidden-actions(X_i)(q |` X_i)``.
+    """
+
+    __slots__ = ("components", "_product")
+
+    def __init__(self, components: Sequence[PCA], *, name: Optional[Hashable] = None) -> None:
+        for component in components:
+            if not isinstance(component, PCA):
+                raise PsioaError(f"ComposedPCA requires PCA components, got {component!r}")
+        self.components: Tuple[PCA, ...] = tuple(components)
+        self._product = ComposedPSIOA(components, name=name)
+        super().__init__(
+            self._product.name,
+            self._product.start,
+            self._product.signature,
+            self._product.transition,
+        )
+
+    def config(self, state: State) -> Configuration:
+        configuration = Configuration.empty()
+        for component, local in zip(self.components, state):
+            configuration = configuration.union(component.config(local))
+        return configuration
+
+    def created(self, state: State, action: Action) -> Tuple[PSIOA, ...]:
+        out: list = []
+        seen = set()
+        for component, local in zip(self.components, state):
+            if action in component.signature(local).all_actions:
+                for automaton in component.created(local, action):
+                    if automaton.name not in seen:
+                        seen.add(automaton.name)
+                        out.append(automaton)
+        return tuple(out)
+
+    def hidden_actions(self, state: State) -> frozenset:
+        hidden: frozenset = frozenset()
+        for component, local in zip(self.components, state):
+            hidden |= component.hidden_actions(local)
+        return hidden
+
+
+class HiddenPCA(PCA):
+    """``hide(X, h)`` on PCA (Definition 2.17).
+
+    Differs from ``X`` only in the signature and hidden-actions mappings:
+    ``sig(X')(q) = hide(sig(X)(q), h(q))`` and
+    ``hidden-actions(X')(q) = hidden-actions(X)(q) | h(q)``.
+    """
+
+    __slots__ = ("base", "_extra_hidden")
+
+    def __init__(
+        self,
+        base: PCA,
+        extra_hidden: Callable[[State], Iterable[Action]],
+        *,
+        name: Optional[Hashable] = None,
+    ) -> None:
+        self.base = base
+        self._extra_hidden = extra_hidden
+        derived_name = name if name is not None else ("hide", base.name)
+        super().__init__(derived_name, base.start, self._hidden_signature, base.transition)
+
+    def _hidden_signature(self, state: State) -> Signature:
+        return hide_signature(self.base.signature(state), self._extra_hidden(state))
+
+    def config(self, state: State) -> Configuration:
+        return self.base.config(state)
+
+    def created(self, state: State, action: Action) -> Tuple[PSIOA, ...]:
+        return self.base.created(state, action)
+
+    def hidden_actions(self, state: State) -> frozenset:
+        extra = frozenset(self._extra_hidden(state)) & self.base.signature(state).outputs
+        return self.base.hidden_actions(state) | extra
+
+
+def compose_pca(*pcas: PCA, name: Optional[Hashable] = None) -> ComposedPCA:
+    """Build ``X1 || ... || Xn`` (Definition 2.19)."""
+    return ComposedPCA(pcas, name=name)
+
+
+def hide_pca(
+    pca: PCA,
+    hidden: Callable[[State], Iterable[Action]],
+    *,
+    name: Optional[Hashable] = None,
+) -> HiddenPCA:
+    """``hide(X, h)`` (Definition 2.17)."""
+    return HiddenPCA(pca, hidden, name=name)

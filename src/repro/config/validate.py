@@ -1,0 +1,114 @@
+"""Validator for the PCA constraints of Definition 2.16.
+
+:class:`~repro.config.pca.CanonicalPCA` satisfies the constraints by
+construction; this module re-derives them for *any* PCA (including composed
+and hidden ones) over its finite-reachable state space:
+
+1. **start preservation** — the start configuration places every member at
+   its own start state;
+2. **top/down simulation** — every transition of ``psioa(X)`` corresponds,
+   through ``config(X)`` in the sense of Definition 2.15, to an intrinsic
+   transition of the configuration with creation set ``created(X)(q)(a)``;
+3. **bottom/up simulation** — every intrinsic transition of the current
+   configuration is matched by a transition of ``psioa(X)``;
+4. **action hiding** — ``sig(X)(q) = hide(sig(config(X)(q)),
+   hidden-actions(X)(q))`` and hidden actions are configuration outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+from repro.config.pca import PCA
+from repro.config.transitions import intrinsic_transition
+from repro.core.psioa import PsioaError, reachable_states
+from repro.core.signature import hide_signature
+from repro.probability.measures import measures_correspond
+
+__all__ = ["validate_pca", "PcaError"]
+
+State = Hashable
+
+
+class PcaError(PsioaError):
+    """Raised when a PCA violates one of the constraints of Definition 2.16."""
+
+
+def validate_pca(
+    pca: PCA,
+    *,
+    states: Optional[Iterable[State]] = None,
+    max_states: int = 50_000,
+) -> None:
+    """Check constraints 1–4 of Definition 2.16 over a finite state set.
+
+    Raises :class:`PcaError` with a witness on the first violation.
+    """
+    universe = list(states) if states is not None else reachable_states(pca, max_states=max_states)
+
+    # Constraint 1: start preservation.
+    start_config = pca.config(pca.start)
+    for automaton, state in start_config.items():
+        if state != automaton.start:
+            raise PcaError(
+                f"constraint 1: member {automaton.name!r} of the start configuration is at "
+                f"{state!r}, not its start state {automaton.start!r}"
+            )
+
+    for q in universe:
+        configuration = pca.config(q)
+
+        # The configuration attached to a state must be reduced and compatible.
+        if not configuration.is_reduced():
+            raise PcaError(f"config({q!r}) is not reduced: {configuration!r}")
+        if not configuration.is_compatible():
+            raise PcaError(
+                f"config({q!r}) incompatible: {configuration.incompatibility_reason()}"
+            )
+
+        # Constraint 4: action hiding.
+        hidden = pca.hidden_actions(q)
+        config_sig = configuration.signature()
+        if not hidden <= config_sig.outputs:
+            raise PcaError(
+                f"constraint 4: hidden-actions({q!r}) = {sorted(map(repr, hidden))} "
+                f"not a subset of out(config) = {sorted(map(repr, config_sig.outputs))}"
+            )
+        expected_sig = hide_signature(config_sig, hidden)
+        actual_sig = pca.signature(q)
+        if actual_sig != expected_sig:
+            raise PcaError(
+                f"constraint 4: sig(X)({q!r}) = {actual_sig!r} differs from "
+                f"hide(sig(config), hidden) = {expected_sig!r}"
+            )
+
+        # Constraints 2 and 3: the enabled action sets of the PCA state and of
+        # its configuration coincide (hiding preserves sig-hat), and for each
+        # action the PCA transition corresponds to the intrinsic transition
+        # through config(X).
+        if actual_sig.all_actions != config_sig.all_actions:
+            raise PcaError(
+                f"sig-hat mismatch at {q!r}: PCA has {sorted(map(repr, actual_sig.all_actions))}, "
+                f"config has {sorted(map(repr, config_sig.all_actions))}"
+            )
+        for action in actual_sig.all_actions:
+            phi = pca.created(q, action)
+            clash = {a.name for a in phi} & set(configuration.ids())
+            if clash:
+                raise PcaError(
+                    f"created({q!r})({action!r}) overlaps the configuration: "
+                    f"{sorted(map(repr, clash))}"
+                )
+            try:
+                eta_x = pca.transition(q, action)  # top/down direction
+            except Exception as exc:  # noqa: BLE001
+                raise PcaError(
+                    f"constraint 3 (bottom/up): intrinsic transition via {action!r} exists at "
+                    f"{q!r} but psioa(X) offers none: {exc}"
+                ) from exc
+            eta_conf = intrinsic_transition(configuration, action, phi)
+            if not measures_correspond(eta_x, eta_conf, pca.config):
+                raise PcaError(
+                    f"constraint 2 (top/down): transition of psioa(X) at ({q!r}, {action!r}) "
+                    f"does not correspond to the intrinsic transition through config(X)"
+                )

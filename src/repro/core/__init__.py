@@ -1,0 +1,57 @@
+"""Core dynamic probabilistic I/O automata layer (paper Section 2).
+
+This package implements probabilistic signature input/output automata
+(PSIOA, Definition 2.1) and the static operations of the formalism:
+
+* signatures, compatibility and signature composition (Definitions 2.3–2.4),
+* hiding and action renaming (Definitions 2.6–2.8, Lemma A.1),
+* execution fragments, executions and traces (Definition 2.2),
+* partial composition of PSIOA (Definitions 2.5 and 2.18).
+
+Automata are *lazy*: a PSIOA is given by a start state, a per-state
+signature function and a per-(state, action) transition function, so
+countable state spaces are supported.  Finite automata can be built
+explicitly with :class:`~repro.core.psioa.TablePSIOA` and validated with
+:func:`~repro.core.psioa.validate_psioa`.
+"""
+
+from repro.core.signature import (
+    Signature,
+    EMPTY_SIGNATURE,
+    signatures_compatible,
+    compose_signatures,
+    hide_signature,
+)
+from repro.core.psioa import PSIOA, TablePSIOA, validate_psioa, reachable_states
+from repro.core.executions import Fragment, concat, cone_prefixes
+from repro.core.renaming import hide_psioa, rename_psioa, StateActionRenaming
+from repro.core.composition import (
+    compose,
+    compatible_at_state,
+    joint_transition,
+    check_partial_compatibility,
+    project,
+)
+
+__all__ = [
+    "Signature",
+    "EMPTY_SIGNATURE",
+    "signatures_compatible",
+    "compose_signatures",
+    "hide_signature",
+    "PSIOA",
+    "TablePSIOA",
+    "validate_psioa",
+    "reachable_states",
+    "Fragment",
+    "concat",
+    "cone_prefixes",
+    "hide_psioa",
+    "rename_psioa",
+    "StateActionRenaming",
+    "compose",
+    "compatible_at_state",
+    "joint_transition",
+    "check_partial_compatibility",
+    "project",
+]

@@ -1,0 +1,169 @@
+"""Execution fragments, executions and traces (paper Definition 2.2).
+
+An execution fragment of a PSIOA is an alternating sequence
+``q0 a1 q1 a2 ...`` of states and actions where every ``(q_i, a_{i+1},
+q_{i+1})`` is a step of the automaton.  Finite fragments end in a state.
+The module provides:
+
+* :class:`Fragment` — immutable, hashable fragments with the paper's
+  accessors (``fstate``, ``lstate``, ``|alpha|``, ``trace``),
+* the concatenation operator ``alpha ^ alpha'`` (:func:`concat`),
+* prefix relations (``<`` proper prefix, ``<=`` prefix) used to define the
+  cone sigma-field on which the scheduler measure lives (Section 3).
+
+Fragments are shared across the framework: the scheduler (Definition 3.1)
+maps finite fragments to decisions, the execution measure ``epsilon_sigma``
+is computed over the cone structure, and insight functions (Definition 3.4)
+consume finished executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterator, List, Sequence, Tuple
+
+from repro.core.signature import Action, Signature
+
+__all__ = ["Fragment", "concat", "cone_prefixes"]
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A finite execution fragment ``q0 a1 q1 ... an qn``.
+
+    Invariants: ``len(states) == len(actions) + 1`` and the fragment ends
+    in a state (Definition 2.2 condition 1).  Step-validity against a
+    specific automaton is checked by :meth:`is_fragment_of` rather than at
+    construction so fragments can be built incrementally by the unfolding
+    engine without repeated lookups.
+    """
+
+    states: Tuple[State, ...]
+    actions: Tuple[Action, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.states) != len(self.actions) + 1:
+            raise ValueError(
+                f"fragment shape mismatch: {len(self.states)} states vs "
+                f"{len(self.actions)} actions"
+            )
+
+    # -- paper accessors --------------------------------------------------------
+
+    @property
+    def fstate(self) -> State:
+        """``fstate(alpha)``: first state."""
+        return self.states[0]
+
+    @property
+    def lstate(self) -> State:
+        """``lstate(alpha)``: last state (fragments here are always finite)."""
+        return self.states[-1]
+
+    def __len__(self) -> int:
+        """``|alpha|``: number of transitions along the fragment."""
+        return len(self.actions)
+
+    def steps(self) -> Iterator[Tuple[State, Action, State]]:
+        """The steps ``(q_i, a_{i+1}, q_{i+1})`` along the fragment."""
+        for i, action in enumerate(self.actions):
+            yield (self.states[i], action, self.states[i + 1])
+
+    def trace(self, signature_of: Callable[[State], Signature]) -> Tuple[Action, ...]:
+        """``trace(alpha)``: restriction to external actions (Definition 2.2).
+
+        Externality is judged at the source state of each step, using the
+        per-state signature function of the automaton the fragment belongs to.
+        """
+        out: List[Action] = []
+        for source, action, _target in self.steps():
+            if action in signature_of(source).external:
+                out.append(action)
+        return tuple(out)
+
+    # -- construction -------------------------------------------------------------
+
+    @staticmethod
+    def initial(state: State) -> "Fragment":
+        """The zero-length fragment at ``state``."""
+        return Fragment((state,), ())
+
+    def extend(self, action: Action, target: State) -> "Fragment":
+        """``alpha ^ (a, q')`` — append one step (the paper's
+        ``alpha frown a q'`` notation)."""
+        return Fragment(self.states + (target,), self.actions + (action,))
+
+    # -- relations ------------------------------------------------------------------
+
+    def is_prefix_of(self, other: "Fragment") -> bool:
+        """``alpha <= alpha'``: prefix (Definition 2.2)."""
+        if len(self) > len(other):
+            return False
+        return (
+            other.states[: len(self.states)] == self.states
+            and other.actions[: len(self.actions)] == self.actions
+        )
+
+    def is_proper_prefix_of(self, other: "Fragment") -> bool:
+        """``alpha < alpha'``: proper prefix."""
+        return len(self) < len(other) and self.is_prefix_of(other)
+
+    def __le__(self, other: "Fragment") -> bool:
+        return self.is_prefix_of(other)
+
+    def __lt__(self, other: "Fragment") -> bool:
+        return self.is_proper_prefix_of(other)
+
+    # -- validation ------------------------------------------------------------------
+
+    def is_fragment_of(self, automaton) -> bool:
+        """True when every step is a step of ``automaton`` (Definition 2.2)."""
+        for source, action, target in self.steps():
+            if action not in automaton.enabled(source):
+                return False
+            if target not in automaton.transition(source, action).support():
+                return False
+        return True
+
+    def is_execution_of(self, automaton) -> bool:
+        """An execution is a fragment starting at ``qbar`` (Definition 2.2)."""
+        return self.fstate == automaton.start and self.is_fragment_of(automaton)
+
+    def __repr__(self) -> str:
+        parts: List[str] = [repr(self.states[0])]
+        for action, state in zip(self.actions, self.states[1:]):
+            parts.append(f"-{action!r}->")
+            parts.append(repr(state))
+        return "Fragment(" + " ".join(parts) + ")"
+
+
+def concat(alpha: Fragment, alpha_prime: Fragment) -> Fragment:
+    """The concatenation ``alpha frown alpha'`` (Definition 2.2).
+
+    Defined only when ``fstate(alpha') == lstate(alpha)``; raises
+    ``ValueError`` otherwise, matching the paper's partiality.
+    """
+    if alpha_prime.fstate != alpha.lstate:
+        raise ValueError(
+            f"concatenation undefined: lstate {alpha.lstate!r} != fstate "
+            f"{alpha_prime.fstate!r}"
+        )
+    return Fragment(
+        alpha.states + alpha_prime.states[1:],
+        alpha.actions + alpha_prime.actions,
+    )
+
+
+def cone_prefixes(alpha: Fragment) -> Sequence[Fragment]:
+    """All prefixes of ``alpha`` (the cones containing it), shortest first.
+
+    The sigma-field on executions is generated by cones ``C_alpha' =
+    { alpha | alpha' <= alpha }`` (Section 3); a finite execution lies in
+    exactly the cones of its prefixes.
+    """
+    out: List[Fragment] = []
+    for k in range(len(alpha) + 1):
+        out.append(Fragment(alpha.states[: k + 1], alpha.actions[:k]))
+    return out

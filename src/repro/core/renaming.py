@@ -1,0 +1,120 @@
+"""Hiding and action renaming on PSIOA (paper Definitions 2.7, 2.8, Lemma A.1).
+
+Both operators are *lazy views*: they wrap the base automaton and rewrite
+signatures/transitions on access, so they compose freely with the lazy
+composition of :mod:`repro.core.composition` and never materialize state
+spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Optional
+
+from repro.core.psioa import PSIOA, PsioaError
+from repro.core.signature import Action, Signature, hide_signature
+from repro.probability.measures import DiscreteMeasure
+
+__all__ = ["hide_psioa", "rename_psioa", "StateActionRenaming"]
+
+State = Hashable
+
+
+def hide_psioa(
+    automaton: PSIOA,
+    hidden: Callable[[State], Iterable[Action]],
+    *,
+    name: Optional[Hashable] = None,
+) -> PSIOA:
+    """Definition 2.7: ``hide(A, h)`` turns ``h(q)``-outputs into internals.
+
+    ``hidden`` maps each state to the set of output actions to hide there.
+    States, start state and transitions are unchanged; only signatures move.
+    """
+
+    derived_name = name if name is not None else ("hide", automaton.name)
+
+    def signature(state: State) -> Signature:
+        return hide_signature(automaton.signature(state), hidden(state))
+
+    return PSIOA(derived_name, automaton.start, signature, automaton.transition)
+
+
+class StateActionRenaming:
+    """A state-dependent injective action renaming ``r`` (Definition 2.8).
+
+    ``r(q)`` must be injective with ``sig-hat(A)(q)`` as domain.  The class
+    wraps a forward function and derives the inverse by scanning the (finite)
+    per-state signature, caching per state; an explicit ``inverse`` can be
+    supplied when signatures are large.
+
+    A plain callable ``action -> action`` may be promoted with
+    :meth:`uniform` for state-independent renamings.
+    """
+
+    def __init__(
+        self,
+        forward: Callable[[State, Action], Action],
+        inverse: Optional[Callable[[State, Action], Optional[Action]]] = None,
+    ) -> None:
+        self._forward = forward
+        self._inverse = inverse
+        self._cache: Dict[State, Dict[Action, Action]] = {}
+
+    @staticmethod
+    def uniform(mapping: Callable[[Action], Action]) -> "StateActionRenaming":
+        """Promote a state-independent injective action mapping."""
+        return StateActionRenaming(lambda _state, action: mapping(action))
+
+    def forward(self, state: State, action: Action) -> Action:
+        return self._forward(state, action)
+
+    def inverse_at(self, automaton: PSIOA, state: State, renamed: Action) -> Optional[Action]:
+        """The unique ``a`` with ``r(q)(a) == renamed``, or ``None``."""
+        if self._inverse is not None:
+            return self._inverse(state, renamed)
+        table = self._cache.get(state)
+        if table is None:
+            table = {}
+            for original in automaton.signature(state).all_actions:
+                image = self._forward(state, original)
+                if image in table:
+                    raise PsioaError(
+                        f"renaming not injective at {state!r}: both {table[image]!r} and "
+                        f"{original!r} map to {image!r}"
+                    )
+                table[image] = original
+            self._cache[state] = table
+        return table.get(renamed)
+
+
+def rename_psioa(
+    automaton: PSIOA,
+    renaming: StateActionRenaming | Callable[[Action], Action],
+    *,
+    name: Optional[Hashable] = None,
+) -> PSIOA:
+    """Definition 2.8: ``r(A)`` with renamed signatures and transitions.
+
+    Lemma A.1 (closure of PSIOA under action renaming) holds structurally:
+    transition determinism and action enabling are inherited because the
+    renaming is injective per state, and signature disjointness is
+    re-validated by :class:`~repro.core.signature.Signature` on access.
+    """
+    if not isinstance(renaming, StateActionRenaming):
+        renaming = StateActionRenaming.uniform(renaming)
+
+    derived_name = name if name is not None else ("rename", automaton.name)
+
+    def signature(state: State) -> Signature:
+        return automaton.signature(state).renamed(lambda a: renaming.forward(state, a))
+
+    def transition(state: State, action: Action) -> DiscreteMeasure:
+        original = renaming.inverse_at(automaton, state, action)
+        if original is None:
+            raise PsioaError(
+                f"action {action!r} not in the renamed signature at {state!r} "
+                f"of {derived_name!r}"
+            )
+        return automaton.transition(state, original)
+
+    return PSIOA(derived_name, automaton.start, signature, transition)

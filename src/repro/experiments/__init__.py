@@ -1,0 +1,31 @@
+"""The experiment harness: one module per formal claim of the paper.
+
+The paper is a brief announcement with no evaluation section — no tables,
+no figures.  Each lemma/theorem therefore gets an *empirical validation
+experiment* that regenerates the table the evaluation would have contained
+(see DESIGN.md §4 for the index and EXPERIMENTS.md for recorded outputs):
+
+====  =======================================================  =====================
+Exp   Claim                                                    Module
+====  =======================================================  =====================
+E1    Lemma 4.3/B.1 — PSIOA composition bound                  ``e01_composition_bound``
+E2    Lemma B.2 — PCA composition bound                        ``e02_pca_bound``
+E3    Lemma 4.5/B.3 — hiding bound                             ``e03_hiding_bound``
+E4    Theorem 4.16/B.4 — transitivity                          ``e04_transitivity``
+E5    Lemma 4.13 — composability of the implementation         ``e05_composability``
+E6    Theorem 4.15 — neg,pt composability for families         ``e06_family_composability``
+E7    Lemma 4.23/C.1 — structured PCA closure                  ``e07_structured_closure``
+E8    Lemma 4.25 — adversary restriction                       ``e08_adversary_restriction``
+E9    Lemma 4.29/D.1 — dummy adversary insertion               ``e09_dummy_insertion``
+E10   Theorem 4.30/D.2 — secure-emulation composability        ``e10_secure_emulation``
+E11   Creation monotonicity (Section 4.4, from [7])            ``e11_creation_monotonicity``
+E12   Scheduler-schema ablation (Section 4.4 design choice)    ``e12_scheduler_ablation``
+====  =======================================================  =====================
+
+Every experiment module exposes ``run(fast=True) -> ExperimentReport``;
+``repro.experiments.runner`` runs them all and prints the tables.
+"""
+
+from repro.experiments.common import ExperimentReport, ALL_EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentReport", "ALL_EXPERIMENTS", "run_experiment"]

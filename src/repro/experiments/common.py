@@ -1,0 +1,99 @@
+"""Shared infrastructure of the experiment harness."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "ExperimentReport",
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+    "kind_priority_schema",
+    "coin_oblivious_schema",
+]
+
+
+@dataclass
+class ExperimentReport:
+    """The result of one experiment run.
+
+    ``table`` is the plain-text table (the row set EXPERIMENTS.md records),
+    ``passed`` is the theorem-shape assertion, ``data`` holds the raw
+    numbers for programmatic consumers (benchmarks assert on them).
+    """
+
+    experiment: str
+    claim: str
+    table: str
+    passed: bool
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.experiment} — {self.claim}\n{self.table}"
+
+
+#: experiment id -> (module name, claim summary)
+ALL_EXPERIMENTS: Dict[str, Tuple[str, str]] = {
+    "E1": ("e01_composition_bound", "Lemma 4.3/B.1: PSIOA composition bound is c_comp*(b1+b2)"),
+    "E2": ("e02_pca_bound", "Lemma B.2: PCA composition bound is c'_comp*(b1+b2)"),
+    "E3": ("e03_hiding_bound", "Lemma 4.5/B.3: hiding bound is c_hide*(b+b')"),
+    "E4": ("e04_transitivity", "Theorem 4.16/B.4: eps13 <= eps12 + eps23"),
+    "E5": ("e05_composability", "Lemma 4.13: composition does not increase the error"),
+    "E6": ("e06_family_composability", "Theorem 4.15: neg,pt preserved under composition"),
+    "E7": ("e07_structured_closure", "Lemma 4.23/C.1: structured PCA closed under composition"),
+    "E8": ("e08_adversary_restriction", "Lemma 4.25: adversary for A||B is adversary for A"),
+    "E9": ("e09_dummy_insertion", "Lemma 4.29/D.1: dummy insertion has error exactly 0, q2=2q1"),
+    "E10": ("e10_secure_emulation", "Theorem 4.30/D.2: secure emulation composes"),
+    "E11": ("e11_creation_monotonicity", "Monotonicity w.r.t. creation under creation-oblivious scheduling"),
+    "E12": ("e12_scheduler_ablation", "Section 4.4 ablation: oblivious schema suffices"),
+    "E13": ("e13_dynamic_emulation", "Extension: dynamic secure emulation of run-time-created sessions"),
+    "E14": ("e14_ledger_realizability", "Extension: which ideal ledger functionality is realizable"),
+}
+
+
+def run_experiment(experiment_id: str, *, fast: bool = True) -> ExperimentReport:
+    """Run one experiment by id (``"E1"`` .. ``"E12"``)."""
+    module_name, _claim = ALL_EXPERIMENTS[experiment_id]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    return module.run(fast=fast)
+
+
+def coin_oblivious_schema(alphabet=("toss", "head", "tail", "acc")):
+    """The oblivious (fixed-sequence, locally-controlled) schema over the
+    coin alphabet — the workhorse schema of E4/E5/E6/E12."""
+    import itertools
+
+    from repro.semantics.schema import SchedulerSchema
+    from repro.semantics.scheduler import ActionSequenceScheduler
+
+    def members(automaton, bound):
+        for length in range(bound + 1):
+            for seq in itertools.product(alphabet, repeat=length):
+                yield ActionSequenceScheduler(seq, local_only=True)
+
+    return SchedulerSchema("coin-oblivious", members)
+
+
+def kind_priority_schema(kinds: List[str], plain: List[str] = (), orders=None):
+    """A priority-driver schema over tuple-action kinds (shared by several
+    experiments).  ``orders`` lists priority permutations as index tuples;
+    defaults to the canonical order only."""
+    from repro.semantics.schema import SchedulerSchema
+    from repro.semantics.scheduler import PriorityScheduler
+
+    def is_kind(k):
+        return lambda a: isinstance(a, tuple) and len(a) >= 1 and a[0] == k
+
+    predicates = [is_kind(k) for k in kinds] + [lambda a, p=p: a == p for p in plain]
+    index_orders = orders or [tuple(range(len(predicates)))]
+
+    def members(automaton, bound):
+        for order in index_orders:
+            yield PriorityScheduler(
+                [predicates[i] for i in order], bound, name=("prio", tuple(order))
+            )
+
+    return SchedulerSchema("kind-priority", members)

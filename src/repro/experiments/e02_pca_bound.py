@@ -1,0 +1,51 @@
+"""E2 — Lemma B.2: the composition of bounded PCA is bounded, with a
+universal constant covering the configuration/created/hidden encodings.
+
+Workload: dynamic ledger PCA (clients join/leave at run time) composed
+with a coin-spawning PCA, swept over the number of admitted clients.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.report import render_table
+from repro.bounded.bounds import composition_constant, measure_pca_time_bound
+from repro.config.pca import compose_pca
+from repro.experiments.common import ExperimentReport
+from repro.systems.coin import coin
+from repro.systems.ledger import ledger_manager_pca, spawning_pca
+
+C_COMP_PCA_CEILING = 8.0
+
+
+def run(*, fast: bool = True) -> ExperimentReport:
+    counts = [1, 2] if fast else [1, 2, 3]
+    rows = []
+    constants = []
+    for count in counts:
+        ledger = ledger_manager_pca(count, name=("ledger", count))
+        spawner = spawning_pca(
+            lambda: coin(("spawned-coin",), Fraction(1, 2)),
+            name=("spawner", count),
+        )
+        b1 = measure_pca_time_bound(ledger)
+        b2 = measure_pca_time_bound(spawner)
+        b12 = measure_pca_time_bound(compose_pca(ledger, spawner))
+        c = composition_constant([b1, b2], b12)
+        constants.append(c)
+        rows.append((count, b1, b2, b12, round(c, 4)))
+    passed = max(constants) <= C_COMP_PCA_CEILING
+    table = render_table(
+        "E2: PCA composition bound (Lemma B.2)",
+        ["clients", "b(ledger)", "b(spawner)", "b(composed)", "c = b12/(b1+b2)"],
+        rows,
+        note=f"claim: c <= c'_comp = {C_COMP_PCA_CEILING}; max observed = {max(constants):.4f}",
+    )
+    return ExperimentReport(
+        "E2",
+        "composition of bounded PCA is c'_comp*(b1+b2)-bounded",
+        table,
+        passed,
+        data={"constants": constants, "ceiling": C_COMP_PCA_CEILING},
+    )

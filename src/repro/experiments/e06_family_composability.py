@@ -1,0 +1,94 @@
+"""E6 — Theorem 4.15: ``<=_{neg,pt}`` composability for families —
+composing a polynomially-bounded context family preserves negligibility of
+the error profile.
+
+Workload: the XOR-amplified coin family (bias ``2^{-(k+1)}``) against the
+fair family, bare and composed with a ticker context family; both error
+profiles are reported and fitted with geometric envelopes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.report import render_table
+from repro.bounded.families import PSIOAFamily, compose_families, polynomial_bound_profile
+from repro.experiments.common import ExperimentReport, coin_oblivious_schema
+from repro.probability.asymptotics import fit_negligible_envelope
+from repro.core.psioa import TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import dirac
+from repro.secure.implementation import family_implementation_profile, neg_pt_implements
+from repro.semantics.insight import accept_insight
+from repro.systems.coin import amplified_coin_family, fair_coin_family
+
+
+def _context_family() -> PSIOAFamily:
+    def build(k):
+        name = ("ctx", k)
+        return TablePSIOA(
+            name,
+            0,
+            {0: Signature(outputs={("ctx", "t")}), 1: Signature(inputs={("poke", name)})},
+            {(0, ("ctx", "t")): dirac(1), (1, ("poke", name)): dirac(1)},
+        )
+
+    return PSIOAFamily("ctx", build)
+
+
+def run(*, fast: bool = True) -> ExperimentReport:
+    ks = range(1, 6) if fast else range(1, 9)
+    schema = coin_oblivious_schema(("toss", "head", "tail", "acc", ("ctx", "t")))
+    insight = accept_insight()
+    from repro.systems.coin import coin_observer
+
+    environments = [coin_observer()]
+    amplified = amplified_coin_family()
+    fair = fair_coin_family()
+    context = _context_family()
+
+    kw = dict(
+        schema=schema,
+        insight=insight,
+        environment_family=lambda k: environments,
+        q1=lambda k: 3,
+        q2=lambda k: 3,
+        ks=ks,
+    )
+    bare = family_implementation_profile(amplified, fair, **kw)
+    composed = family_implementation_profile(
+        compose_families(context, amplified),
+        compose_families(context, fair),
+        **kw,
+    )
+
+    fit_bare = fit_negligible_envelope(bare)
+    fit_composed = fit_negligible_envelope(composed)
+    context_bound = polynomial_bound_profile(context, list(ks))
+
+    rows = [
+        (k, v_bare, v_comp)
+        for (k, v_bare), (_, v_comp) in zip(bare, composed)
+    ]
+    passed = (
+        neg_pt_implements(bare)
+        and neg_pt_implements(composed)
+        and all(abs(vb - vc) < 1e-12 for (_, vb), (_, vc) in zip(bare, composed))
+    )
+    table = render_table(
+        "E6: neg,pt composability for families (Theorem 4.15)",
+        ["k", "eps(k) bare", "eps(k) composed"],
+        rows,
+        note=(
+            f"geometric envelopes: bare ratio {fit_bare.ratio:.3f}, composed ratio "
+            f"{fit_composed.ratio:.3f}; context family is degree-"
+            f"{context_bound.degree} polynomially bounded"
+        ),
+    )
+    return ExperimentReport(
+        "E6",
+        "negligible error profiles survive composition with a poly-bounded family",
+        table,
+        passed,
+        data={"bare": bare, "composed": composed},
+    )

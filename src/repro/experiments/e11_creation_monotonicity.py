@@ -1,0 +1,61 @@
+"""E11 — monotonicity w.r.t. creation (the property from [7] that
+Section 4.4's creation-oblivious scheduler schema is chosen to enable):
+if ``A`` implements ``B``, then the PCA ``X_A`` that dynamically creates
+``A`` implements the PCA ``X_B`` that creates ``B`` instead, under
+creation-oblivious schedulers.
+
+Workload: spawning PCA creating a ``(1/2 + d)``-biased vs a fair coin at
+run time, swept over ``d``.  The measured PCA-level distance must not
+exceed the child-level distance (here it is exactly equal).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.report import render_table
+from repro.experiments.common import ExperimentReport, coin_oblivious_schema
+from repro.secure.implementation import implementation_distance
+from repro.semantics.insight import accept_insight
+from repro.systems.coin import coin, coin_observer
+from repro.systems.ledger import spawning_pca
+
+
+def run(*, fast: bool = True) -> ExperimentReport:
+    deltas = [Fraction(1, 8), Fraction(1, 4)] if fast else [
+        Fraction(1, 16),
+        Fraction(1, 8),
+        Fraction(1, 4),
+        Fraction(3, 8),
+    ]
+    # Creation-oblivious schedulers: fixed action sequences including the
+    # spawn trigger; decisions never inspect the created automaton's state.
+    schema = coin_oblivious_schema(("spawn", "toss", "head", "tail", "acc"))
+    insight = accept_insight()
+    environments = [coin_observer()]
+    rows = []
+    holds = []
+    for delta in deltas:
+        child_biased = lambda d=delta: coin(("child", d), Fraction(1, 2) + d)
+        child_fair = lambda d=delta: coin(("child", d), Fraction(1, 2))
+        x_a = spawning_pca(child_biased, name=("XA", delta))
+        x_b = spawning_pca(child_fair, name=("XB", delta))
+        kw = dict(schema=schema, insight=insight, environments=environments, q1=4, q2=4)
+        d_child = implementation_distance(child_biased(), child_fair(), **kw)
+        d_pca = implementation_distance(x_a, x_b, **kw)
+        holds.append(d_pca <= d_child)
+        rows.append((str(delta), str(d_child), str(d_pca), d_pca <= d_child))
+    passed = all(holds)
+    table = render_table(
+        "E11: monotonicity w.r.t. creation (Section 4.4 / [7])",
+        ["bias d", "d(A, B)", "d(X_A, X_B)", "monotone"],
+        rows,
+        note="creation-oblivious (fixed-sequence) schedulers; X_A/X_B create A/B at run time",
+    )
+    return ExperimentReport(
+        "E11",
+        "A <= B implies X_A <= X_B under creation-oblivious scheduling",
+        table,
+        passed,
+        data={"rows": rows},
+    )

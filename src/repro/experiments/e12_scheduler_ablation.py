@@ -1,0 +1,87 @@
+"""E12 — scheduler-schema ablation (the Section 4.4 design choice).
+
+The paper tolerates a broader scheduler class than [4]'s task schedulers,
+arguing an *oblivious* schema is (a) sufficient for the correctness of the
+emulation candidates and (b) creation-oblivious, enabling monotonicity.
+This ablation measures, on the biased-vs-fair coin pair, the maximal
+distinguishing advantage found by three schemas of increasing power —
+singleton canonical, full oblivious enumeration, adaptive
+(priority-permutation) — together with their enumeration cost.
+
+The expected shape: every schema already finds the full bias (the
+advantage is scheduler-independent here), so the cheapest schema
+suffices — supporting the paper's choice of restricting to oblivious
+schedulers without weakening the emulation statements.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+from repro.analysis.distinguish import best_distinguisher
+from repro.analysis.report import render_table
+from repro.core.composition import compose
+from repro.experiments.common import ExperimentReport, coin_oblivious_schema
+from repro.semantics.insight import accept_insight
+from repro.semantics.schema import SchedulerSchema, adaptive_schema
+from repro.semantics.scheduler import ActionSequenceScheduler
+from repro.systems.coin import coin, coin_observer
+
+
+def _singleton():
+    def members(automaton, bound):
+        yield ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+
+    return SchedulerSchema("singleton", members)
+
+
+def run(*, fast: bool = True) -> ExperimentReport:
+    delta = Fraction(1, 4)
+    fair = coin("fair", Fraction(1, 2))
+    biased = coin("biased", Fraction(1, 2) + delta)
+    insight = accept_insight()
+    environments = [coin_observer()]
+    bound = 3
+
+    schemas = [
+        ("singleton", _singleton()),
+        ("oblivious", coin_oblivious_schema()),
+        ("adaptive", adaptive_schema()),
+    ]
+
+    rows = []
+    advantages = []
+    for name, schema in schemas:
+        member_count = sum(1 for _ in schema(compose(environments[0], fair), bound))
+        start = time.perf_counter()
+        result = best_distinguisher(
+            fair,
+            biased,
+            schema=schema,
+            insight=insight,
+            environments=environments,
+            bound=bound,
+        )
+        elapsed = time.perf_counter() - start
+        advantages.append(result.advantage)
+        rows.append((name, member_count, str(result.advantage), f"{elapsed*1000:.1f} ms"))
+
+    # Sufficiency: the cheap schemas find the same advantage as the adaptive one.
+    passed = len(set(advantages)) == 1 and advantages[0] == delta
+    table = render_table(
+        "E12: scheduler-schema ablation (Section 4.4)",
+        ["schema", "members", "max advantage", "search time"],
+        rows,
+        note=(
+            "all schemas find the full bias; the oblivious schema (creation-"
+            "oblivious, enumerable) is sufficient at a fraction of the cost"
+        ),
+    )
+    return ExperimentReport(
+        "E12",
+        "the oblivious schema finds the same advantage as richer schemas",
+        table,
+        passed,
+        data={"advantages": [str(a) for a in advantages]},
+    )

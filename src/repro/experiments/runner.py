@@ -1,0 +1,46 @@
+"""Run the full experiment suite and print every table.
+
+Usage::
+
+    python -m repro.experiments.runner            # all experiments, fast
+    python -m repro.experiments.runner E4 E9      # selected experiments
+    python -m repro.experiments.runner --full     # larger sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import ALL_EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--full", action="store_true", help="run the larger sweeps")
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or list(ALL_EXPERIMENTS)
+    failures = []
+    for experiment_id in selected:
+        if experiment_id not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {experiment_id!r}; known: {', '.join(ALL_EXPERIMENTS)}")
+            return 2
+        start = time.perf_counter()
+        report = run_experiment(experiment_id, fast=not args.full)
+        elapsed = time.perf_counter() - start
+        print(report)
+        print(f"   ({elapsed:.2f}s)\n")
+        if not report.passed:
+            failures.append(experiment_id)
+    if failures:
+        print(f"FAILED: {', '.join(failures)}")
+        return 1
+    print(f"all {len(selected)} experiments passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

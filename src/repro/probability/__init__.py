@@ -1,0 +1,60 @@
+"""Probability substrate for the dynamic secure-emulation framework.
+
+This package implements the measure-theoretic preliminaries of the paper
+(Section 2.1): discrete probability measures ``Disc(S)``, Dirac measures,
+product measures, supports, and the :math:`\\eta \\overset{f}{\\leftrightarrow}
+\\eta'` correspondence of Definition 2.15, plus the asymptotic machinery
+(polynomial and negligible functions) used by the bounded layer (Section 4).
+
+All measures are *discrete* and represented sparsely as ``outcome -> weight``
+mappings.  Weights may be exact (``int``/``fractions.Fraction``) or floating
+point; exactness is preserved whenever the inputs are exact, which lets the
+theorem-validation harness assert exact equalities (e.g. the ``epsilon = 0``
+conclusion of Lemma 4.29).
+"""
+
+from repro.probability.measures import (
+    DiscreteMeasure,
+    SubDiscreteMeasure,
+    dirac,
+    uniform,
+    bernoulli,
+    from_pairs,
+    product,
+    convex_combination,
+    pushforward,
+    total_variation,
+    measures_correspond,
+    correspondence_bijection,
+)
+from repro.probability.asymptotics import (
+    PolynomialBound,
+    fit_polynomial_envelope,
+    is_negligible_fit,
+    fit_negligible_envelope,
+    NegligibleFit,
+)
+from repro.probability.sampling import sample, sample_many, empirical_measure
+
+__all__ = [
+    "DiscreteMeasure",
+    "SubDiscreteMeasure",
+    "dirac",
+    "uniform",
+    "bernoulli",
+    "from_pairs",
+    "product",
+    "convex_combination",
+    "pushforward",
+    "total_variation",
+    "measures_correspond",
+    "correspondence_bijection",
+    "PolynomialBound",
+    "fit_polynomial_envelope",
+    "is_negligible_fit",
+    "fit_negligible_envelope",
+    "NegligibleFit",
+    "sample",
+    "sample_many",
+    "empirical_measure",
+]

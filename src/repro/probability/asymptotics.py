@@ -1,0 +1,164 @@
+"""Polynomial and negligible functions (paper Definition 4.12, ``neg,pt``).
+
+The implementation relation :math:`\\underline{A} \\le^{Sch,f}_{neg,pt}
+\\underline{B}` quantifies over *polynomial* resource bounds
+``p, q1, q2 : N -> N`` and a *negligible* error ``epsilon : N -> R``.
+Asymptotic properties cannot be decided from finitely many samples, so this
+module provides the finite-horizon analogue the experiment harness uses:
+
+* :func:`fit_polynomial_envelope` fits the smallest-degree monomial envelope
+  ``c * k^d`` dominating a sampled function and reports the fit quality;
+* :func:`fit_negligible_envelope` fits a geometric envelope ``c * r^k``
+  (``r < 1``) over the sampled error series and reports residuals, which is
+  the operational meaning of "negligible" over a finite horizon;
+* :func:`is_negligible_fit` is the boolean decision used by the checkers:
+  the series must be eventually dominated by ``c * r^k`` for some ``r < 1``.
+
+These are *diagnostics over finite families*, documented as a substitution in
+DESIGN.md section 5: the paper's theorems construct the asymptotic objects
+explicitly, and the harness verifies the construction pointwise for every
+sampled ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+__all__ = [
+    "PolynomialBound",
+    "NegligibleFit",
+    "fit_polynomial_envelope",
+    "fit_negligible_envelope",
+    "is_negligible_fit",
+    "evaluate_bound",
+]
+
+
+@dataclass(frozen=True)
+class PolynomialBound:
+    """An explicit monomial bound ``b(k) = coefficient * k**degree + offset``.
+
+    Used to express the resource bounds ``p, q1, q2`` of Definition 4.12 and
+    the ``p_3``-bounded descriptions of Theorem 4.15 concretely.
+    """
+
+    coefficient: float
+    degree: int
+    offset: float = 0.0
+
+    def __call__(self, k: int) -> float:
+        return self.coefficient * (k ** self.degree) + self.offset
+
+    def dominates(self, samples: Sequence[Tuple[int, float]]) -> bool:
+        """True when ``b(k) >= value`` for every sampled ``(k, value)``."""
+        return all(self(k) >= value for k, value in samples)
+
+    def compose_linear(self, factor: float, other: "PolynomialBound") -> "PolynomialBound":
+        """Envelope of ``factor * (self(k) + other(k))``.
+
+        This mirrors Lemma 4.3: composition of ``b1``- and ``b2``-bounded
+        automata is ``c_comp * (b1 + b2)``-bounded.  The result takes the max
+        degree and sums coefficients/offsets, then scales by ``factor``.
+        """
+        degree = max(self.degree, other.degree)
+        coefficient = factor * (self.coefficient + other.coefficient)
+        offset = factor * (self.offset + other.offset)
+        return PolynomialBound(coefficient, degree, offset)
+
+
+@dataclass(frozen=True)
+class NegligibleFit:
+    """Result of fitting a geometric envelope ``c * ratio**k`` to an error series."""
+
+    coefficient: float
+    ratio: float
+    max_residual: float
+    samples: Tuple[Tuple[int, float], ...]
+
+    @property
+    def negligible(self) -> bool:
+        """Negligible over the sampled horizon: decaying geometric envelope."""
+        return self.ratio < 1.0 and self.max_residual <= 1e-9
+
+    def __call__(self, k: int) -> float:
+        return self.coefficient * (self.ratio ** k)
+
+
+def fit_polynomial_envelope(
+    samples: Sequence[Tuple[int, float]],
+    *,
+    max_degree: int = 6,
+) -> PolynomialBound:
+    """Smallest-degree monomial envelope ``c * k^d`` dominating the samples.
+
+    The degree is chosen as the smallest ``d <= max_degree`` for which the
+    implied coefficients ``value / k^d`` stop growing with ``k`` (within 5%),
+    i.e. the data is genuinely ``O(k^d)``; the coefficient is the max implied
+    coefficient so the envelope dominates every sample exactly.
+    """
+    cleaned = [(k, v) for k, v in samples if k >= 1]
+    if not cleaned:
+        raise ValueError("no samples with k >= 1")
+    for degree in range(max_degree + 1):
+        implied = [(k, v / (k ** degree)) for k, v in cleaned]
+        implied.sort()
+        coefficients = [c for _, c in implied]
+        half = len(coefficients) // 2 or 1
+        early = max(coefficients[:half])
+        late = max(coefficients[half:]) if coefficients[half:] else early
+        if late <= early * 1.05 + 1e-12:
+            return PolynomialBound(max(coefficients), degree)
+    return PolynomialBound(max(v / (k ** max_degree) for k, v in cleaned), max_degree)
+
+
+def fit_negligible_envelope(samples: Sequence[Tuple[int, float]]) -> NegligibleFit:
+    """Fit ``c * r^k`` dominating the sampled error series exactly.
+
+    The ratio is estimated by least squares on ``log`` of the non-zero
+    values; the coefficient is then raised so that the envelope dominates
+    every sample (max residual 0 by construction, reported for transparency).
+    A series that is identically zero fits ``0 * 0^k``.
+    """
+    cleaned = sorted((int(k), float(v)) for k, v in samples)
+    if not cleaned:
+        raise ValueError("empty error series")
+    if any(v < 0 for _, v in cleaned):
+        raise ValueError("negative error values")
+    nonzero = [(k, v) for k, v in cleaned if v > 0]
+    if not nonzero:
+        return NegligibleFit(0.0, 0.0, 0.0, tuple(cleaned))
+    if len(nonzero) == 1:
+        k0, v0 = nonzero[0]
+        return NegligibleFit(v0 * 2.0 ** k0, 0.5, 0.0, tuple(cleaned))
+    xs = [k for k, _ in nonzero]
+    ys = [math.log(v) for _, v in nonzero]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denom = sum((x - mean_x) ** 2 for x in xs)
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denom if denom else 0.0
+    ratio = math.exp(slope)
+    # Raise the coefficient until the envelope dominates every sample.
+    coefficient = max(v / (ratio ** k) for k, v in nonzero) if ratio > 0 else nonzero[-1][1]
+    residual = max(max(0.0, v - coefficient * ratio ** k) for k, v in cleaned)
+    return NegligibleFit(coefficient, ratio, residual, tuple(cleaned))
+
+
+def is_negligible_fit(samples: Sequence[Tuple[int, float]], *, ratio_threshold: float = 0.95) -> bool:
+    """Decide negligibility over the sampled horizon.
+
+    True when the fitted geometric envelope decays (``ratio < ratio_threshold``)
+    or the series is identically zero.  ``ratio_threshold`` slightly below 1
+    guards against flat series masquerading as decaying through noise.
+    """
+    fit = fit_negligible_envelope(samples)
+    if all(v == 0 for _, v in fit.samples):
+        return True
+    return fit.ratio < ratio_threshold
+
+
+def evaluate_bound(bound: Callable[[int], float], ks: Sequence[int]) -> Tuple[Tuple[int, float], ...]:
+    """Tabulate a bound over indices — convenience for reports."""
+    return tuple((k, float(bound(k))) for k in ks)

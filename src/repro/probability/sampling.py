@@ -1,0 +1,74 @@
+"""Seeded sampling from discrete measures.
+
+The framework computes execution measures *exactly* (``repro.semantics.measure``);
+sampling is used by the Monte-Carlo cross-validation layer
+(``repro.analysis.montecarlo``) and by the randomized workload generators.
+All randomness flows through an explicit ``numpy.random.Generator`` so every
+experiment is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Sequence
+
+import numpy as np
+
+from repro.probability.measures import DiscreteMeasure
+
+__all__ = ["sample", "sample_many", "empirical_measure", "generator"]
+
+
+def generator(seed: int) -> np.random.Generator:
+    """A seeded PCG64 generator (single entry point for reproducibility)."""
+    return np.random.default_rng(seed)
+
+
+def sample(eta: DiscreteMeasure, rng: np.random.Generator) -> Hashable:
+    """Draw one outcome from ``eta``.
+
+    For sub-probability measures the deficiency is exposed as the outcome
+    ``None`` — callers that model scheduler halting rely on this convention
+    (a scheduler decision of mass < 1 halts with the residual probability,
+    Definition 3.1).
+    """
+    outcomes: List[Hashable] = []
+    weights: List[float] = []
+    for outcome, weight in eta.items():
+        outcomes.append(outcome)
+        weights.append(float(weight))
+    deficiency = float(eta.halting_mass)
+    if deficiency > 1e-12:
+        outcomes.append(None)
+        weights.append(deficiency)
+    total = sum(weights)
+    probabilities = np.asarray(weights, dtype=np.float64) / total
+    index = rng.choice(len(outcomes), p=probabilities)
+    return outcomes[index]
+
+
+def sample_many(eta: DiscreteMeasure, count: int, rng: np.random.Generator) -> List[Hashable]:
+    """Draw ``count`` i.i.d. outcomes (vectorized over the support)."""
+    outcomes: List[Hashable] = []
+    weights: List[float] = []
+    for outcome, weight in eta.items():
+        outcomes.append(outcome)
+        weights.append(float(weight))
+    deficiency = float(eta.halting_mass)
+    if deficiency > 1e-12:
+        outcomes.append(None)
+        weights.append(deficiency)
+    probabilities = np.asarray(weights, dtype=np.float64)
+    probabilities = probabilities / probabilities.sum()
+    indices = rng.choice(len(outcomes), size=count, p=probabilities)
+    return [outcomes[i] for i in indices]
+
+
+def empirical_measure(samples: Sequence[Hashable]) -> DiscreteMeasure:
+    """Empirical distribution of a sample batch (float weights)."""
+    if not samples:
+        raise ValueError("empty sample batch")
+    counts: Dict[Hashable, int] = {}
+    for item in samples:
+        counts[item] = counts.get(item, 0) + 1
+    n = len(samples)
+    return DiscreteMeasure({o: c / n for o, c in counts.items()})

@@ -1,0 +1,91 @@
+"""The simulation-based security layer (paper Sections 4.6–4.9).
+
+This package is the paper's primary contribution realized in code:
+
+* the approximate implementation relation
+  :math:`\\le^{Sch,f}_{p,q_1,q_2,\\epsilon}` and its ``neg,pt`` family form
+  (Definition 4.12), with the composability and transitivity machinery of
+  Lemmas 4.13–4.14 and Theorems 4.15–4.16;
+* structured PSIOA/PCA with the environment/adversary action split
+  ``EAct`` / ``AAct`` (Definitions 4.17–4.23);
+* adversaries for structured automata (Definition 4.24, Lemma 4.25);
+* the dummy adversary, the ``Forward^e`` / ``Forward^s`` constructions and
+  brave pairs (Definitions 4.27–4.28, Lemma 4.29);
+* dynamic secure emulation ``<=_SE`` and its composability
+  (Definition 4.26, Theorem 4.30), including the constructive simulator
+  composition ``Sim = hide(DSim || g(Adv), g(AAct))`` from the proof.
+"""
+
+from repro.secure.structured import (
+    StructuredPSIOA,
+    structure,
+    compose_structured,
+    hide_structured,
+    structured_compatible,
+    StructuredPCA,
+    structure_pca,
+    compose_structured_pca,
+)
+from repro.secure.adversary import is_adversary, adversary_violations, restrict_adversary_check
+from repro.secure.dummy import (
+    DummyAdversary,
+    dummy_adversary,
+    adversary_rename,
+    apply_adversary_rename,
+    hide_adversary_actions,
+    ForwardScheduler,
+    forward_execution,
+)
+from repro.secure.implementation import (
+    ImplementationResult,
+    implements,
+    implementation_distance,
+    family_implementation_profile,
+    neg_pt_implements,
+)
+from repro.secure.disambiguation import (
+    disambiguate,
+    RenamedScheduler,
+    isomorphism_check,
+)
+from repro.secure.emulation import (
+    EmulationInstance,
+    secure_emulates,
+    emulation_distance_profile,
+    composed_simulator,
+    compose_emulation_instances,
+)
+
+__all__ = [
+    "StructuredPSIOA",
+    "structure",
+    "compose_structured",
+    "hide_structured",
+    "structured_compatible",
+    "StructuredPCA",
+    "structure_pca",
+    "compose_structured_pca",
+    "is_adversary",
+    "adversary_violations",
+    "restrict_adversary_check",
+    "DummyAdversary",
+    "dummy_adversary",
+    "adversary_rename",
+    "apply_adversary_rename",
+    "hide_adversary_actions",
+    "ForwardScheduler",
+    "forward_execution",
+    "ImplementationResult",
+    "implements",
+    "implementation_distance",
+    "family_implementation_profile",
+    "neg_pt_implements",
+    "disambiguate",
+    "RenamedScheduler",
+    "isomorphism_check",
+    "EmulationInstance",
+    "secure_emulates",
+    "emulation_distance_profile",
+    "composed_simulator",
+    "compose_emulation_instances",
+]

@@ -1,0 +1,93 @@
+"""Adversaries for structured automata (paper Definition 4.24, Lemma 4.25).
+
+An adversary ``Adv`` for a structured PSIOA/PCA ``(A, EAct_A)`` is a PSIOA
+that is partially compatible with ``A`` and, at every reachable joint
+state,
+
+* covers the adversary inputs of ``A`` with its outputs
+  (``AI_A(q_A) subseteq out(Adv)(q_Adv)`` — the adversary drives ``A``'s
+  adversary-facing inputs), and
+* never touches environment actions
+  (``EAct_A(q_A) & sig-hat(Adv)(q_Adv) = emptyset``).
+
+Lemma 4.25 (an adversary for ``A || B`` is an adversary for ``A``) is
+checked empirically by :func:`restrict_adversary_check`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+from repro.core.composition import compose
+from repro.core.psioa import PSIOA, PsioaError, reachable_states
+from repro.secure.structured import StructuredPSIOA, compose_structured
+
+__all__ = ["adversary_violations", "is_adversary", "restrict_adversary_check"]
+
+State = Hashable
+
+
+def adversary_violations(
+    adversary: PSIOA,
+    structured: StructuredPSIOA,
+    *,
+    max_states: int = 50_000,
+) -> List[str]:
+    """All violations of Definition 4.24 over the reachable joint states.
+
+    Returns an empty list when ``adversary`` is an adversary for
+    ``structured``; each entry is a human-readable witness otherwise.
+    """
+    violations: List[str] = []
+    try:
+        product = compose(structured, adversary)
+        states: List[Tuple[State, State]] = reachable_states(product, max_states=max_states)
+    except PsioaError as exc:
+        return [f"not partially compatible: {exc}"]
+
+    for q_a, q_adv in states:
+        adv_sig = adversary.signature(q_adv)
+        uncovered = structured.ai(q_a) - adv_sig.outputs
+        if uncovered:
+            violations.append(
+                f"AI_A({q_a!r}) not covered by out(Adv)({q_adv!r}): "
+                f"{sorted(map(repr, uncovered))}"
+            )
+        touched = structured.eact(q_a) & adv_sig.all_actions
+        if touched:
+            violations.append(
+                f"Adv touches environment actions at ({q_a!r}, {q_adv!r}): "
+                f"{sorted(map(repr, touched))}"
+            )
+    return violations
+
+
+def is_adversary(
+    adversary: PSIOA,
+    structured: StructuredPSIOA,
+    *,
+    max_states: int = 50_000,
+) -> bool:
+    """Definition 4.24 as a predicate."""
+    return not adversary_violations(adversary, structured, max_states=max_states)
+
+
+def restrict_adversary_check(
+    adversary: PSIOA,
+    first: StructuredPSIOA,
+    second: StructuredPSIOA,
+    *,
+    max_states: int = 50_000,
+) -> bool:
+    """Lemma 4.25: if ``Adv`` is an adversary for ``A || B`` then it is an
+    adversary for ``A``.
+
+    Returns True when the implication holds on the given instance (i.e.
+    either the premise fails or both premise and conclusion hold).
+    """
+    premise = is_adversary(
+        adversary, compose_structured(first, second), max_states=max_states
+    )
+    if not premise:
+        return True
+    return is_adversary(adversary, first, max_states=max_states)

@@ -1,0 +1,192 @@
+"""The renaming construction of Theorem B.4, Case 2.
+
+Transitivity ``A1 <= A2 and A2 <= A3 => A1 <= A3`` quantifies over
+environments of ``A1`` and ``A3``; an environment ``E`` of both need not be
+an environment of the middle automaton ``A2`` (its outputs or internals may
+clash).  The proof repairs this with a renaming:
+
+* ``ar_int`` tags every internal action of ``E`` (``a -> a_Rint``), so no
+  internal of ``E`` meets ``A2``'s signature;
+* ``ar_out`` tags every output of ``E`` (``a -> a_Rout``) *and* the
+  matching inputs of each ``A_i``, preserving the wiring while freeing the
+  output names ``A2`` uses.
+
+The renamed systems ``E'' || A_i''`` are isomorphic to ``E || A_i`` — same
+state spaces, bijectively renamed steps — so perception distances are
+unchanged, and ``E''`` is now an environment of all three automata.  The
+module provides the construction plus the scheduler and insight-value
+transport along the isomorphism, and :func:`isomorphism_check` verifying
+the f-dist preservation on concrete instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.psioa import PSIOA, reachable_states
+from repro.core.renaming import StateActionRenaming, rename_psioa
+from repro.core.signature import Action
+from repro.probability.measures import SubDiscreteMeasure, total_variation
+from repro.semantics.scheduler import Scheduler
+
+__all__ = [
+    "disambiguate",
+    "RenamedScheduler",
+    "isomorphism_check",
+    "RINT",
+    "ROUT",
+]
+
+#: The special tags of Theorem B.4's proof (the circled-R markers).
+RINT = "Rint"
+ROUT = "Rout"
+
+State = Hashable
+
+
+def _tag(action: Action, tag: str) -> Action:
+    return (tag, action)
+
+
+def disambiguate(
+    env: PSIOA,
+    automata: Sequence[PSIOA],
+    *,
+    max_states: int = 10_000,
+) -> Tuple[PSIOA, List[PSIOA], Dict[Action, Action]]:
+    """Apply the Theorem B.4 renaming.
+
+    Returns ``(env'', [A_i''], external_map)`` where ``external_map`` sends
+    each original external action of ``E`` to its renamed form (identity on
+    non-outputs) — the dictionary callers use to transport schedulers and
+    insight values across the isomorphism.
+    """
+    # ar_int: tag the environment's internals, state-dependently.
+    def env_rename(state: State, action: Action) -> Action:
+        signature = env.signature(state)
+        if action in signature.internals:
+            return _tag(action, RINT)
+        if action in signature.outputs:
+            return _tag(action, ROUT)
+        return action
+
+    renamed_env = rename_psioa(
+        env, StateActionRenaming(env_rename), name=("disamb", env.name)
+    )
+
+    # The global output set of E determines which inputs of the A_i move.
+    env_outputs: set = set()
+    for state in reachable_states(env, max_states=max_states):
+        env_outputs |= env.signature(state).outputs
+
+    def automaton_rename(automaton: PSIOA):
+        def rename(state: State, action: Action) -> Action:
+            if action in automaton.signature(state).inputs and action in env_outputs:
+                return _tag(action, ROUT)
+            return action
+
+        return rename_psioa(
+            automaton,
+            StateActionRenaming(rename),
+            name=("disamb", automaton.name),
+        )
+
+    renamed = [automaton_rename(a) for a in automata]
+
+    external_map: Dict[Action, Action] = {}
+    for state in reachable_states(env, max_states=max_states):
+        signature = env.signature(state)
+        for action in signature.outputs:
+            external_map[action] = _tag(action, ROUT)
+        for action in signature.inputs:
+            external_map.setdefault(action, action)
+    return renamed_env, renamed, external_map
+
+
+class RenamedScheduler(Scheduler):
+    """Transport a scheduler along an action renaming.
+
+    Given a scheduler of ``E || A`` and the action map of the isomorphism,
+    produces the scheduler of ``E'' || A''`` that fires the renamed action
+    whenever the original fired the original action.  States are untouched
+    (renaming preserves state spaces), so fragments translate by renaming
+    actions only.
+    """
+
+    def __init__(
+        self,
+        base: Scheduler,
+        original_world: PSIOA,
+        action_map: Dict[Action, Action],
+        *,
+        name: Hashable = None,
+    ) -> None:
+        self.base = base
+        self.original_world = original_world
+        self.forward = dict(action_map)
+        self.backward = {v: k for k, v in self.forward.items()}
+        self.name = name if name is not None else ("renamed", getattr(base, "name", None))
+
+    def decide(self, automaton: PSIOA, fragment) -> SubDiscreteMeasure:
+        from repro.core.executions import Fragment
+
+        original_actions = tuple(
+            self.backward.get(action, action) for action in fragment.actions
+        )
+        original_fragment = Fragment(fragment.states, original_actions)
+        decision = self.base.decide(self.original_world, original_fragment)
+        return SubDiscreteMeasure(
+            {self.forward.get(a, a): w for a, w in decision.items()}
+        )
+
+    def step_bound(self) -> Optional[int]:
+        return self.base.step_bound()
+
+
+def isomorphism_check(
+    env: PSIOA,
+    automaton: PSIOA,
+    scheduler: Scheduler,
+    insight,
+    *,
+    max_states: int = 10_000,
+) -> bool:
+    """Verify on a concrete instance that disambiguation preserves the
+    environment's perception: the f-dists of ``E || A`` under ``sigma`` and
+    of ``E'' || A''`` under the transported scheduler coincide after
+    translating insight values back through the action map."""
+    from repro.core.composition import compose
+    from repro.semantics.measure import execution_measure
+
+    renamed_env, (renamed_automaton,), action_map = disambiguate(
+        env, [automaton], max_states=max_states
+    )
+    world = compose(env, automaton)
+    renamed_world = compose(renamed_env, renamed_automaton)
+    transported = RenamedScheduler(scheduler, world, action_map)
+
+    original = execution_measure(world, scheduler).map(
+        lambda e: insight(env, world, e)
+    )
+
+    # Translate renamed executions back through the isomorphism (states are
+    # shared, actions rename bijectively), then apply the *original* insight
+    # in the original world — the precise sense in which perception is
+    # preserved.
+    def untag(action):
+        if isinstance(action, tuple) and len(action) == 2 and action[0] in (RINT, ROUT):
+            return action[1]
+        return action
+
+    def translate_execution(execution):
+        from repro.core.executions import Fragment
+
+        return Fragment(
+            execution.states,
+            tuple(untag(a) for a in execution.actions),
+        )
+
+    renamed = execution_measure(renamed_world, transported).map(
+        lambda e: insight(env, world, translate_execution(e))
+    )
+    return total_variation(original, renamed) == 0

@@ -1,0 +1,385 @@
+"""The dummy adversary and the Forward constructions
+(paper Definitions 4.27–4.28, Lemma 4.29 / D.1).
+
+The dummy adversary ``Dummy(A, g)`` is a one-variable forwarder sitting
+between a structured automaton ``A`` and a "real" adversary ``Adv`` that
+speaks the renamed alphabet ``g(AAct_A)``:
+
+* when ``A`` emits an adversary output ``a``, the dummy latches it
+  (``pending := a``) and then re-emits ``g(a)`` toward ``Adv``;
+* when ``Adv`` emits ``g(a)`` for an adversary input ``a`` of ``A``, the
+  dummy latches ``g(a)`` and then re-emits ``a`` toward ``A``.
+
+Lemma 4.29 states that inserting the dummy is invisible:
+``g(A) || Adv  <=_{neg,pt}  hide(A || Dummy(A,g), AAct_A) || Adv``
+with error exactly 0 and scheduler bound ``q2 = 2*q1``.  The proof builds
+
+* ``Forward^e`` — the bijection between executions of the two worlds that
+  expands each forwarded action into its two-step version
+  (:func:`forward_execution`), and
+* ``Forward^s`` — the scheduler transformation that mimics a scheduler of
+  the renamed world inside the dummy world (:class:`ForwardScheduler`):
+  after an initiation step it deterministically fires the pending forward;
+  otherwise it collapses the fragment back (:func:`collapse_execution`)
+  and consults the original scheduler.
+
+Both constructions are implemented verbatim and are exercised by
+experiment E9, which checks the f-dist equality *exactly* (rational
+arithmetic, epsilon = 0).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.core.composition import ComposedPSIOA, compose
+from repro.core.executions import Fragment
+from repro.core.psioa import PSIOA, PsioaError
+from repro.core.renaming import rename_psioa
+from repro.core.signature import Action, Signature
+from repro.probability.measures import SubDiscreteMeasure, dirac
+from repro.secure.structured import StructuredPSIOA
+from repro.semantics.scheduler import Scheduler
+
+__all__ = [
+    "adversary_rename",
+    "apply_adversary_rename",
+    "DummyAdversary",
+    "dummy_adversary",
+    "hide_adversary_actions",
+    "ForwardScheduler",
+    "forward_execution",
+    "collapse_execution",
+    "build_dummy_worlds",
+]
+
+State = Hashable
+
+#: Default freshness tag of the adversary renaming ``g``.
+G_TAG = "g"
+
+
+def adversary_rename(structured: StructuredPSIOA, tag: str = G_TAG) -> Dict[Action, Action]:
+    """The bijection ``g`` from ``AAct_A`` to fresh names (Section 4.9).
+
+    Fresh names are structural wrappers ``(tag, a)``; injectivity is by
+    construction and freshness holds as long as the system does not already
+    use the wrapper shape.
+    """
+    return {a: (tag, a) for a in sorted(structured.global_aact(), key=repr)}
+
+
+def apply_adversary_rename(
+    structured: StructuredPSIOA,
+    g: Dict[Action, Action],
+    *,
+    name: Optional[Hashable] = None,
+) -> StructuredPSIOA:
+    """``g(A)``: rename the adversary actions, keep the environment actions.
+
+    The result is again structured, with the same ``EAct`` (environment
+    actions are untouched by ``g``).
+    """
+    renamed = rename_psioa(
+        structured.base if isinstance(structured, StructuredPSIOA) else structured,
+        lambda a: g.get(a, a),
+        name=name if name is not None else ("g", structured.name),
+    )
+    return StructuredPSIOA(renamed, structured.eact, name=renamed.name)
+
+
+class DummyAdversary(PSIOA):
+    """``Dummy(A, g)`` (Definition 4.27).
+
+    States are ``("pend", x)`` with
+    ``x in AO_A | g(AI_A) | {None}`` (the paper's ``q.pending`` with
+    ``None`` for bottom):
+
+    * inputs (constant): ``AO_A | g(AI_A)``;
+    * outputs: ``{g(a)}`` when ``pending = a in AO_A``, ``{a}`` when
+      ``pending = g(a) in g(AI_A)``, empty when ``pending = None``;
+    * transitions: inputs latch (``pending := a``), outputs clear
+      (``pending := None``).
+    """
+
+    __slots__ = ("target", "g", "ao", "ai", "g_of_ai", "_inputs")
+
+    def __init__(self, target: StructuredPSIOA, g: Dict[Action, Action], *, name=None) -> None:
+        self.target = target
+        self.g = dict(g)
+        self.ao = frozenset(target.global_ao())
+        self.ai = frozenset(target.global_ai())
+        missing = (self.ao | self.ai) - set(self.g)
+        if missing:
+            raise PsioaError(f"renaming g does not cover AAct: {sorted(map(repr, missing))}")
+        if self.ao & self.ai:
+            raise PsioaError(
+                "dummy adversary requires globally disjoint adversary inputs and outputs; "
+                f"overlap: {sorted(map(repr, self.ao & self.ai))}"
+            )
+        self.g_of_ai = frozenset(self.g[a] for a in self.ai)
+        self._inputs = self.ao | self.g_of_ai
+        super().__init__(
+            name if name is not None else ("dummy", target.name),
+            ("pend", None),
+            self._dummy_signature,
+            self._dummy_transition,
+        )
+
+    def _dummy_signature(self, state: State) -> Signature:
+        pending = state[1]
+        if pending is None:
+            outputs: frozenset = frozenset()
+        elif pending in self.ao:
+            outputs = frozenset({self.g[pending]})
+        elif pending in self.g_of_ai:
+            # pending = g(a): forward the original action a toward A.
+            (original,) = [a for a in self.ai if self.g[a] == pending]
+            outputs = frozenset({original})
+        else:  # pragma: no cover - unreachable by construction
+            raise PsioaError(f"corrupt dummy state {state!r}")
+        return Signature(inputs=self._inputs - outputs, outputs=outputs)
+
+    def _dummy_transition(self, state: State, action: Action):
+        signature = self._dummy_signature(state)
+        if action in signature.outputs:
+            return dirac(("pend", None))
+        if action in signature.inputs:
+            return dirac(("pend", action))
+        raise PsioaError(f"action {action!r} not enabled at dummy state {state!r}")
+
+    def forward_action(self, pending: Action) -> Action:
+        """The output the dummy emits while ``pending`` is latched."""
+        if pending in self.ao:
+            return self.g[pending]
+        (original,) = [a for a in self.ai if self.g[a] == pending]
+        return original
+
+    def origin_action(self, latched: Action) -> Action:
+        """``origin`` from the proof of Lemma D.1: the Φ-world action that a
+        latched value corresponds to — ``g(a)`` in both directions."""
+        if latched in self.ao:
+            return self.g[latched]
+        return latched  # already a g-name (Adv-initiated forward)
+
+
+def dummy_adversary(
+    structured: StructuredPSIOA,
+    g: Optional[Dict[Action, Action]] = None,
+) -> Tuple[DummyAdversary, Dict[Action, Action]]:
+    """Build ``Dummy(A, g)``, deriving ``g`` when not supplied."""
+    if g is None:
+        g = adversary_rename(structured)
+    return DummyAdversary(structured, g), g
+
+
+def hide_adversary_actions(
+    automaton: PSIOA,
+    aact: frozenset,
+    *,
+    name: Optional[Hashable] = None,
+) -> PSIOA:
+    """``hide(., AAct_A)``: hide the (original-named) adversary actions.
+
+    Hiding applies to outputs only (Definition 2.6); in ``A || Dummy`` every
+    adversary action is an output of one of the two sides, so the whole
+    adversary traffic becomes internal.
+    """
+    from repro.core.renaming import hide_psioa
+
+    return hide_psioa(
+        automaton,
+        lambda q: aact & automaton.signature(q).outputs,
+        name=name,
+    )
+
+
+# -- world construction ---------------------------------------------------------------
+
+
+def build_dummy_worlds(
+    env: PSIOA,
+    structured: StructuredPSIOA,
+    adversary: PSIOA,
+    g: Optional[Dict[Action, Action]] = None,
+):
+    """Construct the two worlds of Lemma 4.29 around one environment.
+
+    Returns ``(phi, psi, dummy, g)`` where
+
+    * ``phi = E || g(A) || Adv`` — the renamed (dummy-free) world,
+    * ``psi = E || hide(A || Dummy, AAct_A) || Adv`` — the dummy world,
+
+    both flat three-component compositions with the environment at index 0
+    and the system at index 1 (in ``psi`` the system component's state is
+    the pair ``(q_A, q_D)``).
+    """
+    if g is None:
+        g = adversary_rename(structured)
+    dummy = DummyAdversary(structured, g)
+    g_a = apply_adversary_rename(structured, g)
+    hidden = hide_adversary_actions(
+        compose(structured, dummy, name=("A||D", structured.name)),
+        frozenset(structured.global_aact()),
+        name=("H", structured.name),
+    )
+    phi = compose(env, g_a, adversary, name=("phi", structured.name))
+    psi = compose(env, hidden, adversary, name=("psi", structured.name))
+    return phi, psi, dummy, g
+
+
+# -- Forward^e: execution correspondence -----------------------------------------------
+
+
+def forward_execution(
+    execution: Fragment,
+    dummy: DummyAdversary,
+) -> Fragment:
+    """``Forward^e_(A,g,Adv)``: the unique Ψ-execution corresponding to a
+    Φ-execution (proof of Lemma D.1).
+
+    Each Φ-step via ``g(a)``:
+
+    * ``a in AO_A`` — expands to ``a`` (A's hidden output latches the dummy)
+      then ``g(a)`` (the dummy releases toward ``Adv``);
+    * ``a in AI_A`` — expands to ``g(a)`` (Adv latches the dummy) then ``a``
+      (the dummy releases toward ``A``);
+
+    every other step maps one-to-one.  Φ-states ``(q_E, q_A, q_Adv)``
+    embed as ``(q_E, (q_A, ("pend", None)), q_Adv)``.
+    """
+    g_inverse = {image: original for original, image in dummy.g.items()}
+    idle = ("pend", None)
+
+    def embed(state, pending=None):
+        q_e, q_a, q_adv = state
+        return (q_e, (q_a, ("pend", pending)), q_adv)
+
+    states = [embed(execution.states[0])]
+    actions = []
+    for (source, action, target) in execution.steps():
+        original = g_inverse.get(action)
+        if original is not None and original in dummy.ao:
+            # A-output forward: A moves first (hidden), Adv moves second.
+            s_e, s_a, s_adv = source
+            t_e, t_a, t_adv = target
+            mid = (t_e if False else s_e, (t_a, ("pend", original)), s_adv)
+            actions.append(original)
+            states.append(mid)
+            actions.append(action)
+            states.append(embed(target))
+        elif original is not None and original in dummy.ai:
+            # Adv-output forward: Adv moves first, A moves second.
+            s_e, s_a, s_adv = source
+            t_e, t_a, t_adv = target
+            mid = (s_e, (s_a, ("pend", action)), t_adv)
+            actions.append(action)
+            states.append(mid)
+            actions.append(original)
+            states.append(embed(target))
+        else:
+            actions.append(action)
+            states.append(embed(target))
+    return Fragment(tuple(states), tuple(actions))
+
+
+def collapse_execution(
+    execution: Fragment,
+    dummy: DummyAdversary,
+) -> Optional[Fragment]:
+    """The inverse of :func:`forward_execution` on complete fragments.
+
+    Collapses each (initiation, completion) forward pair of a Ψ-fragment
+    into the single corresponding Φ-step.  Returns ``None`` when the
+    fragment ends mid-forward (the dummy is still latched) — such
+    fragments correspond to no Φ-fragment and the forward scheduler
+    handles them separately.
+    """
+
+    def project(state):
+        q_e, (q_a, _q_d), q_adv = state
+        return (q_e, q_a, q_adv)
+
+    def pending_of(state):
+        return state[1][1][1]
+
+    states = [project(execution.states[0])]
+    actions = []
+    if pending_of(execution.states[0]) is not None:
+        return None
+    steps = list(execution.steps())
+    i = 0
+    while i < len(steps):
+        source, action, target = steps[i]
+        if pending_of(target) is not None:
+            # Initiation step: must be completed by the next step.
+            if i + 1 >= len(steps):
+                return None
+            _mid, completion_action, final = steps[i + 1]
+            if pending_of(final) is not None:
+                return None
+            latched = pending_of(target)
+            actions.append(dummy.origin_action(latched))
+            states.append(project(final))
+            i += 2
+        else:
+            actions.append(action)
+            states.append(project(target))
+            i += 1
+    return Fragment(tuple(states), tuple(actions))
+
+
+# -- Forward^s: scheduler transformation ---------------------------------------------------
+
+
+class ForwardScheduler(Scheduler):
+    """``Forward^s_(A,g,Adv)(sigma)`` (proof of Lemma D.1).
+
+    A scheduler for the Ψ-world that mimics ``sigma`` (a scheduler of the
+    Φ-world):
+
+    * on a fragment whose dummy is latched, it deterministically fires the
+      pending forward action;
+    * otherwise it collapses the fragment to its Φ-counterpart, consults
+      ``sigma``, and translates the decision: a Φ-action ``g(a)`` with
+      ``a in AO_A`` becomes the initiating action ``a`` (A's hidden
+      output); everything else is fired verbatim.
+
+    The step bound doubles (``q2 = 2*q1``): every Φ-step expands to at most
+    two Ψ-steps.
+    """
+
+    def __init__(
+        self,
+        base: Scheduler,
+        phi_world: ComposedPSIOA,
+        dummy: DummyAdversary,
+        *,
+        name: Hashable = None,
+    ) -> None:
+        self.base = base
+        self.phi_world = phi_world
+        self.dummy = dummy
+        self._g_inverse = {image: original for original, image in dummy.g.items()}
+        self.name = name if name is not None else ("forward", getattr(base, "name", None))
+
+    def decide(self, automaton: PSIOA, fragment: Fragment) -> SubDiscreteMeasure:
+        pending = fragment.lstate[1][1][1]
+        if pending is not None:
+            return SubDiscreteMeasure({self.dummy.forward_action(pending): 1})
+        collapsed = collapse_execution(fragment, self.dummy)
+        if collapsed is None:  # pragma: no cover - unreachable under own scheduling
+            return SubDiscreteMeasure.halt()
+        decision = self.base.decide(self.phi_world, collapsed)
+        translated = {}
+        for action, weight in decision.items():
+            original = self._g_inverse.get(action)
+            if original is not None and original in self.dummy.ao:
+                translated[original] = translated.get(original, 0) + weight
+            else:
+                translated[action] = translated.get(action, 0) + weight
+        return SubDiscreteMeasure(translated)
+
+    def step_bound(self) -> Optional[int]:
+        base_bound = self.base.step_bound()
+        return None if base_bound is None else 2 * base_bound

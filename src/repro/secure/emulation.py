@@ -1,0 +1,213 @@
+"""Dynamic secure emulation (paper Definition 4.26, Theorem 4.30 / D.2).
+
+``A <=_SE B`` holds when for every polynomially-bounded adversary family
+``Adv`` for ``A`` there is a polynomially-bounded adversary family ``Sim``
+(the *simulator*) for ``B`` with
+
+``hide(A || Adv, AAct_A)  <=_{neg,pt}  hide(B || Sim, AAct_B)``.
+
+The checker is constructive, as in the paper's positive results: an
+:class:`EmulationInstance` packages the real/ideal families together with a
+``simulator_for`` map, and :func:`secure_emulates` verifies the
+implementation relation of the hidden compositions over a finite horizon.
+
+Theorem 4.30's composability proof is implemented literally:
+
+* per-component renamings ``g^i`` are merged into ``g`` for the composite,
+* the composed dummy ``Dum = Dummy(A^1,g^1) || ... || Dummy(A^b,g^b)``,
+* per-component dummy simulators ``DSim^i`` (from
+  ``A^i <=_SE B^i`` applied to the dummy adversary) compose into
+  ``DSim``, and
+* the simulator for an arbitrary adversary ``Adv`` of the composite is
+  ``Sim = hide(DSim || g(Adv), g(AAct_A))``
+  (:func:`composed_simulator`), whose correctness experiment E10 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.composition import compose
+from repro.core.psioa import PSIOA
+from repro.core.renaming import rename_psioa
+from repro.secure.dummy import hide_adversary_actions
+from repro.secure.implementation import (
+    family_implementation_profile,
+    neg_pt_implements,
+)
+from repro.secure.structured import StructuredPSIOA, compose_structured
+from repro.semantics.insight import InsightFunction
+from repro.semantics.schema import SchedulerSchema
+from repro.bounded.families import PSIOAFamily
+
+__all__ = [
+    "EmulationInstance",
+    "hidden_world",
+    "secure_emulates",
+    "emulation_distance_profile",
+    "composed_simulator",
+    "compose_emulation_instances",
+]
+
+
+def hidden_world(structured: StructuredPSIOA, adversary: PSIOA) -> PSIOA:
+    """``hide(A || Adv, AAct_A)`` — the world an environment interacts with."""
+    world = compose(structured, adversary, name=("world", structured.name, adversary.name))
+    return hide_adversary_actions(world, frozenset(structured.global_aact()))
+
+
+@dataclass
+class EmulationInstance:
+    """A concrete secure-emulation claim ``real <=_SE ideal``.
+
+    ``real`` and ``ideal`` are families of *structured* automata;
+    ``simulator_for(k, adv)`` builds the simulator member ``Sim_k`` matching
+    an adversary member ``Adv_k`` (the existential of Definition 4.26,
+    resolved constructively).
+    """
+
+    name: str
+    real: PSIOAFamily
+    ideal: PSIOAFamily
+    simulator_for: Callable[[int, PSIOA], PSIOA]
+
+
+def emulation_distance_profile(
+    instance: EmulationInstance,
+    adversary_family: Callable[[int], PSIOA],
+    *,
+    schema: SchedulerSchema,
+    insight: InsightFunction,
+    environment_family: Callable[[int], Sequence[PSIOA]],
+    q1: Callable[[int], int],
+    q2: Callable[[int], int],
+    ks: Sequence[int],
+) -> List[Tuple[int, float]]:
+    """The error profile of ``hide(A||Adv, AAct_A) <= hide(B||Sim, AAct_B)``
+    for one adversary family — the quantity Definition 4.26 requires to be
+    negligible."""
+    real_hidden = PSIOAFamily(
+        f"{instance.name}/real+adv",
+        lambda k: hidden_world(instance.real[k], adversary_family(k)),
+    )
+    ideal_hidden = PSIOAFamily(
+        f"{instance.name}/ideal+sim",
+        lambda k: hidden_world(instance.ideal[k], instance.simulator_for(k, adversary_family(k))),
+    )
+    return family_implementation_profile(
+        real_hidden,
+        ideal_hidden,
+        schema=schema,
+        insight=insight,
+        environment_family=environment_family,
+        q1=q1,
+        q2=q2,
+        ks=ks,
+    )
+
+
+def secure_emulates(
+    instance: EmulationInstance,
+    adversary_families: Sequence[Callable[[int], PSIOA]],
+    *,
+    schema: SchedulerSchema,
+    insight: InsightFunction,
+    environment_family: Callable[[int], Sequence[PSIOA]],
+    q1: Callable[[int], int],
+    q2: Callable[[int], int],
+    ks: Sequence[int],
+) -> Dict[int, List[Tuple[int, float]]]:
+    """Check ``real <=_SE ideal`` against a universe of adversary families
+    (Definition 4.26).
+
+    Returns the per-adversary error profiles; the relation holds over the
+    horizon when every profile is negligible.  Raises ``AssertionError``
+    with the offending profile otherwise.
+    """
+    profiles: Dict[int, List[Tuple[int, float]]] = {}
+    for index, adversary_family in enumerate(adversary_families):
+        profile = emulation_distance_profile(
+            instance,
+            adversary_family,
+            schema=schema,
+            insight=insight,
+            environment_family=environment_family,
+            q1=q1,
+            q2=q2,
+            ks=ks,
+        )
+        if not neg_pt_implements(profile):
+            raise AssertionError(
+                f"secure emulation {instance.name!r} fails for adversary family "
+                f"#{index}: profile {profile!r} is not negligible"
+            )
+        profiles[index] = profile
+    return profiles
+
+
+# -- Theorem 4.30: composability ---------------------------------------------------------
+
+
+def composed_simulator(
+    dummy_simulators: Sequence[PSIOA],
+    adversary: PSIOA,
+    g: Dict,
+    g_aact: frozenset,
+    *,
+    name="Sim",
+) -> PSIOA:
+    """``Sim = hide(DSim^1 || ... || DSim^b || g(Adv), g(AAct_A))`` — the
+    simulator construction from the proof of Theorem 4.30.
+
+    ``g`` is the merged renaming of adversary actions of the composite
+    real system; ``g_aact = g(AAct_A)`` is hidden so the simulator's
+    internal use of the renamed channel is invisible to the environment.
+    """
+    renamed_adv = rename_psioa(adversary, lambda a: g.get(a, a), name=("g", adversary.name))
+    stack = compose(*dummy_simulators, renamed_adv, name=("sim-stack", name))
+    return hide_adversary_actions(stack, frozenset(g_aact), name=name)
+
+
+def compose_emulation_instances(
+    instances: Sequence[EmulationInstance],
+    *,
+    name: Optional[str] = None,
+    merged_g_for: Callable[[int], Dict],
+    dummy_simulator_for: Callable[[int, int], PSIOA],
+) -> EmulationInstance:
+    """Build the composite claim of Theorem 4.30 from component claims.
+
+    Parameters
+    ----------
+    instances:
+        The component claims ``A^i <=_SE B^i`` (pairwise partially
+        compatible families).
+    merged_g_for:
+        ``k -> g`` — the merged adversary renaming ``g = g^1 | ... | g^b``
+        of the composite real member at index ``k``.
+    dummy_simulator_for:
+        ``(i, k) -> DSim^i_k`` — the simulator each component instance
+        produces against its dummy adversary.
+
+    The composite's ``simulator_for`` implements
+    ``Sim = hide(DSim || g(Adv), g(AAct_A))``.
+    """
+    composite_name = name or "||".join(i.name for i in instances)
+
+    real = PSIOAFamily(
+        f"{composite_name}/real",
+        lambda k: compose_structured(*[i.real[k] for i in instances]),
+    )
+    ideal = PSIOAFamily(
+        f"{composite_name}/ideal",
+        lambda k: compose_structured(*[i.ideal[k] for i in instances]),
+    )
+
+    def simulator_for(k: int, adversary: PSIOA) -> PSIOA:
+        g = merged_g_for(k)
+        dummy_sims = [dummy_simulator_for(i, k) for i in range(len(instances))]
+        g_aact = frozenset(g.values())
+        return composed_simulator(dummy_sims, adversary, g, g_aact, name=("Sim", composite_name, k))
+
+    return EmulationInstance(composite_name, real, ideal, simulator_for)

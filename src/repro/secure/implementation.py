@@ -1,0 +1,215 @@
+"""The approximate implementation relation (paper Definition 4.12) and its
+composability/transitivity machinery (Lemmas 4.13–4.14, Theorems 4.15–4.16).
+
+``A <=^{Sch,f}_{p,q1,q2,eps} B`` holds when for every ``p``-bounded
+environment ``E`` of both automata and every ``q1``-bounded scheduler
+``sigma in Sch(E||A)`` there is a ``q2``-bounded scheduler
+``sigma' in Sch(E||B)`` with ``sigma S^{<=eps}_{E,f} sigma'``.
+
+The checker realizes the two quantifier blocks differently:
+
+* the universal block (environments × schedulers) ranges over an explicit
+  finite universe — the caller supplies the environments (optionally
+  filtered by measured bound ``p``) and the schema enumerates the
+  ``q1``-bounded schedulers;
+* the existential block is resolved either **constructively**, via a
+  ``witness`` function producing ``sigma'`` from ``(E, sigma)`` (the
+  paper's positive results all build the witness — e.g. ``Forward^s`` for
+  Lemma 4.29), or by **search** over the schema's ``q2``-bounded members.
+
+``implementation_distance`` computes the tightest epsilon (the max-min
+total-variation distance), which the experiment harness sweeps to validate
+the composability and transitivity bounds numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bounded.bounds import measure_time_bound
+from repro.bounded.families import PSIOAFamily, SchedulerFamily
+from repro.core.psioa import PSIOA
+from repro.probability.asymptotics import is_negligible_fit
+from repro.probability.measures import total_variation
+from repro.semantics.insight import InsightFunction, f_dist
+from repro.semantics.schema import SchedulerSchema
+from repro.semantics.scheduler import Scheduler
+
+__all__ = [
+    "ImplementationResult",
+    "implements",
+    "implementation_distance",
+    "family_implementation_profile",
+    "neg_pt_implements",
+]
+
+
+@dataclass(frozen=True)
+class ImplementationResult:
+    """Outcome of an implementation check.
+
+    ``distance`` is the max-min perception distance actually measured; the
+    relation holds iff ``distance <= epsilon``.  On failure,
+    ``counterexample`` names the (environment, scheduler) pair with no
+    matching ``sigma'``.
+    """
+
+    holds: bool
+    epsilon: object
+    distance: object
+    counterexample: Optional[Tuple[object, object]] = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _min_distance_over_witnesses(
+    insight: InsightFunction,
+    env: PSIOA,
+    first: PSIOA,
+    scheduler: Scheduler,
+    second: PSIOA,
+    candidates: Iterable[Scheduler],
+    *,
+    stop_at=0,
+):
+    """min over sigma' of TV(f-dist(E,A,sigma), f-dist(E,B,sigma'))."""
+    dist_first = f_dist(insight, env, first, scheduler)
+    best = None
+    best_scheduler = None
+    for candidate in candidates:
+        dist_second = f_dist(insight, env, second, candidate)
+        d = total_variation(dist_first, dist_second)
+        if best is None or d < best:
+            best, best_scheduler = d, candidate
+            if best <= stop_at:
+                break
+    return best, best_scheduler
+
+
+def implements(
+    first: PSIOA,
+    second: PSIOA,
+    *,
+    schema: SchedulerSchema,
+    insight: InsightFunction,
+    environments: Sequence[PSIOA],
+    q1: int,
+    q2: int,
+    epsilon,
+    p: Optional[int] = None,
+    witness: Optional[Callable[[PSIOA, Scheduler], Scheduler]] = None,
+) -> ImplementationResult:
+    """Check ``A <=^{Sch,f}_{p,q1,q2,eps} B`` over a finite universe
+    (Definition 4.12).
+
+    Parameters mirror the definition; ``environments`` is the universe the
+    ``forall E`` ranges over (filtered to ``p``-time-bounded members when
+    ``p`` is given), and ``witness`` short-circuits the existential search
+    with a constructive ``sigma'``.
+    """
+    worst = 0
+    for env in environments:
+        if p is not None and measure_time_bound(env) > p:
+            continue
+        for scheduler in schema(_world(env, first), q1):
+            if witness is not None:
+                candidates: Iterable[Scheduler] = [witness(env, scheduler)]
+            else:
+                candidates = schema(_world(env, second), q2)
+            best, _ = _min_distance_over_witnesses(
+                insight, env, first, scheduler, second, candidates, stop_at=0
+            )
+            if best is None or best > epsilon:
+                return ImplementationResult(
+                    holds=False,
+                    epsilon=epsilon,
+                    distance=best,
+                    counterexample=(env.name, getattr(scheduler, "name", scheduler)),
+                )
+            if best > worst:
+                worst = best
+    return ImplementationResult(holds=True, epsilon=epsilon, distance=worst)
+
+
+def _world(env: PSIOA, automaton: PSIOA):
+    from repro.semantics.insight import compose_world
+
+    return compose_world(env, automaton)
+
+
+def implementation_distance(
+    first: PSIOA,
+    second: PSIOA,
+    *,
+    schema: SchedulerSchema,
+    insight: InsightFunction,
+    environments: Sequence[PSIOA],
+    q1: int,
+    q2: int,
+    witness: Optional[Callable[[PSIOA, Scheduler], Scheduler]] = None,
+):
+    """The tightest epsilon: ``max_{E, sigma} min_{sigma'} TV``.
+
+    This is the quantity the composability/transitivity experiments track:
+    Theorem 4.16 predicts ``d(A1, A3) <= d(A1, A2) + d(A2, A3)`` and
+    Lemma 4.13 predicts ``d(A3||A1, A3||A2) <= d(A1, A2)`` for matched
+    environment universes.
+    """
+    worst = 0
+    for env in environments:
+        for scheduler in schema(_world(env, first), q1):
+            if witness is not None:
+                candidates: Iterable[Scheduler] = [witness(env, scheduler)]
+            else:
+                candidates = schema(_world(env, second), q2)
+            best, _ = _min_distance_over_witnesses(
+                insight, env, first, scheduler, second, candidates
+            )
+            if best is None:
+                raise ValueError("scheduler schema produced no candidate sigma'")
+            if best > worst:
+                worst = best
+    return worst
+
+
+def family_implementation_profile(
+    first: PSIOAFamily,
+    second: PSIOAFamily,
+    *,
+    schema: SchedulerSchema,
+    insight: InsightFunction,
+    environment_family: Callable[[int], Sequence[PSIOA]],
+    q1: Callable[[int], int],
+    q2: Callable[[int], int],
+    ks: Sequence[int],
+    witness: Optional[Callable[[int, PSIOA, Scheduler], Scheduler]] = None,
+) -> List[Tuple[int, float]]:
+    """The error profile ``(k, eps(k))`` of a family implementation
+    (Definition 4.12, family form): for each ``k`` the tightest epsilon of
+    ``A_k <= B_k``."""
+    profile: List[Tuple[int, float]] = []
+    for k in ks:
+        witness_k = None
+        if witness is not None:
+            witness_k = lambda env, sched, _k=k: witness(_k, env, sched)
+        distance = implementation_distance(
+            first[k],
+            second[k],
+            schema=schema,
+            insight=insight,
+            environments=environment_family(k),
+            q1=q1(k),
+            q2=q2(k),
+            witness=witness_k,
+        )
+        profile.append((k, float(distance)))
+    return profile
+
+
+def neg_pt_implements(profile: Sequence[Tuple[int, float]]) -> bool:
+    """``A <=^{Sch,f}_{neg,pt} B`` over the sampled horizon: the error
+    profile admits a decaying geometric envelope (see
+    :mod:`repro.probability.asymptotics` for the substitution note)."""
+    return is_negligible_fit(profile)

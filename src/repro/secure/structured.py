@@ -1,0 +1,317 @@
+"""Structured automata: the environment/adversary action split
+(paper Definitions 4.17–4.23).
+
+A *structured* PSIOA carries an extra mapping ``EAct_A`` marking, at each
+state, which external actions are intended for the environment; the
+complement ``AAct_A = ext \\ EAct`` belongs to the adversary.  Structured
+compatibility (Definition 4.18) additionally requires every action shared
+between two automata to be an environment action of both — adversary
+channels are private.
+
+Structured PCA (Definitions 4.20–4.22) derive their ``EAct`` from the
+member automata of the current configuration minus the hidden actions;
+Lemma 4.23 (closure under composition) is realized by
+:func:`compose_structured_pca` and re-checked by
+:func:`check_structured_pca_constraint`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Optional, Sequence, Tuple
+
+from repro.config.pca import PCA, ComposedPCA, compose_pca
+from repro.core.composition import ComposedPSIOA, compose
+from repro.core.psioa import PSIOA, PsioaError, reachable_states
+from repro.core.signature import Action, Signature, hide_signature
+
+__all__ = [
+    "StructuredPSIOA",
+    "structure",
+    "compose_structured",
+    "hide_structured",
+    "structured_compatible",
+    "StructuredPCA",
+    "structure_pca",
+    "compose_structured_pca",
+    "check_structured_pca_constraint",
+]
+
+State = Hashable
+
+
+class StructuredPSIOA(PSIOA):
+    """A structured PSIOA ``(A, EAct_A)`` (Definition 4.17).
+
+    Wraps a base PSIOA with an environment-action mapping; all PSIOA
+    behaviour delegates to the base.  Accessors follow the paper:
+
+    * :meth:`eact` / :meth:`aact` — ``EAct_A(q)`` and ``AAct_A(q)``,
+    * :meth:`ei` / :meth:`eo` / :meth:`ai` / :meth:`ao` — the four
+      input/output refinements,
+    * :meth:`global_aact` etc. — the union over reachable states (the
+      paper's ``m_A`` union notation), used by the dummy-adversary
+      construction.
+    """
+
+    __slots__ = ("base", "_eact_fn", "_global_cache")
+
+    def __init__(
+        self,
+        base: PSIOA,
+        eact: Callable[[State], Iterable[Action]],
+        *,
+        name: Optional[Hashable] = None,
+    ) -> None:
+        self.base = base
+        self._eact_fn = eact
+        self._global_cache: dict = {}
+        super().__init__(
+            name if name is not None else base.name,
+            base.start,
+            base.signature,
+            base.transition,
+        )
+
+    # -- the action split -----------------------------------------------------------
+
+    def eact(self, state: State) -> frozenset:
+        """``EAct_A(q) subseteq ext(A)(q)`` (validated on access)."""
+        external = self.signature(state).external
+        marked = frozenset(self._eact_fn(state))
+        stray = marked - external
+        if stray:
+            raise PsioaError(
+                f"EAct({state!r}) contains non-external actions {sorted(map(repr, stray))}"
+            )
+        return marked
+
+    def aact(self, state: State) -> frozenset:
+        """``AAct_A(q) = ext(A)(q) \\ EAct_A(q)``."""
+        return self.signature(state).external - self.eact(state)
+
+    def ei(self, state: State) -> frozenset:
+        """Environment inputs ``EI_A(q)``."""
+        return self.eact(state) & self.signature(state).inputs
+
+    def eo(self, state: State) -> frozenset:
+        """Environment outputs ``EO_A(q)``."""
+        return self.eact(state) & self.signature(state).outputs
+
+    def ai(self, state: State) -> frozenset:
+        """Adversary inputs ``AI_A(q)``."""
+        return self.aact(state) & self.signature(state).inputs
+
+    def ao(self, state: State) -> frozenset:
+        """Adversary outputs ``AO_A(q)``."""
+        return self.aact(state) & self.signature(state).outputs
+
+    # -- union (``m_A``) forms over the reachable states -------------------------------
+
+    def _global(self, selector: str, max_states: int = 50_000) -> frozenset:
+        cached = self._global_cache.get(selector)
+        if cached is None:
+            out: set = set()
+            for state in reachable_states(self, max_states=max_states):
+                out |= getattr(self, selector)(state)
+            cached = frozenset(out)
+            self._global_cache[selector] = cached
+        return cached
+
+    def global_eact(self) -> frozenset:
+        return self._global("eact")
+
+    def global_aact(self) -> frozenset:
+        return self._global("aact")
+
+    def global_ai(self) -> frozenset:
+        return self._global("ai")
+
+    def global_ao(self) -> frozenset:
+        return self._global("ao")
+
+
+def structure(
+    base: PSIOA,
+    eact: Callable[[State], Iterable[Action]] | Iterable[Action],
+    *,
+    name: Optional[Hashable] = None,
+) -> StructuredPSIOA:
+    """Attach an environment-action mapping to a PSIOA.
+
+    ``eact`` may be a per-state function or a constant action set (the
+    common case where the split does not vary with the state — the paper
+    notes nothing prevents requiring a state-independent partition).
+    The constant form is intersected with the per-state external set.
+    """
+    if callable(eact):
+        return StructuredPSIOA(base, eact, name=name)
+    constant = frozenset(eact)
+
+    def eact_fn(state: State) -> frozenset:
+        return constant & base.signature(state).external
+
+    return StructuredPSIOA(base, eact_fn, name=name)
+
+
+def structured_compatible(
+    first: StructuredPSIOA,
+    second: StructuredPSIOA,
+    *,
+    max_states: int = 50_000,
+) -> bool:
+    """Definition 4.18: partially compatible and every shared action is an
+    environment action of both, at every reachable joint state."""
+    try:
+        product = compose(first, second)
+        states = reachable_states(product, max_states=max_states)
+    except PsioaError:
+        return False
+    for q1, q2 in states:
+        sig1 = first.signature(q1)
+        sig2 = second.signature(q2)
+        shared = sig1.all_actions & sig2.all_actions
+        if shared != first.eact(q1) & second.eact(q2):
+            return False
+    return True
+
+
+class _ComposedStructured(StructuredPSIOA):
+    """Composition of structured PSIOA (Definition 4.19)."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Sequence[StructuredPSIOA], *, name: Optional[Hashable] = None) -> None:
+        self.components: Tuple[StructuredPSIOA, ...] = tuple(components)
+        product = ComposedPSIOA(components, name=name)
+
+        def eact(state: State) -> frozenset:
+            marked: set = set()
+            for component, local in zip(self.components, state):
+                marked |= component.eact(local)
+            # Matched input/output pairs become outputs of the composition;
+            # the union stays within ext of the composition by construction,
+            # but internalized shared actions must be dropped.
+            return frozenset(marked) & product.signature(state).external
+
+        super().__init__(product, eact, name=product.name)
+
+
+def compose_structured(
+    *components: StructuredPSIOA,
+    name: Optional[Hashable] = None,
+) -> StructuredPSIOA:
+    """``(A1, EAct1) || (A2, EAct2) = (A1 || A2, EAct1 (u) EAct2)``
+    (Definition 4.19)."""
+    for component in components:
+        if not isinstance(component, StructuredPSIOA):
+            raise PsioaError(f"compose_structured requires StructuredPSIOA, got {component!r}")
+    return _ComposedStructured(components, name=name)
+
+
+def hide_structured(
+    automaton: StructuredPSIOA,
+    hidden: Callable[[State], Iterable[Action]],
+    *,
+    name: Optional[Hashable] = None,
+) -> StructuredPSIOA:
+    """``hide((A, EAct), S) = (hide(A, S), EAct \\ S)`` (Definition 4.17).
+
+    Hiding is signature-level only; transitions are untouched.
+    """
+    base = automaton
+
+    derived_name = name if name is not None else ("hide", automaton.name)
+
+    def signature(state: State) -> Signature:
+        return hide_signature(base.signature(state), hidden(state))
+
+    hidden_view = PSIOA(derived_name, base.start, signature, base.transition)
+
+    def eact(state: State) -> frozenset:
+        return base.eact(state) - frozenset(hidden(state))
+
+    return StructuredPSIOA(hidden_view, eact, name=derived_name)
+
+
+# -- structured PCA (Definitions 4.20-4.22) --------------------------------------------
+
+
+class StructuredPCA(StructuredPSIOA):
+    """A structured PCA (Definition 4.22).
+
+    Wraps a PCA whose configuration members are structured PSIOA; the
+    environment actions at a state are those of the configuration members
+    minus the hidden actions:
+    ``EAct_X(q) = EAct(config(X)(q)) \\ hidden-actions(X)(q)``.
+    """
+
+    __slots__ = ("pca",)
+
+    def __init__(self, pca: PCA, *, name: Optional[Hashable] = None) -> None:
+        self.pca = pca
+
+        def eact(state: State) -> frozenset:
+            return configuration_eact(pca, state)
+
+        super().__init__(pca, eact, name=name if name is not None else pca.name)
+
+    # PCA accessors pass through so a structured PCA still *is* a PCA user-side.
+
+    def config(self, state: State):
+        return self.pca.config(state)
+
+    def created(self, state: State, action: Action):
+        return self.pca.created(state, action)
+
+    def hidden_actions(self, state: State) -> frozenset:
+        return self.pca.hidden_actions(state)
+
+
+def configuration_eact(pca: PCA, state: State) -> frozenset:
+    """``EAct(config) \\ hidden-actions`` (Definition 4.22 constraint 3).
+
+    ``EAct(C) = U_{A in C} EAct_A(S(A))`` (Definition 4.20); members that
+    are not structured contribute their full external signature (the
+    degenerate split ``AAct = {}``).
+    """
+    configuration = pca.config(state)
+    marked: set = set()
+    for automaton, local_state in configuration.items():
+        if isinstance(automaton, StructuredPSIOA):
+            marked |= automaton.eact(local_state)
+        else:
+            marked |= automaton.signature(local_state).external
+    visible = frozenset(marked) - pca.hidden_actions(state)
+    return visible & pca.signature(state).external
+
+
+def structure_pca(pca: PCA, *, name: Optional[Hashable] = None) -> StructuredPCA:
+    """Derive the structured PCA of Definition 4.22 from a PCA over
+    structured members."""
+    return StructuredPCA(pca, name=name)
+
+
+def compose_structured_pca(
+    *components: StructuredPCA,
+    name: Optional[Hashable] = None,
+) -> StructuredPCA:
+    """Composition of structured PCA: compose the underlying PCA
+    (Definition 2.19) and re-derive the structure — Lemma 4.23 asserts the
+    result is again a structured PCA, which
+    :func:`check_structured_pca_constraint` verifies."""
+    underlying = compose_pca(*[c.pca for c in components], name=name)
+    return StructuredPCA(underlying)
+
+
+def check_structured_pca_constraint(
+    structured: StructuredPCA,
+    *,
+    max_states: int = 50_000,
+) -> bool:
+    """Verify Definition 4.22 constraint (3) over the reachable states:
+    ``EAct_X(q) = EAct(config(X)(q)) \\ hidden-actions(X)(q)``."""
+    for state in reachable_states(structured, max_states=max_states):
+        expected = configuration_eact(structured.pca, state)
+        if structured.eact(state) != expected:
+            return False
+    return True

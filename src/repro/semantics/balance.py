@@ -1,0 +1,103 @@
+"""Balanced schedulers (paper Definition 3.6).
+
+Two schedulers ``sigma`` (for ``E || A``) and ``sigma'`` (for ``E || B``)
+are ``epsilon``-balanced for environment ``E`` and insight function ``f``
+when, over every countable family of insight values, the absolute sum of
+pointwise ``f-dist`` differences is at most ``epsilon``.  For discrete
+image measures this supremum is exactly the total-variation distance — the
+maximizing family collects the outcomes where one measure exceeds the other
+— so the relation is decidable exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.psioa import PSIOA
+from repro.probability.measures import total_variation
+from repro.semantics.insight import InsightFunction, f_dist
+from repro.semantics.scheduler import Scheduler
+
+__all__ = ["perception_distance", "balanced", "family_balanced"]
+
+
+def perception_distance(
+    insight: InsightFunction,
+    env: PSIOA,
+    first: PSIOA,
+    scheduler_first: Scheduler,
+    second: PSIOA,
+    scheduler_second: Scheduler,
+    *,
+    max_depth: Optional[int] = None,
+):
+    """The supremum of Definition 3.6 — total variation between the two
+    ``f-dist`` image measures."""
+    dist_first = f_dist(insight, env, first, scheduler_first, max_depth=max_depth)
+    dist_second = f_dist(insight, env, second, scheduler_second, max_depth=max_depth)
+    return total_variation(dist_first, dist_second)
+
+
+def balanced(
+    insight: InsightFunction,
+    env: PSIOA,
+    first: PSIOA,
+    scheduler_first: Scheduler,
+    second: PSIOA,
+    scheduler_second: Scheduler,
+    epsilon,
+    *,
+    max_depth: Optional[int] = None,
+) -> bool:
+    """``sigma S^{<= epsilon}_{E, f} sigma'`` (Definition 3.6)."""
+    return (
+        perception_distance(
+            insight,
+            env,
+            first,
+            scheduler_first,
+            second,
+            scheduler_second,
+            max_depth=max_depth,
+        )
+        <= epsilon
+    )
+
+
+def family_balanced(
+    insight: InsightFunction,
+    env_family,
+    first_family,
+    scheduler_family_first,
+    second_family,
+    scheduler_family_second,
+    epsilon,
+    ks,
+    *,
+    max_depth: Optional[int] = None,
+) -> bool:
+    """The family form of the balanced relation (Definition 4.11):
+    ``sigma_k S^{<= epsilon(k)}_{E_k, f} sigma'_k`` for every sampled ``k``.
+
+    ``env_family``, ``first_family``/``second_family`` and the two
+    scheduler families are indexable by ``k`` (``__getitem__`` or call);
+    ``epsilon`` is a function of ``k``.
+    """
+
+    def member(family, k):
+        getter = getattr(family, "__getitem__", None)
+        return getter(k) if getter is not None else family(k)
+
+    for k in ks:
+        if not balanced(
+            insight,
+            member(env_family, k),
+            member(first_family, k),
+            member(scheduler_family_first, k),
+            member(second_family, k),
+            member(scheduler_family_second, k),
+            epsilon(k),
+            max_depth=max_depth,
+        ):
+            return False
+    return True

@@ -1,0 +1,42 @@
+"""Environments (paper Definition 3.3).
+
+An environment for a PSIOA ``A`` is any PSIOA ``E`` partially compatible
+with ``A``; ``env(A)`` is the set of all such.  The implementation relation
+(Definition 4.12) quantifies over environments of *both* automata being
+compared, so the module also provides the intersection check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.composition import check_partial_compatibility
+from repro.core.psioa import PSIOA
+
+__all__ = ["is_environment", "environments_of_both"]
+
+
+def is_environment(env: PSIOA, automaton: PSIOA, *, max_states: int = 50_000) -> bool:
+    """``E in env(A)``: partial compatibility of ``E`` and ``A``."""
+    if env.name == automaton.name:
+        return False
+    try:
+        return check_partial_compatibility([env, automaton], max_states=max_states)
+    except Exception:
+        return False
+
+
+def environments_of_both(
+    candidates: Iterable[PSIOA],
+    first: PSIOA,
+    second: PSIOA,
+    *,
+    max_states: int = 50_000,
+) -> List[PSIOA]:
+    """Filter ``candidates`` to ``env(A) & env(B)`` (Definition 3.6 setting)."""
+    return [
+        env
+        for env in candidates
+        if is_environment(env, first, max_states=max_states)
+        and is_environment(env, second, max_states=max_states)
+    ]

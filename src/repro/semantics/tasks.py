@@ -1,0 +1,147 @@
+"""Task structures and task schedules (the [3] machinery of Section 4.4).
+
+The paper deliberately *generalizes* beyond task-schedulers, but task
+schedules remain the reference point: Section 4.4 compares against them
+and the ``accept`` insight function originates there.  This module
+implements them faithfully so the comparison is executable:
+
+* a **task** is a set of *locally controlled* actions, intended as an
+  equivalence class on actions ([3]);
+* a task is **action-deterministic** at a state when at most one of its
+  actions is enabled there — the condition under which a task schedule
+  resolves nondeterminism;
+* a **task schedule** is a finite task sequence fixed in advance
+  ("off-line scheduling"); applying it walks the tasks in order, firing
+  the unique enabled action of each task and treating tasks with no
+  enabled action as no-ops.
+
+:class:`TaskScheduleScheduler` realizes a task schedule as a
+:class:`~repro.semantics.scheduler.Scheduler` by *replaying* the schedule
+against the fragment: the decision at a fragment is a pure function of the
+fragment, as Definition 3.1 requires, and fragments that deviate from the
+schedule halt with probability 1 (they have measure zero under this
+scheduler anyway).
+
+Task schedules are oblivious and creation-oblivious: the task sequence is
+chosen in advance and never inspects states beyond enabledness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, FrozenSet, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.executions import Fragment
+from repro.core.psioa import PSIOA, PsioaError, reachable_states
+from repro.core.signature import Action
+from repro.probability.measures import SubDiscreteMeasure
+from repro.semantics.schema import SchedulerSchema
+from repro.semantics.scheduler import Scheduler
+
+__all__ = [
+    "Task",
+    "task_partition",
+    "is_action_deterministic",
+    "TaskScheduleScheduler",
+    "task_schedule_schema",
+]
+
+Task = FrozenSet[Action]
+
+
+def task_partition(automaton: PSIOA, key: Callable[[Action], Hashable], *, max_states: int = 10_000) -> List[Task]:
+    """Partition ``acts(A)`` into tasks by an equivalence key ([3]'s tasks
+    are equivalence classes on actions).
+
+    Only locally controlled actions are grouped — inputs are driven by
+    other components, never scheduled.
+    """
+    actions: set = set()
+    for state in reachable_states(automaton, max_states=max_states):
+        actions |= automaton.signature(state).locally_controlled()
+    groups: dict = {}
+    for action in sorted(actions, key=repr):
+        groups.setdefault(key(action), set()).add(action)
+    return [frozenset(group) for _key, group in sorted(groups.items(), key=lambda kv: repr(kv[0]))]
+
+
+def is_action_deterministic(automaton: PSIOA, task: Task, *, max_states: int = 10_000) -> bool:
+    """True when at most one action of the task is enabled at every
+    reachable state — the condition for the task to resolve
+    nondeterminism deterministically."""
+    for state in reachable_states(automaton, max_states=max_states):
+        enabled = automaton.signature(state).locally_controlled() & task
+        if len(enabled) > 1:
+            return False
+    return True
+
+
+class TaskScheduleScheduler(Scheduler):
+    """An off-line task schedule ``T1 T2 ... Tn`` as a scheduler.
+
+    ``decide`` replays the schedule against the fragment:
+
+    1. walk the tasks in order, tracking a position in the fragment;
+    2. a task with no enabled action at the current replay state is a
+       no-op (consumed, no step);
+    3. a task whose unique enabled action matches the fragment's next
+       action advances the replay;
+    4. the first task whose enabled action goes *beyond* the fragment is
+       the decision;
+    5. fragments that deviate from the schedule, and exhausted schedules,
+       halt.
+
+    A task with more than one enabled action at its firing state raises
+    :class:`~repro.core.psioa.PsioaError` — the schedule is invalid for
+    this automaton (the action-determinism requirement of [3]).
+    """
+
+    def __init__(self, tasks: Sequence[Task], *, name: Hashable = None) -> None:
+        self.tasks: Tuple[Task, ...] = tuple(frozenset(t) for t in tasks)
+        self.name = name if name is not None else ("task-schedule", self.tasks)
+
+    def decide(self, automaton: PSIOA, fragment: Fragment) -> SubDiscreteMeasure:
+        position = 0
+        for task in self.tasks:
+            state = fragment.states[position]
+            enabled = sorted(
+                automaton.signature(state).locally_controlled() & task, key=repr
+            )
+            if len(enabled) > 1:
+                raise PsioaError(
+                    f"task {sorted(map(repr, task))} is not action-deterministic at "
+                    f"{state!r}: enabled {enabled!r}"
+                )
+            if not enabled:
+                continue  # no-op task
+            (action,) = enabled
+            if position < len(fragment):
+                if fragment.actions[position] != action:
+                    return SubDiscreteMeasure.halt()  # off-schedule fragment
+                position += 1
+            else:
+                return SubDiscreteMeasure({action: 1})
+        return SubDiscreteMeasure.halt()
+
+    def step_bound(self) -> Optional[int]:
+        return len(self.tasks)
+
+
+def task_schedule_schema(
+    tasks: Sequence[Task],
+    *,
+    name: str = "task-schedules",
+) -> SchedulerSchema:
+    """The schema of all task schedules over a task alphabet, up to the
+    bound — the [3]-style schema Section 4.4 compares against."""
+    alphabet: Tuple[Task, ...] = tuple(frozenset(t) for t in tasks)
+
+    def members(automaton: PSIOA, bound: int) -> Iterator[Scheduler]:
+        for length in range(bound + 1):
+            for sequence in itertools.product(alphabet, repeat=length):
+                yield TaskScheduleScheduler(sequence)
+
+    def contains(_automaton: PSIOA, scheduler: Scheduler) -> bool:
+        return isinstance(scheduler, TaskScheduleScheduler)
+
+    return SchedulerSchema(name, members, contains)

@@ -1,0 +1,95 @@
+"""Example systems built on the framework.
+
+These are the concrete workloads the paper's introduction motivates —
+probabilistic protocols, cryptographic channels, and dynamic systems with
+run-time creation/destruction of participants:
+
+* :mod:`repro.systems.coin` — fair/biased coins and amplified coin
+  families (the canonical approximate-implementation workload);
+* :mod:`repro.systems.channels` — one-time-pad secure channels: real
+  protocol vs ideal functionality, with simulators (the canonical
+  secure-emulation workload);
+* :mod:`repro.systems.commitment` — masked bit commitment vs the ideal
+  commitment functionality;
+* :mod:`repro.systems.consensus` — randomized binary consensus with a
+  shared coin, against an always-agreeing ideal functionality;
+* :mod:`repro.systems.ledger` — a dynamic ledger PCA whose clients join
+  and leave at run time (automata creation/destruction);
+* :mod:`repro.systems.factory` — seeded random automaton generation for
+  property tests and benchmarks.
+"""
+
+from repro.systems.coin import (
+    coin,
+    structured_coin,
+    fair_coin_family,
+    amplified_coin_family,
+    coin_observer,
+)
+from repro.systems.channels import (
+    real_channel,
+    ideal_channel,
+    broken_channel,
+    guessing_adversary,
+    channel_simulator,
+    channel_environment,
+    channel_emulation_instance,
+)
+from repro.systems.channels_mary import (
+    mary_real_channel,
+    mary_ideal_channel,
+    mary_channel_simulator,
+    mary_guessing_adversary,
+    mary_channel_environment,
+)
+from repro.systems.commitment import (
+    real_commitment,
+    ideal_commitment,
+    commitment_simulator,
+    commitment_environment,
+    commitment_emulation_instance,
+)
+from repro.systems.consensus import (
+    real_consensus,
+    ideal_consensus,
+    consensus_environment,
+)
+from repro.systems.ledger import (
+    ledger_client,
+    ledger_manager_pca,
+    spawning_pca,
+)
+from repro.systems.factory import random_psioa, random_structured
+
+__all__ = [
+    "coin",
+    "structured_coin",
+    "fair_coin_family",
+    "amplified_coin_family",
+    "coin_observer",
+    "real_channel",
+    "ideal_channel",
+    "broken_channel",
+    "guessing_adversary",
+    "channel_simulator",
+    "channel_environment",
+    "channel_emulation_instance",
+    "mary_real_channel",
+    "mary_ideal_channel",
+    "mary_channel_simulator",
+    "mary_guessing_adversary",
+    "mary_channel_environment",
+    "real_commitment",
+    "ideal_commitment",
+    "commitment_simulator",
+    "commitment_environment",
+    "commitment_emulation_instance",
+    "real_consensus",
+    "ideal_consensus",
+    "consensus_environment",
+    "ledger_client",
+    "ledger_manager_pca",
+    "spawning_pca",
+    "random_psioa",
+    "random_structured",
+]

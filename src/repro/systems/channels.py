@@ -1,0 +1,354 @@
+"""One-time-pad secure channels — the canonical secure-emulation workload.
+
+The *real* protocol encrypts a one-bit message with a pad bit and leaks the
+ciphertext to the adversary; the *ideal* functionality leaks only the fact
+that a message was sent.  Three pad qualities are modelled:
+
+* **perfect** (fair pad): the ciphertext is independent of the message —
+  the simulator reproduces the adversary's view exactly (error 0);
+* **leaky(k)** (pad biased by ``2^{-(k+1)}``): the ciphertext carries a
+  geometrically small advantage — the emulation error is exactly
+  ``2^{-(k+1)}``, a negligible profile in the security parameter;
+* **broken** (no pad): the message leaks outright — the negative control
+  where emulation fails with constant error.
+
+The module provides the structured automata, the guessing adversary, the
+simulator construction ``Sim = hide(SimCore || Adv, leak-actions)`` of
+Definition 4.26, distinguisher environments, the scheduler schema, and the
+packaged :class:`~repro.secure.emulation.EmulationInstance`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Hashable, List, Optional, Sequence
+
+from repro.bounded.families import PSIOAFamily
+from repro.core.composition import compose
+from repro.core.psioa import PSIOA, TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import DiscreteMeasure, dirac
+from repro.secure.dummy import hide_adversary_actions
+from repro.secure.emulation import EmulationInstance
+from repro.secure.structured import StructuredPSIOA, structure
+from repro.semantics.schema import SchedulerSchema
+from repro.semantics.scheduler import PriorityScheduler, Scheduler
+
+__all__ = [
+    "SEND",
+    "RECV",
+    "LEAK",
+    "SENT",
+    "GUESS",
+    "real_channel",
+    "ideal_channel",
+    "broken_channel",
+    "dynamic_channel_pca",
+    "guessing_adversary",
+    "channel_simulator",
+    "channel_environment",
+    "channel_schema",
+    "channel_emulation_instance",
+    "leak_bias",
+]
+
+SEND = lambda m: ("send", m)
+RECV = lambda m: ("recv", m)
+LEAK = lambda c: ("leak", c)
+GUESS = lambda b: ("guess", b)
+SENT = ("sent",)
+
+_EACT = frozenset({SEND(0), SEND(1), RECV(0), RECV(1)})
+
+
+def leak_bias(k: Optional[int]) -> Fraction:
+    """The pad bias ``delta(k)``: 0 for the perfect pad, ``2^{-(k+1)}``
+    for the leaky family, ``1/2`` for the broken channel (pad constant 0)."""
+    if k is None:
+        return Fraction(0)
+    return Fraction(1, 2 ** (k + 1))
+
+
+def _channel_automaton(name: Hashable, delta: Fraction, *, terminal: bool = False) -> TablePSIOA:
+    """The real protocol with pad bias ``delta``: ``P(c = m) = 1/2 + delta``.
+
+    With ``terminal=True`` the post-delivery state has the *empty*
+    signature, so a session channel running inside a configuration is
+    destroyed once its message is delivered (Definition 2.12) — the shape
+    the dynamic-session experiments use.
+    """
+    signatures = {
+        "idle": Signature(inputs={SEND(0), SEND(1)}),
+        "done": Signature() if terminal else Signature(inputs={SEND(0), SEND(1)}),
+    }
+    transitions = {}
+    if not terminal:
+        transitions[("done", SEND(0))] = dirac("done")
+        transitions[("done", SEND(1))] = dirac("done")
+    for m in (0, 1):
+        p_same = Fraction(1, 2) + delta
+        if p_same == 1:
+            cipher = dirac(("cipher", m, m))
+        else:
+            cipher = DiscreteMeasure(
+                {("cipher", m, m): p_same, ("cipher", m, 1 - m): 1 - p_same}
+            )
+        transitions[("idle", SEND(m))] = cipher
+        for c in (0, 1):
+            signatures[("cipher", m, c)] = Signature(
+                inputs={SEND(0), SEND(1)}, outputs={LEAK(c)}
+            )
+            transitions[(("cipher", m, c), SEND(0))] = dirac(("cipher", m, c))
+            transitions[(("cipher", m, c), SEND(1))] = dirac(("cipher", m, c))
+            transitions[(("cipher", m, c), LEAK(c))] = dirac(("deliver", m))
+        signatures[("deliver", m)] = Signature(inputs={SEND(0), SEND(1)}, outputs={RECV(m)})
+        transitions[(("deliver", m), SEND(0))] = dirac(("deliver", m))
+        transitions[(("deliver", m), SEND(1))] = dirac(("deliver", m))
+        transitions[(("deliver", m), RECV(m))] = dirac("done")
+    return TablePSIOA(name, "idle", signatures, transitions)
+
+
+def real_channel(
+    name: Hashable = "real", k: Optional[int] = None, *, terminal: bool = False
+) -> StructuredPSIOA:
+    """The real OTP channel (perfect pad when ``k is None``, else the
+    ``2^{-(k+1)}``-leaky pad).  Send/recv are environment actions, the
+    ciphertext leak is adversary-facing.  ``terminal=True`` yields the
+    self-destructing session variant (see :func:`_channel_automaton`)."""
+    return structure(_channel_automaton(name, leak_bias(k), terminal=terminal), _EACT)
+
+
+def broken_channel(name: Hashable = "broken") -> StructuredPSIOA:
+    """The negative control: the pad is constantly 0, so the leak *is* the
+    message (``P(c = m) = 1``)."""
+    return structure(_channel_automaton(name, Fraction(1, 2)), _EACT)
+
+
+def ideal_channel(name: Hashable = "ideal", *, terminal: bool = False) -> StructuredPSIOA:
+    """The ideal functionality: the adversary learns only ``("sent",)``.
+
+    ``terminal=True`` yields the self-destructing session variant."""
+    signatures = {
+        "idle": Signature(inputs={SEND(0), SEND(1)}),
+        "done": Signature() if terminal else Signature(inputs={SEND(0), SEND(1)}),
+    }
+    transitions = {}
+    if not terminal:
+        transitions[("done", SEND(0))] = dirac("done")
+        transitions[("done", SEND(1))] = dirac("done")
+    for m in (0, 1):
+        transitions[("idle", SEND(m))] = dirac(("notify", m))
+        signatures[("notify", m)] = Signature(inputs={SEND(0), SEND(1)}, outputs={SENT})
+        transitions[(("notify", m), SEND(0))] = dirac(("notify", m))
+        transitions[(("notify", m), SEND(1))] = dirac(("notify", m))
+        transitions[(("notify", m), SENT)] = dirac(("deliver", m))
+        signatures[("deliver", m)] = Signature(inputs={SEND(0), SEND(1)}, outputs={RECV(m)})
+        transitions[(("deliver", m), SEND(0))] = dirac(("deliver", m))
+        transitions[(("deliver", m), SEND(1))] = dirac(("deliver", m))
+        transitions[(("deliver", m), RECV(m))] = dirac("done")
+    return structure(TablePSIOA(name, "idle", signatures, transitions), _EACT)
+
+
+def dynamic_channel_pca(
+    name: Hashable,
+    channel_factory: Callable[[], StructuredPSIOA],
+    *,
+    open_action: Hashable = ("open", 0),
+    sessions: int = 1,
+):
+    """A PCA that creates channel sessions at run time — the paper's
+    *dynamic* setting: a protocol instance does not exist until the
+    manager's ``open`` action fires, and (with a ``terminal`` channel) it
+    destroys itself after delivery.
+
+    With ``sessions > 1`` the sessions *chain*: the ``created`` mapping of
+    the PCA (which sees the current configuration, Definition 2.16)
+    creates session ``i+1`` exactly when session ``i`` fires its delivery
+    — the dying session and its successor coexist only in the non-reduced
+    intermediate of Definition 2.14, never in a reduced configuration, so
+    every reachable configuration stays compatible even though all
+    sessions share one action alphabet.  ``channel_factory`` receives the
+    session index and must give each session a distinct identifier.
+
+    Returns a structured PCA whose ``AAct`` is the created session's
+    adversary interface, so secure emulation of the *dynamic* system can be
+    checked with the same machinery as the static one.
+    """
+    from repro.config.pca import CanonicalPCA
+    from repro.secure.structured import structure_pca
+
+    def factory(index: int) -> StructuredPSIOA:
+        try:
+            return channel_factory(index)  # type: ignore[call-arg]
+        except TypeError:
+            return channel_factory()
+
+    session_names = [factory(i).name for i in range(sessions)]
+    if len(set(session_names)) != sessions:
+        raise ValueError(
+            f"channel_factory must give sessions distinct identifiers, got {session_names!r}"
+        )
+
+    manager = TablePSIOA(
+        (name, "mgr"),
+        0,
+        {
+            0: Signature(outputs={open_action}),
+            1: Signature(inputs={("mgr-idle", name)}),
+        },
+        {
+            (0, open_action): dirac(1),
+            (1, ("mgr-idle", name)): dirac(1),
+        },
+    )
+
+    name_to_index = {session_names[i]: i for i in range(sessions)}
+
+    def created(configuration, action):
+        if action == open_action:
+            return [factory(0)]
+        # Chain: when the live session delivers (fires its recv), create the
+        # next one.  The condition inspects the configuration, which the PCA
+        # created-mapping receives by Definition 2.16.
+        if isinstance(action, tuple) and action[0] == "recv":
+            for automaton, state in configuration.items():
+                index = name_to_index.get(automaton.name)
+                if index is None:
+                    continue
+                if state == ("deliver", action[1]) and index + 1 < sessions:
+                    return [factory(index + 1)]
+        return []
+
+    return structure_pca(CanonicalPCA(name, [manager], created=created))
+
+
+def guessing_adversary(name: Hashable = "Adv") -> TablePSIOA:
+    """The real-interface adversary: observes the leaked ciphertext and
+    announces its guess of the message to the environment."""
+    leaks = {LEAK(0), LEAK(1)}
+    signatures = {"wait": Signature(inputs=leaks)}
+    transitions = {}
+    for c in (0, 1):
+        transitions[("wait", LEAK(c))] = dirac(("heard", c))
+        signatures[("heard", c)] = Signature(inputs=leaks, outputs={GUESS(c)})
+        for c2 in (0, 1):
+            transitions[(("heard", c), LEAK(c2))] = dirac(("heard", c))
+        transitions[(("heard", c), GUESS(c))] = dirac("told")
+    signatures["told"] = Signature(inputs=leaks)
+    for c in (0, 1):
+        transitions[("told", LEAK(c))] = dirac("told")
+    return TablePSIOA(name, "wait", signatures, transitions)
+
+
+def _simulator_core(name: Hashable = "SimCore") -> TablePSIOA:
+    """Translates the ideal notification into a fake uniform ciphertext
+    leak — the information the real adversary view contains *independent of
+    the message*."""
+    signatures = {
+        "wait": Signature(inputs={SENT}),
+        "spent": Signature(inputs={SENT}),
+    }
+    transitions = {
+        ("wait", SENT): DiscreteMeasure(
+            {("fake", 0): Fraction(1, 2), ("fake", 1): Fraction(1, 2)}
+        ),
+        ("spent", SENT): dirac("spent"),
+    }
+    for c in (0, 1):
+        signatures[("fake", c)] = Signature(inputs={SENT}, outputs={LEAK(c)})
+        transitions[(("fake", c), SENT)] = dirac(("fake", c))
+        transitions[(("fake", c), LEAK(c))] = dirac("spent")
+    return TablePSIOA(name, "wait", signatures, transitions)
+
+
+def channel_simulator(adversary: PSIOA, *, name: Hashable = "Sim") -> PSIOA:
+    """``Sim = hide(SimCore || Adv, leak-actions)`` (Definition 4.26's
+    existential witness): the simulator runs the real adversary against a
+    fake ciphertext sampled from the message-independent marginal."""
+    stack = compose(_simulator_core(("core", name)), adversary, name=("sim-stack", name))
+    return hide_adversary_actions(stack, frozenset({LEAK(0), LEAK(1)}), name=name)
+
+
+def channel_environment(message: int, name: Hashable = None) -> TablePSIOA:
+    """A distinguisher that sends ``message``, watches delivery and the
+    adversary's guess, and raises ``acc`` when the guess is correct."""
+    name = name if name is not None else ("env", message)
+    watched = frozenset({RECV(0), RECV(1), GUESS(0), GUESS(1)})
+
+    def sig(outputs=()):
+        return Signature(inputs=watched, outputs=frozenset(outputs))
+
+    signatures = {
+        "start": Signature(outputs={SEND(message)}),
+        "sent": sig(),
+        "hit": sig({"acc"}),
+        "miss": sig(),
+        "end": sig(),
+    }
+    transitions = {("start", SEND(message)): dirac("sent")}
+    for state in ("sent", "hit", "miss", "end"):
+        for b in (0, 1):
+            transitions[(state, RECV(b))] = dirac(state)
+    for b in (0, 1):
+        transitions[("sent", GUESS(b))] = dirac("hit" if b == message else "miss")
+        transitions[("hit", GUESS(b))] = dirac("hit")
+        transitions[("miss", GUESS(b))] = dirac("miss")
+        transitions[("end", GUESS(b))] = dirac("end")
+    transitions[("hit", "acc")] = dirac("end")
+    return TablePSIOA(name, "start", signatures, transitions)
+
+
+def _is_kind(kind: str):
+    return lambda a: isinstance(a, tuple) and len(a) >= 1 and a[0] == kind
+
+
+_PRIORITY_BASE = [
+    _is_kind("send"),
+    _is_kind("sent"),
+    _is_kind("leak"),
+    _is_kind("guess"),
+    _is_kind("recv"),
+    lambda a: a == "acc",
+]
+
+
+def channel_schema(*, permutations: Optional[Sequence[Sequence[int]]] = None) -> SchedulerSchema:
+    """Priority-driver schedulers over the channel action kinds.
+
+    Members are run-to-completion drivers with permuted priorities; the
+    default set covers delivery-before-guess, guess-before-delivery and the
+    canonical protocol order.  All members are oblivious to state content.
+    """
+    orders = permutations or [
+        (0, 1, 2, 3, 4, 5),  # protocol order
+        (0, 1, 2, 4, 3, 5),  # deliver before the adversary guesses
+        (0, 1, 4, 2, 3, 5),  # rush delivery
+    ]
+
+    def members(automaton: PSIOA, bound: int):
+        for order in orders:
+            yield PriorityScheduler(
+                [_PRIORITY_BASE[i] for i in order], bound, name=("prio", tuple(order))
+            )
+
+    return SchedulerSchema("channel-priority", members)
+
+
+def channel_emulation_instance(*, leaky: bool = True, name: str = "otp-channel") -> EmulationInstance:
+    """The packaged claim ``real(k) <=_SE ideal`` (Definition 4.26).
+
+    With ``leaky=True`` the real family uses the ``2^{-(k+1)}``-biased pad
+    (emulation error exactly ``2^{-(k+1)}``); with ``leaky=False`` it uses
+    the perfect pad (error 0 at every ``k``).
+    """
+    real = PSIOAFamily(
+        f"{name}/real",
+        lambda k: real_channel(("real", k), k if leaky else None),
+    )
+    ideal = PSIOAFamily(f"{name}/ideal", lambda k: ideal_channel(("ideal", k)))
+    return EmulationInstance(
+        name,
+        real,
+        ideal,
+        simulator_for=lambda k, adv: channel_simulator(adv, name=("Sim", k)),
+    )

@@ -1,0 +1,148 @@
+"""m-ary one-time-pad channels: the OTP workload over arbitrary finite
+message alphabets.
+
+Generalizes :mod:`repro.systems.channels` from bits to ``Z_m``: the pad is
+uniform over ``Z_m``, the ciphertext is ``(message + pad) mod m``, and the
+simulator fakes a uniform ciphertext.  With the uniform pad the ciphertext
+is independent of the message for *every* ``m``, so the emulation error is
+exactly 0 — exercising the security layer away from the binary special
+case (non-binary supports stress the coupling/TV machinery and the
+adversary's larger guess space).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable
+
+from repro.core.composition import compose
+from repro.core.psioa import PSIOA, TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import DiscreteMeasure, dirac
+from repro.secure.dummy import hide_adversary_actions
+from repro.secure.structured import StructuredPSIOA, structure
+
+__all__ = [
+    "mary_real_channel",
+    "mary_ideal_channel",
+    "mary_guessing_adversary",
+    "mary_channel_simulator",
+    "mary_channel_environment",
+]
+
+SEND = lambda v: ("send", v)
+RECV = lambda v: ("recv", v)
+LEAK = lambda c: ("leak", c)
+GUESS = lambda b: ("guess", b)
+SENT = ("sent",)
+
+
+def _eact(m: int) -> frozenset:
+    return frozenset({SEND(v) for v in range(m)} | {RECV(v) for v in range(m)})
+
+
+def mary_real_channel(name: Hashable, m: int) -> StructuredPSIOA:
+    """The uniform-pad channel over ``Z_m``: ``leak = (msg + pad) mod m``."""
+    if m < 2:
+        raise ValueError("alphabet size must be at least 2")
+    sends = frozenset(SEND(v) for v in range(m))
+    signatures = {"idle": Signature(inputs=sends), "done": Signature(inputs=sends)}
+    transitions = {("done", s): dirac("done") for s in sends}
+    uniform_weight = Fraction(1, m)
+    for v in range(m):
+        transitions[("idle", SEND(v))] = DiscreteMeasure(
+            {("cipher", v, (v + pad) % m): uniform_weight for pad in range(m)}
+        )
+        for c in range(m):
+            signatures[("cipher", v, c)] = Signature(inputs=sends, outputs={LEAK(c)})
+            for s in sends:
+                transitions[(("cipher", v, c), s)] = dirac(("cipher", v, c))
+            transitions[(("cipher", v, c), LEAK(c))] = dirac(("deliver", v))
+        signatures[("deliver", v)] = Signature(inputs=sends, outputs={RECV(v)})
+        for s in sends:
+            transitions[(("deliver", v), s)] = dirac(("deliver", v))
+        transitions[(("deliver", v), RECV(v))] = dirac("done")
+    return structure(TablePSIOA(name, "idle", signatures, transitions), _eact(m))
+
+
+def mary_ideal_channel(name: Hashable, m: int) -> StructuredPSIOA:
+    """The ideal functionality over ``Z_m``: adversary learns only SENT."""
+    sends = frozenset(SEND(v) for v in range(m))
+    signatures = {"idle": Signature(inputs=sends), "done": Signature(inputs=sends)}
+    transitions = {("done", s): dirac("done") for s in sends}
+    for v in range(m):
+        transitions[("idle", SEND(v))] = dirac(("notify", v))
+        signatures[("notify", v)] = Signature(inputs=sends, outputs={SENT})
+        for s in sends:
+            transitions[(("notify", v), s)] = dirac(("notify", v))
+        transitions[(("notify", v), SENT)] = dirac(("deliver", v))
+        signatures[("deliver", v)] = Signature(inputs=sends, outputs={RECV(v)})
+        for s in sends:
+            transitions[(("deliver", v), s)] = dirac(("deliver", v))
+        transitions[(("deliver", v), RECV(v))] = dirac("done")
+    return structure(TablePSIOA(name, "idle", signatures, transitions), _eact(m))
+
+
+def mary_guessing_adversary(name: Hashable, m: int) -> TablePSIOA:
+    """Observes the leak and announces ``guess = leak`` (the maximum-
+    likelihood guess for any pad biased toward 0)."""
+    leaks = frozenset(LEAK(c) for c in range(m))
+    signatures = {"wait": Signature(inputs=leaks)}
+    transitions = {}
+    for c in range(m):
+        transitions[("wait", LEAK(c))] = dirac(("heard", c))
+        signatures[("heard", c)] = Signature(inputs=leaks, outputs={GUESS(c)})
+        for c2 in range(m):
+            transitions[(("heard", c), LEAK(c2))] = dirac(("heard", c))
+        transitions[(("heard", c), GUESS(c))] = dirac("told")
+    signatures["told"] = Signature(inputs=leaks)
+    for c in range(m):
+        transitions[("told", LEAK(c))] = dirac("told")
+    return TablePSIOA(name, "wait", signatures, transitions)
+
+
+def mary_channel_simulator(adversary: PSIOA, m: int, *, name: Hashable = "mSim") -> PSIOA:
+    """``Sim = hide(SimCore_m || Adv, leaks)`` with a uniform fake leak."""
+    leaks = frozenset(LEAK(c) for c in range(m))
+    signatures = {
+        "wait": Signature(inputs={SENT}),
+        "spent": Signature(inputs={SENT}),
+    }
+    transitions = {
+        ("wait", SENT): DiscreteMeasure({("fake", c): Fraction(1, m) for c in range(m)}),
+        ("spent", SENT): dirac("spent"),
+    }
+    for c in range(m):
+        signatures[("fake", c)] = Signature(inputs={SENT}, outputs={LEAK(c)})
+        transitions[(("fake", c), SENT)] = dirac(("fake", c))
+        transitions[(("fake", c), LEAK(c))] = dirac("spent")
+    core = TablePSIOA(("core", name), "wait", signatures, transitions)
+    stack = compose(core, adversary, name=("sim-stack", name))
+    return hide_adversary_actions(stack, leaks, name=name)
+
+
+def mary_channel_environment(message: int, m: int, name: Hashable = None) -> TablePSIOA:
+    """Sends ``message`` and accepts iff the adversary's guess is right."""
+    name = name if name is not None else ("m-env", message, m)
+    watched = frozenset({RECV(v) for v in range(m)} | {GUESS(b) for b in range(m)})
+
+    def sig(outputs=()):
+        return Signature(inputs=watched, outputs=frozenset(outputs))
+
+    signatures = {
+        "start": Signature(outputs={SEND(message)}),
+        "sent": sig(),
+        "hit": sig({"acc"}),
+        "miss": sig(),
+        "end": sig(),
+    }
+    transitions = {("start", SEND(message)): dirac("sent")}
+    for state in ("sent", "hit", "miss", "end"):
+        for v in range(m):
+            transitions[(state, RECV(v))] = dirac(state)
+    for b in range(m):
+        transitions[("sent", GUESS(b))] = dirac("hit" if b == message else "miss")
+        for state in ("hit", "miss", "end"):
+            transitions[(state, GUESS(b))] = dirac(state)
+    transitions[("hit", "acc")] = dirac("end")
+    return TablePSIOA(name, "start", signatures, transitions)

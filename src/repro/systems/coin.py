@@ -1,0 +1,138 @@
+"""Coin automata — the canonical approximate-implementation workload.
+
+A biased coin approximately implements a fair one with error exactly its
+bias, and XOR-amplification drives the bias down geometrically in the
+security parameter, producing the negligible error profiles the
+``<=_{neg,pt}`` relation (Definition 4.12) is about.
+
+The module ships plain and structured variants (toss adversary-facing,
+results environment-facing), indexed families, and the standard observer
+environment used across experiments.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Optional
+
+from repro.bounded.families import PSIOAFamily
+from repro.core.psioa import TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import DiscreteMeasure, dirac
+from repro.secure.structured import StructuredPSIOA, structure
+
+__all__ = [
+    "coin",
+    "structured_coin",
+    "fair_coin_family",
+    "amplified_coin_family",
+    "xor_bias",
+    "coin_observer",
+]
+
+
+def coin(
+    name: Hashable,
+    p,
+    *,
+    toss: Hashable = "toss",
+    head: Hashable = "head",
+    tail: Hashable = "tail",
+) -> TablePSIOA:
+    """A coin landing heads with probability ``p``.
+
+    ``q0 --toss--> {qH w.p. p, qT w.p. 1-p}``; the outcome is announced as
+    an output and the coin then reaches the empty-signature state ``qF``
+    (so it is destroyed when run inside a configuration, Definition 2.12).
+    """
+    signatures = {
+        "q0": Signature(outputs={toss}),
+        "qH": Signature(outputs={head}),
+        "qT": Signature(outputs={tail}),
+        "qF": Signature(),
+    }
+    if p == 0:
+        outcome = dirac("qT")
+    elif p == 1:
+        outcome = dirac("qH")
+    else:
+        outcome = DiscreteMeasure({"qH": p, "qT": 1 - p})
+    transitions = {
+        ("q0", toss): outcome,
+        ("qH", head): dirac("qF"),
+        ("qT", tail): dirac("qF"),
+    }
+    return TablePSIOA(name, "q0", signatures, transitions)
+
+
+def structured_coin(
+    name: Hashable,
+    p,
+    *,
+    toss: Hashable = "toss",
+    head: Hashable = "head",
+    tail: Hashable = "tail",
+) -> StructuredPSIOA:
+    """The structured split: toss is adversary-facing (``AAct``), the
+    announced result is environment-facing (``EAct``)."""
+    return structure(coin(name, p, toss=toss, head=head, tail=tail), {head, tail})
+
+
+def xor_bias(k: int, base_bias: Fraction = Fraction(1, 4)) -> Fraction:
+    """The bias of the XOR of ``k`` independent coins of bias ``delta``.
+
+    Piling-up lemma: ``bias(XOR of k) = 2^{k-1} * delta^k``; with
+    ``delta = 1/4`` this is ``(1/2) * (1/2)^k = 2^{-(k+1)}`` — an exactly
+    geometric decay, the textbook amplification producing negligible error.
+    """
+    return Fraction(2) ** (k - 1) * base_bias ** k
+
+
+def fair_coin_family(name: str = "fair") -> PSIOAFamily:
+    """``(fair coin)_k`` — the constant fair family (the specification)."""
+    return PSIOAFamily(name, lambda k: coin((name, k), Fraction(1, 2)))
+
+
+def amplified_coin_family(
+    name: str = "amplified",
+    base_bias: Fraction = Fraction(1, 4),
+) -> PSIOAFamily:
+    """``(XOR-amplified coin)_k`` with bias ``xor_bias(k)``.
+
+    The k-th member models a protocol XOR-ing ``k`` independent
+    ``base_bias``-biased coins; its single-toss abstraction has exactly the
+    piled-up bias, which keeps the state space constant while the error
+    profile decays geometrically — the shape Theorem 4.15 quantifies over.
+    """
+    return PSIOAFamily(
+        name,
+        lambda k: coin((name, k), Fraction(1, 2) + xor_bias(k, base_bias)),
+    )
+
+
+def coin_observer(
+    name: Hashable = "E",
+    *,
+    head: Hashable = "head",
+    tail: Hashable = "tail",
+    accept_on: Optional[Hashable] = "head",
+    accept: Hashable = "acc",
+) -> TablePSIOA:
+    """The standard distinguisher environment: watches the coin results
+    and raises ``acc`` after seeing ``accept_on``."""
+    watched = frozenset({head, tail})
+    signatures = {
+        "watch": Signature(inputs=watched),
+        "happy": Signature(inputs=watched, outputs={accept}),
+        "done": Signature(inputs=watched),
+    }
+    transitions = {
+        ("watch", head): dirac("happy" if accept_on == head else "watch"),
+        ("watch", tail): dirac("happy" if accept_on == tail else "watch"),
+        ("happy", head): dirac("happy"),
+        ("happy", tail): dirac("happy"),
+        ("happy", accept): dirac("done"),
+        ("done", head): dirac("done"),
+        ("done", tail): dirac("done"),
+    }
+    return TablePSIOA(name, "watch", signatures, transitions)

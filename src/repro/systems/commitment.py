@@ -1,0 +1,206 @@
+"""Bit commitment: masked real protocol vs ideal functionality.
+
+The real committer publishes ``post = b XOR r`` where the mask ``r`` is a
+pad bit with bias ``2^{-(k+1)}`` (so hiding holds up to a geometrically
+small advantage), then reveals ``b`` on demand.  The ideal functionality
+publishes only the fact that a commitment was made and reveals on demand —
+binding and hiding are perfect by construction.
+
+This second emulation workload exercises the same machinery as the OTP
+channel but with a *two-phase* environment interface (commit then open),
+so simulators must be consistent across phases.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Optional
+
+from repro.bounded.families import PSIOAFamily
+from repro.core.composition import compose
+from repro.core.psioa import PSIOA, TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import DiscreteMeasure, dirac
+from repro.secure.dummy import hide_adversary_actions
+from repro.secure.emulation import EmulationInstance
+from repro.secure.structured import StructuredPSIOA, structure
+
+__all__ = [
+    "COMMIT",
+    "OPEN",
+    "REVEAL",
+    "POST",
+    "POSTED",
+    "real_commitment",
+    "ideal_commitment",
+    "posting_adversary",
+    "commitment_simulator",
+    "commitment_environment",
+    "commitment_emulation_instance",
+]
+
+COMMIT = lambda b: ("commit", b)
+OPEN = ("open",)
+REVEAL = lambda b: ("reveal", b)
+POST = lambda c: ("post", c)
+POSTED = ("posted",)
+
+_EACT = frozenset({COMMIT(0), COMMIT(1), OPEN, REVEAL(0), REVEAL(1)})
+
+
+def _mask_bias(k: Optional[int]) -> Fraction:
+    return Fraction(0) if k is None else Fraction(1, 2 ** (k + 1))
+
+
+def real_commitment(name: Hashable = "real-com", k: Optional[int] = None) -> StructuredPSIOA:
+    """The masked commitment: ``post = b XOR r`` with ``P(r=0)=1/2+delta``."""
+    delta = _mask_bias(k)
+    env_inputs = frozenset({COMMIT(0), COMMIT(1), OPEN})
+    signatures = {"idle": Signature(inputs=env_inputs)}
+    transitions = {("idle", OPEN): dirac("idle")}
+    for b in (0, 1):
+        p_same = Fraction(1, 2) + delta  # P(post == b) = P(r = 0)
+        transitions[("idle", COMMIT(b))] = DiscreteMeasure(
+            {("mask", b, b): p_same, ("mask", b, 1 - b): 1 - p_same}
+        )
+        for c in (0, 1):
+            signatures[("mask", b, c)] = Signature(inputs=env_inputs, outputs={POST(c)})
+            for x in (COMMIT(0), COMMIT(1), OPEN):
+                transitions[(("mask", b, c), x)] = dirac(("mask", b, c))
+            transitions[(("mask", b, c), POST(c))] = dirac(("held", b))
+        signatures[("held", b)] = Signature(inputs=env_inputs)
+        for x in (COMMIT(0), COMMIT(1)):
+            transitions[(("held", b), x)] = dirac(("held", b))
+        transitions[(("held", b), OPEN)] = dirac(("opening", b))
+        signatures[("opening", b)] = Signature(inputs=env_inputs, outputs={REVEAL(b)})
+        for x in (COMMIT(0), COMMIT(1), OPEN):
+            transitions[(("opening", b), x)] = dirac(("opening", b))
+        transitions[(("opening", b), REVEAL(b))] = dirac("done")
+    signatures["done"] = Signature(inputs=env_inputs)
+    for x in (COMMIT(0), COMMIT(1), OPEN):
+        transitions[("done", x)] = dirac("done")
+    return structure(TablePSIOA(name, "idle", signatures, transitions), _EACT)
+
+
+def ideal_commitment(name: Hashable = "ideal-com") -> StructuredPSIOA:
+    """The ideal functionality: publish only ``("posted",)``."""
+    env_inputs = frozenset({COMMIT(0), COMMIT(1), OPEN})
+    signatures = {"idle": Signature(inputs=env_inputs)}
+    transitions = {("idle", OPEN): dirac("idle")}
+    for b in (0, 1):
+        transitions[("idle", COMMIT(b))] = dirac(("notify", b))
+        signatures[("notify", b)] = Signature(inputs=env_inputs, outputs={POSTED})
+        for x in (COMMIT(0), COMMIT(1), OPEN):
+            transitions[(("notify", b), x)] = dirac(("notify", b))
+        transitions[(("notify", b), POSTED)] = dirac(("held", b))
+        signatures[("held", b)] = Signature(inputs=env_inputs)
+        for x in (COMMIT(0), COMMIT(1)):
+            transitions[(("held", b), x)] = dirac(("held", b))
+        transitions[(("held", b), OPEN)] = dirac(("opening", b))
+        signatures[("opening", b)] = Signature(inputs=env_inputs, outputs={REVEAL(b)})
+        for x in (COMMIT(0), COMMIT(1), OPEN):
+            transitions[(("opening", b), x)] = dirac(("opening", b))
+        transitions[(("opening", b), REVEAL(b))] = dirac("done")
+    signatures["done"] = Signature(inputs=env_inputs)
+    for x in (COMMIT(0), COMMIT(1), OPEN):
+        transitions[("done", x)] = dirac("done")
+    return structure(TablePSIOA(name, "idle", signatures, transitions), _EACT)
+
+
+def _commitment_sim_core(name: Hashable = "ComSimCore") -> TablePSIOA:
+    """Fakes a uniform masked post on the ideal notification."""
+    signatures = {
+        "wait": Signature(inputs={POSTED}),
+        "spent": Signature(inputs={POSTED}),
+    }
+    transitions = {
+        ("wait", POSTED): DiscreteMeasure(
+            {("fake", 0): Fraction(1, 2), ("fake", 1): Fraction(1, 2)}
+        ),
+        ("spent", POSTED): dirac("spent"),
+    }
+    for c in (0, 1):
+        signatures[("fake", c)] = Signature(inputs={POSTED}, outputs={POST(c)})
+        transitions[(("fake", c), POSTED)] = dirac(("fake", c))
+        transitions[(("fake", c), POST(c))] = dirac("spent")
+    return TablePSIOA(name, "wait", signatures, transitions)
+
+
+def posting_adversary(name: Hashable = "ComAdv", *, guess_kind: str = "guess") -> TablePSIOA:
+    """The real-interface adversary: reads the masked post and announces a
+    guess of the committed bit on the ``guess_kind`` channel."""
+    posts = {POST(0), POST(1)}
+    guess = lambda b: (guess_kind, b)
+    signatures = {"wait": Signature(inputs=posts)}
+    transitions = {}
+    for c in (0, 1):
+        transitions[("wait", POST(c))] = dirac(("heard", c))
+        signatures[("heard", c)] = Signature(inputs=posts, outputs={guess(c)})
+        for c2 in (0, 1):
+            transitions[(("heard", c), POST(c2))] = dirac(("heard", c))
+        transitions[(("heard", c), guess(c))] = dirac("told")
+    signatures["told"] = Signature(inputs=posts)
+    for c in (0, 1):
+        transitions[("told", POST(c))] = dirac("told")
+    return TablePSIOA(name, "wait", signatures, transitions)
+
+
+def commitment_simulator(adversary: PSIOA, *, name: Hashable = "ComSim") -> PSIOA:
+    """``Sim = hide(SimCore || Adv, post-actions)``."""
+    stack = compose(_commitment_sim_core(("core", name)), adversary, name=("sim-stack", name))
+    return hide_adversary_actions(stack, frozenset({POST(0), POST(1)}), name=name)
+
+
+def commitment_environment(
+    bit: int, name: Hashable = None, *, guess_kind: str = "guess"
+) -> TablePSIOA:
+    """Distinguisher: commits ``bit``, opens, and accepts when the
+    adversary guessed the committed bit before the reveal.
+
+    ``guess_kind`` names the adversary's announcement channel — override it
+    when composing with other workloads whose adversaries also guess.
+    """
+    name = name if name is not None else ("com-env", bit)
+    guess = lambda b: (guess_kind, b)
+    watched = frozenset({REVEAL(0), REVEAL(1), guess(0), guess(1)})
+
+    def sig(outputs=()):
+        return Signature(inputs=watched, outputs=frozenset(outputs))
+
+    signatures = {
+        "start": Signature(outputs={COMMIT(bit)}),
+        "committed": sig({OPEN}),
+        "hit": sig({OPEN}),
+        "miss": sig({OPEN}),
+        "opened": sig({"acc"}),
+        "end": sig(),
+    }
+    transitions = {("start", COMMIT(bit)): dirac("committed")}
+    for state in ("committed", "hit", "miss", "opened", "end"):
+        for b in (0, 1):
+            transitions[(state, REVEAL(b))] = dirac(state)
+    for b in (0, 1):
+        transitions[("committed", guess(b))] = dirac("hit" if b == bit else "miss")
+        for state in ("hit", "miss", "opened", "end"):
+            transitions[(state, guess(b))] = dirac(state)
+    transitions[("committed", OPEN)] = dirac("committed")
+    transitions[("hit", OPEN)] = dirac("opened")
+    transitions[("miss", OPEN)] = dirac("end")
+    transitions[("opened", "acc")] = dirac("end")
+    return TablePSIOA(name, "start", signatures, transitions)
+
+
+def commitment_emulation_instance(*, leaky: bool = True, name: str = "commitment") -> EmulationInstance:
+    """``real-commitment(k) <=_SE ideal-commitment`` with hiding error
+    ``2^{-(k+1)}`` (0 when ``leaky=False``)."""
+    real = PSIOAFamily(
+        f"{name}/real",
+        lambda k: real_commitment(("real-com", k), k if leaky else None),
+    )
+    ideal = PSIOAFamily(f"{name}/ideal", lambda k: ideal_commitment(("ideal-com", k)))
+    return EmulationInstance(
+        name,
+        real,
+        ideal,
+        simulator_for=lambda k, adv: commitment_simulator(adv, name=("ComSim", k)),
+    )

@@ -1,0 +1,148 @@
+"""Randomized binary consensus with a shared coin, vs the ideal
+always-agreeing functionality.
+
+Two processes receive proposals from the environment.  On agreement they
+decide the common value immediately.  On disagreement the *real* protocol
+runs ``k`` shared-coin rounds (Ben-Or style); each round resolves the
+conflict with probability 1/2, so with probability ``2^{-k}`` the processes
+time out and fall back to their own proposals — deciding *inconsistently*.
+The *ideal* functionality always agrees (falling back to 0 on
+disagreement).
+
+The real family therefore implements the ideal one with error exactly
+``2^{-k}`` under the natural distinguisher — a distributed-computing
+workload for the ``<=_{neg,pt}`` relation whose error comes from protocol
+randomness rather than cryptography.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable
+
+from repro.bounded.families import PSIOAFamily
+from repro.core.psioa import TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import DiscreteMeasure, dirac
+
+__all__ = [
+    "PROPOSE",
+    "DECIDE",
+    "real_consensus",
+    "ideal_consensus",
+    "real_consensus_family",
+    "ideal_consensus_family",
+    "consensus_environment",
+]
+
+PROPOSE = lambda proc, v: ("propose", proc, v)
+DECIDE = lambda proc, v: ("decide", proc, v)
+
+_PROPOSALS = frozenset(PROPOSE(p, v) for p in (1, 2) for v in (0, 1))
+
+
+def _consensus_automaton(name: Hashable, disagreement_failure: Fraction) -> TablePSIOA:
+    """Consensus deciding the common value on agreement; on disagreement it
+    reaches agreement on 0 except with probability ``disagreement_failure``,
+    in which case the processes split (decide their own proposals)."""
+    signatures = {
+        "init": Signature(inputs=_PROPOSALS),
+    }
+    transitions = {}
+    # Collect proposals one process at a time (order-insensitive).
+    for p, v in [(1, 0), (1, 1), (2, 0), (2, 1)]:
+        transitions[("init", PROPOSE(p, v))] = dirac(("one", p, v))
+    for p, v in [(1, 0), (1, 1), (2, 0), (2, 1)]:
+        signatures[("one", p, v)] = Signature(inputs=_PROPOSALS)
+        for p2, v2 in [(1, 0), (1, 1), (2, 0), (2, 1)]:
+            if p2 == p:
+                transitions[(("one", p, v), PROPOSE(p2, v2))] = dirac(("one", p, v))
+                continue
+            pair = {p: v, p2: v2}
+            v1, v2_ = pair[1], pair[2]
+            if v1 == v2_:
+                target = dirac(("agree", v1))
+            elif disagreement_failure == 0:
+                target = dirac(("agree", 0))
+            else:
+                target = DiscreteMeasure(
+                    {
+                        ("agree", 0): 1 - disagreement_failure,
+                        ("split", v1, v2_): disagreement_failure,
+                    }
+                )
+            transitions[(("one", p, v), PROPOSE(p2, v2))] = target
+    for v in (0, 1):
+        signatures[("agree", v)] = Signature(outputs={DECIDE(1, v)})
+        transitions[(("agree", v), DECIDE(1, v))] = dirac(("agree2", v))
+        signatures[("agree2", v)] = Signature(outputs={DECIDE(2, v)})
+        transitions[(("agree2", v), DECIDE(2, v))] = dirac("decided")
+    for v1 in (0, 1):
+        for v2 in (0, 1):
+            if v1 == v2:
+                continue
+            signatures[("split", v1, v2)] = Signature(outputs={DECIDE(1, v1)})
+            transitions[(("split", v1, v2), DECIDE(1, v1))] = dirac(("split2", v2))
+    for v2 in (0, 1):
+        signatures[("split2", v2)] = Signature(outputs={DECIDE(2, v2)})
+        transitions[(("split2", v2), DECIDE(2, v2))] = dirac("decided")
+    signatures["decided"] = Signature(inputs=_PROPOSALS)
+    for p, v in [(1, 0), (1, 1), (2, 0), (2, 1)]:
+        transitions[("decided", PROPOSE(p, v))] = dirac("decided")
+    return TablePSIOA(name, "init", signatures, transitions)
+
+
+def real_consensus(name: Hashable = "consensus", k: int = 1) -> TablePSIOA:
+    """The ``k``-round shared-coin protocol: residual disagreement ``2^{-k}``."""
+    return _consensus_automaton(name, Fraction(1, 2 ** k))
+
+
+def ideal_consensus(name: Hashable = "ideal-consensus") -> TablePSIOA:
+    """The ideal functionality: always agrees (validity + agreement)."""
+    return _consensus_automaton(name, Fraction(0))
+
+
+def real_consensus_family(name: str = "consensus") -> PSIOAFamily:
+    return PSIOAFamily(name, lambda k: real_consensus((name, k), k))
+
+
+def ideal_consensus_family(name: str = "ideal-consensus") -> PSIOAFamily:
+    return PSIOAFamily(name, lambda k: ideal_consensus((name, k)))
+
+
+def consensus_environment(v1: int, v2: int, name: Hashable = None) -> TablePSIOA:
+    """Proposes ``v1``/``v2`` for the two processes, then raises ``acc`` iff
+    the observed decisions *disagree* — the safety-violation detector."""
+    name = name if name is not None else ("cons-env", v1, v2)
+    decisions = frozenset(DECIDE(p, v) for p in (1, 2) for v in (0, 1))
+
+    def sig(outputs=()):
+        return Signature(inputs=decisions, outputs=frozenset(outputs))
+
+    signatures = {
+        "p1": Signature(outputs={PROPOSE(1, v1)}, inputs=decisions),
+        "p2": Signature(outputs={PROPOSE(2, v2)}, inputs=decisions),
+        "wait": sig(),
+        "end": sig(),
+    }
+    transitions = {
+        ("p1", PROPOSE(1, v1)): dirac("p2"),
+        ("p2", PROPOSE(2, v2)): dirac("wait"),
+    }
+    for state in ("p1", "p2", "end"):
+        for d in decisions:
+            transitions[(state, d)] = dirac(state)
+    for v in (0, 1):
+        transitions[("wait", DECIDE(1, v))] = dirac(("saw", v))
+        signatures[("saw", v)] = sig()
+        for v2_ in (0, 1):
+            transitions[(("saw", v), DECIDE(2, v2_))] = dirac("agreemt" if v2_ == v else "violation")
+            transitions[(("saw", v), DECIDE(1, v2_))] = dirac(("saw", v))
+        transitions[("wait", DECIDE(2, v))] = dirac("wait")
+    signatures["agreemt"] = sig()
+    signatures["violation"] = sig({"acc"})
+    for d in decisions:
+        transitions[("agreemt", d)] = dirac("agreemt")
+        transitions[("violation", d)] = dirac("violation")
+    transitions[("violation", "acc")] = dirac("end")
+    return TablePSIOA(name, "p1", signatures, transitions)

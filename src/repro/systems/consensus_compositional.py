@@ -1,0 +1,144 @@
+"""Compositional randomized consensus: two *separate* process automata.
+
+Where :mod:`repro.systems.consensus` models the protocol as one monolithic
+automaton (convenient for exact sweeps), this module builds it the way the
+formalism intends — as a **composition** of per-process PSIOA exchanging
+vote actions, each flipping its own local coin (Ben-Or style):
+
+* round 0 votes carry the proposals; on agreement a process decides;
+* on disagreement each process flips a *local* fair coin (an internal
+  probabilistic action), adopts it, and the processes re-exchange votes;
+* after ``k`` coin rounds a process times out and decides its current
+  value — so the composed protocol violates agreement exactly when all
+  ``k`` coin rounds produced differing coins: probability ``2^{-k}``,
+  matching the monolithic model.
+
+The module is the framework's "realistic distributed system" stress case:
+the protocol emerges from composition (Definition 2.18), synchronization
+from matched input/output actions, and randomness from per-component
+internal transitions.  ``consensus_pair`` wires two processes; the
+environments and insight of :mod:`repro.systems.consensus` apply unchanged
+because the external interface (``propose``/``decide``) is identical.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Tuple
+
+from repro.core.composition import ComposedPSIOA, compose
+from repro.core.psioa import TablePSIOA
+from repro.core.signature import Signature
+from repro.experiments.common import kind_priority_schema
+from repro.probability.measures import DiscreteMeasure, dirac
+
+__all__ = ["consensus_process", "consensus_pair", "consensus_pair_schema"]
+
+PROPOSE = lambda proc, v: ("propose", proc, v)
+VOTE = lambda proc, r, v: ("vote", proc, r, v)
+DECIDE = lambda proc, v: ("decide", proc, v)
+RESOLVE = lambda proc, r: ("resolve", proc, r)
+COIN = lambda proc, r: ("localcoin", proc, r)
+
+
+def consensus_process(i: int, j: int, k: int, *, name: Hashable = None) -> TablePSIOA:
+    """One consensus process: id ``i``, peer ``j``, ``k`` local-coin rounds.
+
+    States (``r`` is the current round, ``v`` my value, ``w`` the peer's):
+
+    * ``idle`` — waiting for the proposal;
+    * ``("send", r, v)`` — must emit my round-``r`` vote; the peer's vote
+      may arrive first (``("send+", r, v, w)``);
+    * ``("sent", r, v)`` — waiting for the peer's round-``r`` vote;
+    * ``("cmp", r, v, w)`` — internal resolution: agree -> decide,
+      disagree -> flip (or time out at round ``k``);
+    * ``("flip", r, v)`` — the local coin (probabilistic internal step);
+    * ``("decide", v)`` — emit the decision, then sink.
+    """
+    name = name if name is not None else ("proc", i)
+    proposals = frozenset(PROPOSE(i, v) for v in (0, 1))
+    signatures = {"idle": Signature(inputs=proposals)}
+    transitions = {}
+    for v in (0, 1):
+        transitions[("idle", PROPOSE(i, v))] = dirac(("send", 0, v))
+
+    for r in range(k + 1):
+        peer_votes = frozenset(VOTE(j, r, w) for w in (0, 1))
+        for v in (0, 1):
+            # send: my vote pending; peer's vote may overtake.
+            signatures[("send", r, v)] = Signature(
+                inputs=peer_votes | proposals, outputs={VOTE(i, r, v)}
+            )
+            transitions[(("send", r, v), VOTE(i, r, v))] = dirac(("sent", r, v))
+            for p in proposals:
+                transitions[(("send", r, v), p)] = dirac(("send", r, v))
+            for w in (0, 1):
+                transitions[(("send", r, v), VOTE(j, r, w))] = dirac(("send+", r, v, w))
+                # send+: peer vote recorded, my vote still pending.
+                signatures[("send+", r, v, w)] = Signature(
+                    inputs=proposals, outputs={VOTE(i, r, v)}
+                )
+                transitions[(("send+", r, v, w), VOTE(i, r, v))] = dirac(("cmp", r, v, w))
+                for p in proposals:
+                    transitions[(("send+", r, v, w), p)] = dirac(("send+", r, v, w))
+            # sent: my vote out, waiting for the peer's.
+            signatures[("sent", r, v)] = Signature(inputs=peer_votes | proposals)
+            for p in proposals:
+                transitions[(("sent", r, v), p)] = dirac(("sent", r, v))
+            for w in (0, 1):
+                transitions[(("sent", r, v), VOTE(j, r, w))] = dirac(("cmp", r, v, w))
+            # cmp: internal resolution.
+            for w in (0, 1):
+                signatures[("cmp", r, v, w)] = Signature(
+                    inputs=proposals, internals={RESOLVE(i, r)}
+                )
+                for p in proposals:
+                    transitions[(("cmp", r, v, w), p)] = dirac(("cmp", r, v, w))
+                if v == w or r == k:
+                    target = dirac(("decide", v))
+                else:
+                    target = dirac(("flip", r, v))
+                transitions[(("cmp", r, v, w), RESOLVE(i, r))] = target
+            # flip: the local coin, feeding the next round.
+            if r < k:
+                signatures[("flip", r, v)] = Signature(
+                    inputs=proposals, internals={COIN(i, r)}
+                )
+                for p in proposals:
+                    transitions[(("flip", r, v), p)] = dirac(("flip", r, v))
+                transitions[(("flip", r, v), COIN(i, r))] = DiscreteMeasure(
+                    {("send", r + 1, 0): Fraction(1, 2), ("send", r + 1, 1): Fraction(1, 2)}
+                )
+
+    for v in (0, 1):
+        # Decisions; the sink absorbs late proposals and any peer votes.
+        late = frozenset(VOTE(j, r, w) for r in range(k + 1) for w in (0, 1))
+        signatures[("decide", v)] = Signature(
+            inputs=proposals | late, outputs={DECIDE(i, v)}
+        )
+        for a in proposals | late:
+            transitions[(("decide", v), a)] = dirac(("decide", v))
+        transitions[(("decide", v), DECIDE(i, v))] = dirac("sink")
+    sink_inputs = proposals | frozenset(
+        VOTE(j, r, w) for r in range(k + 1) for w in (0, 1)
+    )
+    signatures["sink"] = Signature(inputs=sink_inputs)
+    for a in sink_inputs:
+        transitions[("sink", a)] = dirac("sink")
+    return TablePSIOA(name, "idle", signatures, transitions)
+
+
+def consensus_pair(k: int, *, name: Hashable = None) -> ComposedPSIOA:
+    """The two-process protocol ``P1 || P2`` with ``k`` coin rounds."""
+    p1 = consensus_process(1, 2, k, name=("proc", 1, k))
+    p2 = consensus_process(2, 1, k, name=("proc", 2, k))
+    return compose(p1, p2, name=name if name is not None else ("consensus2", k))
+
+
+def consensus_pair_schema():
+    """The natural protocol driver: internal resolution and coin flips
+    before votes, votes before decisions — keeping the two processes in
+    lockstep rounds so no vote is ever lost."""
+    return kind_priority_schema(
+        ["propose", "resolve", "localcoin", "vote", "decide"], plain=["acc"]
+    )

@@ -1,0 +1,334 @@
+"""A dynamic ledger: clients join and leave at run time.
+
+This is the dynamicity workload the paper's introduction motivates
+(blockchains whose participant set changes): a manager PCA *creates* a
+fresh client automaton on each ``join`` and clients *destroy themselves*
+(reach the empty signature) once their transaction is acknowledged —
+exercising intrinsic transitions with creation and destruction
+(Definition 2.14) and PCA constraints (Definition 2.16) at scale.
+
+The module also provides the generic :func:`spawning_pca` used by the
+creation-monotonicity experiment (E11): a PCA that dynamically creates a
+caller-chosen automaton, so ``X_A`` and ``X_B`` differing only in what they
+create can be compared under creation-oblivious schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.config.configuration import Configuration
+from repro.config.pca import CanonicalPCA
+from repro.core.psioa import PSIOA, TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import dirac
+
+__all__ = [
+    "ledger_client",
+    "ledger_manager",
+    "ledger_manager_pca",
+    "spawning_pca",
+    "ordering_ledger",
+    "fifo_ideal_ledger",
+    "ordering_adversary",
+    "reversing_adversary",
+    "fifo_adversary",
+    "reversing_script",
+    "fifo_script",
+    "ideal_fifo_script",
+    "ledger_environment",
+]
+
+
+def ledger_client(client_id: Hashable) -> TablePSIOA:
+    """A client: submits one transaction, waits for the acknowledgement,
+    then reaches the empty signature (self-destruction, Definition 2.12)."""
+    submit = ("tx", client_id)
+    ack = ("ack", client_id)
+    signatures = {
+        "fresh": Signature(outputs={submit}),
+        "pending": Signature(inputs={ack}),
+        "gone": Signature(),
+    }
+    transitions = {
+        ("fresh", submit): dirac("pending"),
+        ("pending", ack): dirac("gone"),
+    }
+    return TablePSIOA(("client", client_id), "fresh", signatures, transitions)
+
+
+def ledger_manager(count: int, name: Hashable = "ledger-mgr") -> TablePSIOA:
+    """The ordering service: admits ``count`` clients (emitting ``join i``),
+    and acknowledges transactions in arrival order."""
+    joins = [("join", i) for i in range(count)]
+    txs = frozenset(("tx", i) for i in range(count))
+    signatures = {}
+    transitions = {}
+
+    # States: ("m", joined, pending) with joined = number of joins emitted,
+    # pending = frozenset of client ids with unacknowledged transactions.
+    def sig(joined: int, pending: frozenset) -> Signature:
+        outputs = set()
+        if joined < count:
+            outputs.add(("join", joined))
+        if pending:
+            outputs.add(("ack", min(pending)))
+        return Signature(inputs=txs, outputs=outputs)
+
+    for joined in range(count + 1):
+        for pending in _subsets(range(count)):
+            state = ("m", joined, pending)
+            signatures[state] = sig(joined, pending)
+            if joined < count:
+                transitions[(state, ("join", joined))] = dirac(("m", joined + 1, pending))
+            if pending:
+                head = min(pending)
+                transitions[(state, ("ack", head))] = dirac(("m", joined, pending - {head}))
+            for i in range(count):
+                target = pending | {i}
+                transitions[(state, ("tx", i))] = dirac(("m", joined, frozenset(target)))
+    return TablePSIOA(name, ("m", 0, frozenset()), signatures, transitions)
+
+
+def _subsets(items) -> Sequence[frozenset]:
+    items = list(items)
+    out = [frozenset()]
+    for item in items:
+        out += [s | {item} for s in out]
+    return out
+
+
+def ledger_manager_pca(count: int, *, name: Hashable = "ledger") -> CanonicalPCA:
+    """The dynamic ledger PCA: each ``join i`` creates client ``i`` at run
+    time; clients self-destruct after their acknowledgement."""
+    manager = ledger_manager(count, name=(name, "mgr"))
+
+    def created(configuration: Configuration, action):
+        if isinstance(action, tuple) and action[0] == "join":
+            return [ledger_client(action[1])]
+        return []
+
+    return CanonicalPCA(name, [manager], created=created)
+
+
+def spawning_pca(
+    child_factory: Callable[[], PSIOA],
+    *,
+    name: Hashable = "spawner",
+    trigger: Hashable = "spawn",
+    manager_name: Optional[Hashable] = None,
+) -> CanonicalPCA:
+    """A PCA that creates ``child_factory()`` when ``trigger`` fires.
+
+    This is the shape of the creation-monotonicity property (Section 4.4
+    discussion): two spawning PCA differing only in the created child can
+    be compared under creation-oblivious schedulers.
+    """
+    mgr_name = manager_name if manager_name is not None else (name, "mgr")
+    manager = TablePSIOA(
+        mgr_name,
+        "ready",
+        {
+            "ready": Signature(outputs={trigger}),
+            "spawned": Signature(inputs={("poke", mgr_name)}),
+        },
+        {
+            ("ready", trigger): dirac("spawned"),
+            ("spawned", ("poke", mgr_name)): dirac("spawned"),
+        },
+    )
+
+    def created(configuration: Configuration, action):
+        if action == trigger:
+            return [child_factory()]
+        return []
+
+    return CanonicalPCA(name, [manager], created=created)
+
+
+# -- ordering ledgers: which ideal functionality is realizable? ------------------
+
+SUBMIT = lambda i: ("submit", i)
+COMMITTED = lambda i: ("committed", i)
+ORDER = lambda perm: ("order", perm)
+PENDING = ("pending",)
+
+_SUBMITS = frozenset({SUBMIT(1), SUBMIT(2)})
+
+
+def ordering_ledger(name: Hashable = "ord-ledger"):
+    """The *real* ledger protocol: once both transactions are submitted,
+    the adversary chooses the commit order.
+
+    Environment actions: ``submit i`` in, ``committed i`` out.  Adversary
+    actions: ``("pending",)`` out (the ledger announces a full batch) and
+    ``("order", "12"/"21")`` in (the adversary's choice) — the classic
+    power a real ordering service grants its network adversary.
+    """
+    from repro.secure.structured import structure
+
+    signatures = {
+        "idle": Signature(inputs=_SUBMITS),
+        ("one", 1): Signature(inputs=_SUBMITS),
+        ("one", 2): Signature(inputs=_SUBMITS),
+        "ask": Signature(inputs=_SUBMITS, outputs={PENDING}),
+        "await": Signature(inputs=_SUBMITS | {ORDER("12"), ORDER("21")}),
+        "done": Signature(inputs=_SUBMITS),
+    }
+    transitions = {
+        ("idle", SUBMIT(1)): dirac(("one", 1)),
+        ("idle", SUBMIT(2)): dirac(("one", 2)),
+        (("one", 1), SUBMIT(1)): dirac(("one", 1)),
+        (("one", 1), SUBMIT(2)): dirac("ask"),
+        (("one", 2), SUBMIT(2)): dirac(("one", 2)),
+        (("one", 2), SUBMIT(1)): dirac("ask"),
+        ("ask", PENDING): dirac("await"),
+        ("await", ORDER("12")): dirac(("c1", 1, 2)),
+        ("await", ORDER("21")): dirac(("c1", 2, 1)),
+    }
+    for state in ("ask", "await", "done"):
+        for s in _SUBMITS:
+            transitions[(state, s)] = dirac(state)
+    for first, second in [(1, 2), (2, 1)]:
+        signatures[("c1", first, second)] = Signature(
+            inputs=_SUBMITS, outputs={COMMITTED(first)}
+        )
+        transitions[(("c1", first, second), COMMITTED(first))] = dirac(("c2", second))
+        for s in _SUBMITS:
+            transitions[(("c1", first, second), s)] = dirac(("c1", first, second))
+    for second in (1, 2):
+        signatures[("c2", second)] = Signature(inputs=_SUBMITS, outputs={COMMITTED(second)})
+        transitions[(("c2", second), COMMITTED(second))] = dirac("done")
+        for s in _SUBMITS:
+            transitions[(("c2", second), s)] = dirac(("c2", second))
+    base = TablePSIOA(name, "idle", signatures, transitions)
+    return structure(base, _SUBMITS | {COMMITTED(1), COMMITTED(2)})
+
+
+def fifo_ideal_ledger(name: Hashable = "fifo-ledger"):
+    """The *strict-FIFO* ideal ledger: commits in submission order; the
+    adversary is only notified (``("pending",)``) and has **no** ordering
+    input.
+
+    This ideal is **not realizable** by the ordering protocol: no simulator
+    can make the FIFO commits match an adversarially reversed real-world
+    order — experiment E14 measures the constant distinguishing advantage.
+    """
+    from repro.secure.structured import structure
+
+    signatures = {
+        "idle": Signature(inputs=_SUBMITS),
+        ("one", 1): Signature(inputs=_SUBMITS),
+        ("one", 2): Signature(inputs=_SUBMITS),
+        "done": Signature(inputs=_SUBMITS),
+    }
+    transitions = {
+        ("idle", SUBMIT(1)): dirac(("one", 1)),
+        ("idle", SUBMIT(2)): dirac(("one", 2)),
+        (("one", 1), SUBMIT(1)): dirac(("one", 1)),
+        (("one", 2), SUBMIT(2)): dirac(("one", 2)),
+    }
+    # FIFO: the commit order is the submission order.
+    transitions[(("one", 1), SUBMIT(2))] = dirac(("ask", 1, 2))
+    transitions[(("one", 2), SUBMIT(1))] = dirac(("ask", 2, 1))
+    for first, second in [(1, 2), (2, 1)]:
+        signatures[("ask", first, second)] = Signature(
+            inputs=_SUBMITS, outputs={PENDING}
+        )
+        transitions[(("ask", first, second), PENDING)] = dirac(("c1", first, second))
+        signatures[("c1", first, second)] = Signature(
+            inputs=_SUBMITS, outputs={COMMITTED(first)}
+        )
+        transitions[(("c1", first, second), COMMITTED(first))] = dirac(("c2", second))
+        for s in _SUBMITS:
+            transitions[(("ask", first, second), s)] = dirac(("ask", first, second))
+            transitions[(("c1", first, second), s)] = dirac(("c1", first, second))
+    for second in (1, 2):
+        signatures[("c2", second)] = Signature(inputs=_SUBMITS, outputs={COMMITTED(second)})
+        transitions[(("c2", second), COMMITTED(second))] = dirac("done")
+        for s in _SUBMITS:
+            transitions[(("c2", second), s)] = dirac(("c2", second))
+    for s in _SUBMITS:
+        transitions[("done", s)] = dirac("done")
+    base = TablePSIOA(name, "idle", signatures, transitions)
+    return structure(base, _SUBMITS | {COMMITTED(1), COMMITTED(2)})
+
+
+def ordering_adversary(name: Hashable = "OrdAdv") -> TablePSIOA:
+    """The Definition-4.24-compliant ordering adversary: a single state
+    covering *both* ordering inputs of the ledger at all times (the
+    definition requires ``AI_A(q) subseteq out(Adv)(q_Adv)`` at every
+    reachable joint state, and exhaustive exploration reaches states where
+    a multi-phase adversary would have retired its outputs).
+
+    The concrete order choice is the scheduler's — faithful to the
+    framework, where scheduling *is* the adversary's resolution power
+    (Section 3).  Use the scripts below to realize the malicious/benign
+    resolutions.
+    """
+    orders = {ORDER("12"), ORDER("21")}
+    sig = Signature(inputs={PENDING}, outputs=orders)
+    transitions = {("s", a): dirac("s") for a in orders | {PENDING}}
+    return TablePSIOA(name, "s", {"s": sig}, transitions)
+
+
+def reversing_adversary(name: Hashable = "RevAdv") -> TablePSIOA:
+    """Alias of :func:`ordering_adversary`; pair with
+    :func:`reversing_script` to realize the reversing resolution."""
+    return ordering_adversary(name)
+
+
+def fifo_adversary(name: Hashable = "FifoAdv") -> TablePSIOA:
+    """Alias of :func:`ordering_adversary`; pair with :func:`fifo_script`."""
+    return ordering_adversary(name)
+
+
+def reversing_script():
+    """The oblivious script of the reversing resolution against the real
+    ordering ledger (plus the environment's accept)."""
+    return [
+        SUBMIT(1), SUBMIT(2), PENDING, ORDER("21"),
+        COMMITTED(2), COMMITTED(1), "acc",
+    ]
+
+
+def fifo_script():
+    """The benign resolution against the real ordering ledger."""
+    return [
+        SUBMIT(1), SUBMIT(2), PENDING, ORDER("12"),
+        COMMITTED(1), COMMITTED(2), "acc",
+    ]
+
+
+def ideal_fifo_script():
+    """The canonical run of the strict-FIFO ideal (no ordering input)."""
+    return [
+        SUBMIT(1), SUBMIT(2), PENDING,
+        COMMITTED(1), COMMITTED(2), "acc",
+    ]
+
+
+def ledger_environment(name: Hashable = "LedgerEnv") -> TablePSIOA:
+    """Submits tx 1 then tx 2 and raises ``acc`` iff the commits arrive
+    *reversed* — the distinguisher separating the ordering protocol from
+    the strict-FIFO ideal."""
+    commits = frozenset({COMMITTED(1), COMMITTED(2)})
+    signatures = {
+        "s1": Signature(outputs={SUBMIT(1)}, inputs=commits),
+        "s2": Signature(outputs={SUBMIT(2)}, inputs=commits),
+        "watch": Signature(inputs=commits),
+        "rev": Signature(inputs=commits, outputs={"acc"}),
+        "fwd": Signature(inputs=commits),
+        "end": Signature(inputs=commits),
+    }
+    transitions = {
+        ("s1", SUBMIT(1)): dirac("s2"),
+        ("s2", SUBMIT(2)): dirac("watch"),
+        ("watch", COMMITTED(2)): dirac("rev"),
+        ("watch", COMMITTED(1)): dirac("fwd"),
+        ("rev", "acc"): dirac("end"),
+    }
+    for state in ("s1", "s2", "rev", "fwd", "end"):
+        for c in commits:
+            transitions.setdefault((state, c), dirac(state))
+    return TablePSIOA(name, "s1", signatures, transitions)

@@ -1,0 +1,211 @@
+"""Tests for the computational-bounds layer (Defs 4.1-4.11, Lemmas 4.3/4.5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bounded.bounds import (
+    composition_constant,
+    hiding_constant,
+    is_time_bounded,
+    measure_pca_time_bound,
+    measure_time_bound,
+    recognizer_bound,
+)
+from repro.bounded.costmodel import CostMeter, ReferenceDecoders
+from repro.bounded.encoding import (
+    SEPARATOR,
+    configuration_length,
+    encode_action,
+    encode_bits,
+    encode_configuration,
+    encode_pair,
+    encode_state,
+    encode_transition,
+    encoded_length,
+    transition_length,
+)
+from repro.bounded.families import (
+    PSIOAFamily,
+    SchedulerFamily,
+    bound_profile,
+    compose_families,
+    polynomial_bound_profile,
+)
+from repro.config.configuration import Configuration
+from repro.config.pca import CanonicalPCA
+from repro.core.composition import compose
+from repro.core.renaming import hide_psioa
+from repro.semantics.scheduler import ActionSequenceScheduler
+
+from tests.helpers import coin_automaton, fair_coin, listener, ticker
+
+
+class TestEncoding:
+    def test_bit_stuffing_excludes_separator(self):
+        # Atoms are padded with 0 after every data bit, so '11' never occurs.
+        assert SEPARATOR not in encode_bits("anything at all")
+        assert SEPARATOR not in encode_state(("q", 17))
+
+    def test_length_matches_encoding(self):
+        for obj in ["q0", ("state", 3), frozenset({"a", "b"}), Fraction(1, 2)]:
+            assert encoded_length(obj) == len(encode_bits(obj))
+
+    def test_canonical_frozenset_order(self):
+        assert encode_bits(frozenset({"b", "a"})) == encode_bits(frozenset({"a", "b"}))
+
+    def test_transition_length_matches(self):
+        coin = fair_coin()
+        eta = coin.transition("q0", "toss")
+        assert transition_length("q0", "toss", eta) == len(encode_transition("q0", "toss", eta))
+
+    def test_configuration_length_matches(self):
+        config = Configuration.initial([fair_coin(), listener("ear", {"toss"})])
+        assert configuration_length(config) == len(encode_configuration(config))
+
+    def test_encode_pair_is_linear(self):
+        left = encode_state("q0")
+        right = encode_state("q1")
+        joined, length = encode_pair(left, right)
+        assert length == len(left) + len(right) + len(SEPARATOR)
+        assert joined.count(SEPARATOR) >= 1
+
+
+class TestReferenceDecoders:
+    def test_m_start_decides(self):
+        coin = fair_coin()
+        dec = ReferenceDecoders(coin)
+        assert dec.m_start("q0", CostMeter())
+        assert not dec.m_start("qH", CostMeter())
+
+    def test_m_sig_classifies(self):
+        coin = fair_coin()
+        dec = ReferenceDecoders(coin)
+        assert dec.m_sig("q0", "toss", CostMeter()) == "out"
+        assert dec.m_sig("q0", "head", CostMeter()) is None
+
+    def test_m_trans_accepts_true_transition(self):
+        coin = fair_coin()
+        dec = ReferenceDecoders(coin)
+        eta = coin.transition("q0", "toss")
+        assert dec.m_trans("q0", "toss", eta, CostMeter())
+
+    def test_m_trans_rejects_wrong_measure(self):
+        coin = fair_coin()
+        dec = ReferenceDecoders(coin)
+        wrong = coin_automaton("w", Fraction(1, 3)).transition("q0", "toss")
+        assert not dec.m_trans("q0", "toss", wrong, CostMeter())
+
+    def test_m_step_decides_support(self):
+        coin = fair_coin()
+        dec = ReferenceDecoders(coin)
+        assert dec.m_step("q0", "toss", "qH", CostMeter())
+        assert not dec.m_step("q0", "toss", "qF", CostMeter())
+
+    def test_m_state_charges_for_distribution(self):
+        coin = fair_coin()
+        dec = ReferenceDecoders(coin)
+        meter = CostMeter()
+        eta = dec.m_state("q0", "toss", meter)
+        assert eta == coin.transition("q0", "toss")
+        assert meter.operations > 0
+
+    def test_costs_grow_with_encoding_size(self):
+        small = ticker("t", 1)
+        large = ticker("a-much-longer-ticker-name-with-padding", 1)
+        cost_small = ReferenceDecoders(small).worst_case(0, "tick")
+        cost_large = ReferenceDecoders(large).worst_case(0, "tick")
+        # Same structure, same costs (names do not enter state/action encodings).
+        assert cost_small == cost_large
+        wide = ticker("t", 1, action="tick-with-a-much-longer-action-name")
+        assert ReferenceDecoders(wide).worst_case(0, "tick-with-a-much-longer-action-name") > cost_small
+
+
+class TestBounds:
+    def test_measured_bound_is_positive_and_tight(self):
+        coin = fair_coin()
+        b = measure_time_bound(coin)
+        assert b > 0
+        assert is_time_bounded(coin, b)
+        assert not is_time_bounded(coin, b - 1)
+
+    def test_lemma_43_composition_linear(self):
+        a = fair_coin("a")
+        b = listener("ear", {"toss", "head", "tail"})
+        ba = measure_time_bound(a)
+        bb = measure_time_bound(b)
+        bc = measure_time_bound(compose(a, b))
+        c = composition_constant([ba, bb], bc)
+        assert c <= 8.0  # universal constant: encodings/decoders are linear
+
+    def test_lemma_45_hiding_linear(self):
+        coin = fair_coin()
+        b = measure_time_bound(coin)
+        hidden_set = ["toss", "head", "tail"]
+        b_prime = recognizer_bound(hidden_set)
+        hidden = hide_psioa(coin, lambda q: set(hidden_set))
+        bh = measure_time_bound(hidden)
+        c = hiding_constant(b, b_prime, bh)
+        assert c <= 2.0
+
+    def test_pca_bound_includes_configuration_encoding(self):
+        pca = CanonicalPCA("p", [fair_coin()])
+        b_pca = measure_pca_time_bound(pca)
+        b_psioa = measure_time_bound(pca)
+        assert b_pca >= b_psioa
+
+    def test_recognizer_bound_additive(self):
+        assert recognizer_bound(["a", "b"]) == encoded_length("a") + encoded_length("b") + 1
+        assert recognizer_bound([]) == 1
+
+    def test_constants_reject_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            composition_constant([0], 10)
+        with pytest.raises(ValueError):
+            hiding_constant(0, 0, 10)
+
+
+class TestFamilies:
+    def ticker_family(self):
+        return PSIOAFamily("tickers", lambda k: ticker(("t", k), k + 1))
+
+    def test_family_memoizes(self):
+        fam = self.ticker_family()
+        assert fam[3] is fam[3]
+
+    def test_compose_families_pointwise(self):
+        left = PSIOAFamily("L", lambda k: ticker(("l", k), 1, action=("a", k)))
+        right = PSIOAFamily("R", lambda k: ticker(("r", k), 1, action=("b", k)))
+        both = compose_families(left, right)
+        member = both[2]
+        assert member.start == (0, 0)
+
+    def test_compose_pca_families_yield_pca(self):
+        from repro.config.pca import PCA
+
+        left = PSIOAFamily("L", lambda k: CanonicalPCA(("pl", k), [ticker(("l", k), 1, action=("a", k))]))
+        right = PSIOAFamily("R", lambda k: CanonicalPCA(("pr", k), [ticker(("r", k), 1, action=("b", k))]))
+        member = compose_families(left, right)[1]
+        assert isinstance(member, PCA)
+
+    def test_bound_profile_monotone_for_growing_automata(self):
+        fam = self.ticker_family()
+        profile = bound_profile(fam, range(1, 6))
+        bounds = [b for _, b in profile]
+        assert bounds == sorted(bounds)
+
+    def test_polynomial_fit_over_profile(self):
+        fam = self.ticker_family()
+        fit = polynomial_bound_profile(fam, range(1, 10))
+        assert fit.degree <= 2
+        assert fit.dominates([(k, float(b)) for k, b in bound_profile(fam, range(1, 10))])
+
+    def test_scheduler_family_bounds(self):
+        fam = SchedulerFamily("seqs", lambda k: ActionSequenceScheduler(["tick"] * k))
+        assert fam.is_time_bounded(lambda k: k, range(1, 8))
+        assert not fam.is_time_bounded(lambda k: k - 1, range(1, 8))
+
+    def test_family_map_derives(self):
+        fam = self.ticker_family()
+        hidden = fam.map(lambda k, a: hide_psioa(a, lambda q: {"tick"}))
+        assert "tick" in hidden[2].signature(0).internals

@@ -1,0 +1,217 @@
+"""Tests for probabilistic configuration automata (Defs 2.16, 2.17, 2.19)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.config.configuration import Configuration
+from repro.config.pca import CanonicalPCA, ComposedPCA, compose_pca, hide_pca
+from repro.config.validate import PcaError, validate_pca
+from repro.core.psioa import PsioaError, TablePSIOA, reachable_states, validate_psioa
+from repro.core.signature import Signature
+from repro.probability.measures import dirac
+
+from tests.helpers import coin_automaton, fair_coin, listener, ticker
+
+
+def tagged_coin(i, p=Fraction(1, 2)):
+    return coin_automaton(
+        ("coin", i), p, toss=("toss", i), head=("head", i), tail=("tail", i)
+    )
+
+
+def spawner(name="mgr", count=2, prefix="spawn"):
+    """Emits (prefix, i) for i < count, then idles on input ('poke', name)."""
+    signatures = {}
+    transitions = {}
+    for i in range(count):
+        signatures[i] = Signature(outputs={(prefix, i)})
+        transitions[(i, (prefix, i))] = dirac(i + 1)
+    signatures[count] = Signature(inputs={("poke", name)})
+    transitions[(count, ("poke", name))] = dirac(count)
+    return TablePSIOA(name, 0, signatures, transitions)
+
+
+def spawning_pca(name="dyn", count=2, p=Fraction(1, 2)):
+    """A PCA whose manager dynamically creates `count` coins at run time."""
+    mgr = spawner("mgr", count)
+
+    def created(config, action):
+        if isinstance(action, tuple) and action[0] == "spawn":
+            return [tagged_coin(action[1], p)]
+        return []
+
+    return CanonicalPCA(name, [mgr], created=created)
+
+
+class TestCanonicalPca:
+    def test_start_is_reduced_initial_configuration(self):
+        pca = spawning_pca()
+        assert isinstance(pca.start, Configuration)
+        assert pca.start.ids() == {"mgr"}
+
+    def test_constraint1_violation_rejected(self):
+        coin = fair_coin()
+        shifted = Configuration([(coin, "qH")])
+        with pytest.raises(PsioaError, match="start preservation"):
+            CanonicalPCA("bad", shifted)
+
+    def test_creation_on_spawn(self):
+        pca = spawning_pca(count=1)
+        eta = pca.transition(pca.start, ("spawn", 0))
+        (state,) = eta.support()
+        assert state.ids() == {"mgr", ("coin", 0)}
+        assert state.state_of(("coin", 0)) == "q0"
+
+    def test_destruction_by_empty_signature(self):
+        pca = spawning_pca(count=1, p=1)
+        after_spawn = next(iter(pca.transition(pca.start, ("spawn", 0)).support()))
+        after_toss = next(iter(pca.transition(after_spawn, ("toss", 0)).support()))
+        assert after_toss.state_of(("coin", 0)) == "qH"
+        after_head = next(iter(pca.transition(after_toss, ("head", 0)).support()))
+        # The coin hit its empty-signature state and was destroyed.
+        assert after_head.ids() == {"mgr"}
+
+    def test_full_dynamics_reachable(self):
+        pca = spawning_pca(count=2)
+        states = reachable_states(pca)
+        sizes = {len(s) for s in states}
+        assert 1 in sizes  # manager alone (before spawns / after destruction)
+        assert 3 in sizes  # manager + two live coins
+
+    def test_pca_is_valid_psioa(self):
+        validate_psioa(spawning_pca(count=2))
+
+    def test_pca_satisfies_definition_216(self):
+        validate_pca(spawning_pca(count=2))
+
+    def test_probabilistic_branching_inside_pca(self):
+        pca = spawning_pca(count=1)
+        after_spawn = next(iter(pca.transition(pca.start, ("spawn", 0)).support()))
+        eta = pca.transition(after_spawn, ("toss", 0))
+        assert len(eta.support()) == 2
+        for outcome, weight in eta.items():
+            assert weight == Fraction(1, 2)
+
+    def test_created_mapping_exposed(self):
+        pca = spawning_pca(count=1)
+        created = pca.created(pca.start, ("spawn", 0))
+        assert [a.name for a in created] == [("coin", 0)]
+        assert pca.created(pca.start, "unrelated") == ()
+
+    def test_as_psioa_identity(self):
+        pca = spawning_pca()
+        assert pca.as_psioa is pca
+
+
+class TestHiddenPca:
+    def test_hiding_moves_outputs(self):
+        pca = spawning_pca(count=1)
+        hidden = hide_pca(pca, lambda q: {("spawn", 0)})
+        sig = hidden.signature(hidden.start)
+        assert ("spawn", 0) in sig.internals
+        assert ("spawn", 0) in hidden.hidden_actions(hidden.start)
+
+    def test_hidden_pca_still_satisfies_constraints(self):
+        pca = spawning_pca(count=2)
+        hidden = hide_pca(pca, lambda q: {a for a in pca.signature(q).outputs})
+        validate_pca(hidden)
+
+    def test_config_and_created_delegate(self):
+        pca = spawning_pca(count=1)
+        hidden = hide_pca(pca, lambda q: set())
+        assert hidden.config(hidden.start) == pca.config(pca.start)
+        assert hidden.created(hidden.start, ("spawn", 0)) == pca.created(pca.start, ("spawn", 0))
+
+    def test_transition_unchanged(self):
+        pca = spawning_pca(count=1)
+        hidden = hide_pca(pca, lambda q: {("spawn", 0)})
+        assert hidden.transition(hidden.start, ("spawn", 0)) == pca.transition(
+            pca.start, ("spawn", 0)
+        )
+
+
+class TestComposedPca:
+    def make_pair(self):
+        left = spawning_pca("left", count=1)
+        # Right PCA spawns a *different* coin id via a distinct manager name.
+        mgr = spawner("mgr2", 1, prefix="spawn2")
+
+        def created(config, action):
+            if isinstance(action, tuple) and action[0] == "spawn2":
+                return [tagged_coin(100 + action[1])]
+            return []
+
+        right = CanonicalPCA("right", [mgr], created=created)
+        return left, right
+
+    def test_composition_is_pca(self):
+        left, right = self.make_pair()
+        both = compose_pca(left, right)
+        assert isinstance(both, ComposedPCA)
+        config = both.config(both.start)
+        assert config.ids() == {"mgr", "mgr2"}
+
+    def test_config_union(self):
+        left, right = self.make_pair()
+        both = compose_pca(left, right)
+        eta = both.transition(both.start, ("spawn", 0))
+        (state,) = eta.support()
+        assert both.config(state).ids() == {"mgr", ("coin", 0), "mgr2"}
+
+    def test_created_union_with_convention(self):
+        left, right = self.make_pair()
+        both = compose_pca(left, right)
+        # ('spawn', 0) is only in the left component's signature.
+        created = both.created(both.start, ("spawn", 0))
+        assert [a.name for a in created] == [("coin", 0)]
+
+    def test_composed_pca_satisfies_constraints(self):
+        left, right = self.make_pair()
+        validate_pca(compose_pca(left, right))
+
+    def test_composed_pca_valid_psioa(self):
+        left, right = self.make_pair()
+        validate_psioa(compose_pca(left, right))
+
+    def test_non_pca_component_rejected(self):
+        with pytest.raises(PsioaError):
+            ComposedPCA([spawning_pca(), fair_coin()])  # type: ignore[list-item]
+
+    def test_hidden_actions_union(self):
+        left, right = self.make_pair()
+        hidden_left = hide_pca(left, lambda q: {("spawn", 0)})
+        both = compose_pca(hidden_left, right)
+        assert ("spawn", 0) in both.hidden_actions(both.start)
+
+
+class TestValidatorCatchesBrokenPca:
+    def test_wrong_transition_detected(self):
+        """A hand-built PCA whose psioa diverges from the intrinsic transition."""
+        coin = fair_coin()
+
+        class BrokenPCA(CanonicalPCA):
+            def _pca_transition(self, state, action):
+                # Deliberately wrong: deterministic where the configuration
+                # branches probabilistically.
+                eta = super()._pca_transition(state, action)
+                if len(eta.support()) > 1:
+                    return dirac(sorted(eta.support(), key=repr)[0])
+                return eta
+
+        broken = BrokenPCA.__new__(BrokenPCA)
+        CanonicalPCA.__init__(broken, "broken", [coin])
+        with pytest.raises(PcaError, match="top/down"):
+            validate_pca(broken)
+
+    def test_wrong_hidden_actions_detected(self):
+        coin = fair_coin()
+
+        class BadHiding(CanonicalPCA):
+            def hidden_actions(self, state):
+                return frozenset({"not-an-output"})
+
+        bad = BadHiding.__new__(BadHiding)
+        CanonicalPCA.__init__(bad, "bad", [coin])
+        with pytest.raises(PcaError, match="constraint 4"):
+            validate_pca(bad)

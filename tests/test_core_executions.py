@@ -1,0 +1,143 @@
+"""Tests for execution fragments and traces (paper Definition 2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.executions import Fragment, concat, cone_prefixes
+from repro.core.signature import Signature
+
+from tests.helpers import fair_coin, ticker
+
+
+def frag(*parts):
+    """Build a fragment from alternating states/actions: frag(q0, a1, q1, ...)."""
+    states = tuple(parts[0::2])
+    actions = tuple(parts[1::2])
+    return Fragment(states, actions)
+
+
+@st.composite
+def fragments(draw):
+    n = draw(st.integers(min_value=0, max_value=6))
+    states = tuple(draw(st.integers(0, 5)) for _ in range(n + 1))
+    actions = tuple(draw(st.sampled_from("abc")) for _ in range(n))
+    return Fragment(states, actions)
+
+
+class TestFragmentShape:
+    def test_initial_fragment(self):
+        alpha = Fragment.initial("q0")
+        assert alpha.fstate == "q0"
+        assert alpha.lstate == "q0"
+        assert len(alpha) == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Fragment(("q0", "q1"), ())
+
+    def test_extend(self):
+        alpha = Fragment.initial("q0").extend("a", "q1").extend("b", "q2")
+        assert alpha.states == ("q0", "q1", "q2")
+        assert alpha.actions == ("a", "b")
+        assert alpha.lstate == "q2"
+        assert len(alpha) == 2
+
+    def test_steps(self):
+        alpha = frag("q0", "a", "q1", "b", "q2")
+        assert list(alpha.steps()) == [("q0", "a", "q1"), ("q1", "b", "q2")]
+
+    def test_hashable(self):
+        assert len({frag("q0", "a", "q1"), frag("q0", "a", "q1")}) == 1
+
+
+class TestConcat:
+    def test_matching_endpoint(self):
+        left = frag("q0", "a", "q1")
+        right = frag("q1", "b", "q2")
+        assert concat(left, right) == frag("q0", "a", "q1", "b", "q2")
+
+    def test_mismatched_endpoint_undefined(self):
+        with pytest.raises(ValueError):
+            concat(frag("q0", "a", "q1"), frag("q9", "b", "q2"))
+
+    def test_identity_elements(self):
+        alpha = frag("q0", "a", "q1")
+        assert concat(Fragment.initial("q0"), alpha) == alpha
+        assert concat(alpha, Fragment.initial("q1")) == alpha
+
+    @given(fragments(), fragments(), fragments())
+    @settings(max_examples=40, deadline=None)
+    def test_associative_when_defined(self, a, b, c):
+        if a.lstate == b.fstate and b.lstate == c.fstate:
+            assert concat(concat(a, b), c) == concat(a, concat(b, c))
+
+
+class TestPrefix:
+    def test_proper_prefix(self):
+        alpha = frag("q0", "a", "q1")
+        beta = frag("q0", "a", "q1", "b", "q2")
+        assert alpha < beta
+        assert alpha <= beta
+        assert not beta <= alpha
+
+    def test_prefix_reflexive_not_proper(self):
+        alpha = frag("q0", "a", "q1")
+        assert alpha <= alpha
+        assert not alpha < alpha
+
+    def test_divergent_fragments_not_prefixes(self):
+        assert not frag("q0", "a", "q1") <= frag("q0", "b", "q1", "c", "q2")
+
+    @given(fragments())
+    @settings(max_examples=40, deadline=None)
+    def test_cone_prefixes_are_all_prefixes(self, alpha):
+        prefixes = cone_prefixes(alpha)
+        assert len(prefixes) == len(alpha) + 1
+        for p in prefixes:
+            assert p <= alpha
+        assert prefixes[-1] == alpha
+        assert prefixes[0] == Fragment.initial(alpha.fstate)
+
+    @given(fragments(), fragments())
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_antisymmetry(self, a, b):
+        if a <= b and b <= a:
+            assert a == b
+
+
+class TestAgainstAutomata:
+    def test_valid_execution_of_coin(self):
+        coin = fair_coin()
+        alpha = frag("q0", "toss", "qH", "head", "qF")
+        assert alpha.is_fragment_of(coin)
+        assert alpha.is_execution_of(coin)
+
+    def test_fragment_not_from_start_is_not_execution(self):
+        coin = fair_coin()
+        alpha = frag("qH", "head", "qF")
+        assert alpha.is_fragment_of(coin)
+        assert not alpha.is_execution_of(coin)
+
+    def test_invalid_step_rejected(self):
+        coin = fair_coin()
+        assert not frag("q0", "head", "qF").is_fragment_of(coin)
+
+    def test_impossible_target_rejected(self):
+        coin = fair_coin()
+        assert not frag("q0", "toss", "qF").is_fragment_of(coin)
+
+    def test_trace_filters_internal_actions(self):
+        # Build a signature map where 'b' is internal at q1.
+        def signature_of(state):
+            if state == "q1":
+                return Signature(internals={"b"})
+            return Signature(outputs={"a", "b"})
+
+        alpha = frag("q0", "a", "q1", "b", "q2")
+        assert alpha.trace(signature_of) == ("a",)
+
+    def test_trace_of_ticker(self):
+        t = ticker("t", 3)
+        alpha = frag(0, "tick", 1, "tick", 2, "tick", 3)
+        assert alpha.trace(t.signature) == ("tick", "tick", "tick")

@@ -1,0 +1,131 @@
+"""Tests for PSIOA construction and validation (paper Definition 2.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.psioa import PSIOA, PsioaError, TablePSIOA, reachable_states, validate_psioa
+from repro.core.signature import Signature
+from repro.probability.measures import DiscreteMeasure, dirac
+
+from tests.helpers import coin_automaton, fair_coin, listener, ticker
+
+
+class TestTablePsioa:
+    def test_signature_lookup(self):
+        coin = fair_coin()
+        assert coin.signature("q0").outputs == {"toss"}
+        assert coin.signature("qF").is_empty
+
+    def test_transition_lookup(self):
+        coin = fair_coin()
+        eta = coin.transition("q0", "toss")
+        assert eta("qH") == Fraction(1, 2)
+        assert eta("qT") == Fraction(1, 2)
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(PsioaError):
+            fair_coin().signature("nope")
+
+    def test_unknown_transition_raises(self):
+        with pytest.raises(PsioaError):
+            fair_coin().transition("q0", "head")
+
+    def test_start_state_must_exist(self):
+        with pytest.raises(PsioaError):
+            TablePSIOA("bad", "missing", {"s": Signature()}, {})
+
+    def test_enabled_equals_signature_actions(self):
+        coin = fair_coin()
+        assert coin.enabled("qH") == {"head"}
+        assert coin.enabled("qF") == frozenset()
+
+    def test_try_transition_outside_signature_is_none(self):
+        assert fair_coin().try_transition("qH", "tail") is None
+
+    def test_steps_from(self):
+        coin = fair_coin()
+        steps = coin.steps_from("q0", "toss")
+        assert steps == {("q0", "toss", "qH"), ("q0", "toss", "qT")}
+
+    def test_acts_universal_set(self):
+        coin = fair_coin()
+        assert coin.acts() == {"toss", "head", "tail"}
+
+    def test_identity_by_name(self):
+        assert fair_coin("x") == fair_coin("x")
+        assert fair_coin("x") != fair_coin("y")
+        assert len({fair_coin("x"), fair_coin("x")}) == 1
+
+
+class TestReachability:
+    def test_coin_reachable_states(self):
+        assert set(reachable_states(fair_coin())) == {"q0", "qH", "qT", "qF"}
+
+    def test_deterministic_coin_skips_branch(self):
+        coin = coin_automaton("det", 1)
+        assert set(reachable_states(coin)) == {"q0", "qH", "qF"}
+
+    def test_ticker_chain(self):
+        assert reachable_states(ticker("t", 3)) == [0, 1, 2, 3]
+
+    def test_exploration_bound(self):
+        # An infinite-state automaton must trip the guard, not hang.
+        def sig(q):
+            return Signature(outputs={"step"})
+
+        def trans(q, a):
+            return dirac(q + 1)
+
+        infinite = PSIOA("inf", 0, sig, trans)
+        with pytest.raises(PsioaError):
+            reachable_states(infinite, max_states=50)
+
+
+class TestValidation:
+    def test_valid_automaton_passes(self):
+        validate_psioa(fair_coin())
+        validate_psioa(ticker("t", 5))
+        validate_psioa(listener("l", {"a", "b"}))
+
+    def test_missing_transition_detected(self):
+        signatures = {"s": Signature(outputs={"go"})}
+        bad = TablePSIOA("bad", "s", signatures, {})
+        with pytest.raises(PsioaError, match="no transition"):
+            validate_psioa(bad)
+
+    def test_subprobability_transition_detected(self):
+        signatures = {"s": Signature(outputs={"go"}), "t": Signature()}
+        transitions = {("s", "go"): DiscreteMeasure({"t": Fraction(1, 2)}, require_probability=False)}
+        bad = TablePSIOA("bad", "s", signatures, transitions)
+        with pytest.raises(PsioaError, match="mass"):
+            validate_psioa(bad)
+
+    def test_transition_outside_signature_detected(self):
+        signatures = {"s": Signature(outputs={"go"}), "t": Signature()}
+        transitions = {
+            ("s", "go"): dirac("t"),
+            ("s", "sneaky"): dirac("t"),
+        }
+        bad = TablePSIOA("bad", "s", signatures, transitions)
+        with pytest.raises(PsioaError, match="outside the signature"):
+            validate_psioa(bad)
+
+    def test_stray_target_detected_with_declared_states(self):
+        signatures = {"s": Signature(outputs={"go"})}
+        transitions = {("s", "go"): dirac("elsewhere")}
+        bad = TablePSIOA("bad", "s", signatures, transitions)
+        with pytest.raises(PsioaError, match="outside the declared set"):
+            validate_psioa(bad, states=["s"])
+
+    def test_lazy_psioa_validation(self):
+        # A functionally-defined automaton over a finite orbit validates too.
+        def sig(q):
+            return Signature(outputs={"inc"}) if q < 3 else Signature()
+
+        def trans(q, a):
+            if a != "inc" or q >= 3:
+                raise KeyError(a)
+            return dirac(q + 1)
+
+        validate_psioa(PSIOA("lazy", 0, sig, trans))

@@ -1,0 +1,207 @@
+"""Tests for hiding, renaming (Defs 2.7, 2.8, Lemma A.1) and PSIOA
+composition (Defs 2.5, 2.18)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.composition import (
+    check_partial_compatibility,
+    compatible_at_state,
+    compose,
+    joint_transition,
+    project,
+)
+from repro.core.psioa import PsioaError, validate_psioa, reachable_states
+from repro.core.renaming import StateActionRenaming, hide_psioa, rename_psioa
+from repro.core.signature import Signature
+from repro.probability.measures import dirac
+
+from tests.helpers import coin_automaton, fair_coin, listener, relay, ticker
+
+
+class TestHiding:
+    def test_hide_moves_output_to_internal(self):
+        coin = fair_coin()
+        hidden = hide_psioa(coin, lambda q: {"toss"})
+        assert "toss" in hidden.signature("q0").internals
+        assert hidden.signature("qH").outputs == {"head"}  # untouched elsewhere
+
+    def test_hide_preserves_transitions(self):
+        coin = fair_coin()
+        hidden = hide_psioa(coin, lambda q: {"toss"})
+        assert hidden.transition("q0", "toss") == coin.transition("q0", "toss")
+
+    def test_hide_state_dependent(self):
+        t = ticker("t", 2)
+        hidden = hide_psioa(t, lambda q: {"tick"} if q == 0 else set())
+        assert hidden.signature(0).internals == {"tick"}
+        assert hidden.signature(1).outputs == {"tick"}
+
+    def test_hidden_automaton_still_valid(self):
+        validate_psioa(hide_psioa(fair_coin(), lambda q: {"toss", "head", "tail"}))
+
+    def test_hide_derived_name(self):
+        assert hide_psioa(fair_coin(), lambda q: set()).name == ("hide", "fair")
+
+
+class TestRenaming:
+    def test_uniform_rename(self):
+        coin = fair_coin()
+        renamed = rename_psioa(coin, lambda a: ("r", a))
+        assert renamed.signature("q0").outputs == {("r", "toss")}
+        eta = renamed.transition("q0", ("r", "toss"))
+        assert eta == coin.transition("q0", "toss")
+
+    def test_lemma_a1_renamed_automaton_is_valid_psioa(self):
+        validate_psioa(rename_psioa(fair_coin(), lambda a: ("r", a)))
+
+    def test_unknown_renamed_action_raises(self):
+        renamed = rename_psioa(fair_coin(), lambda a: ("r", a))
+        with pytest.raises(PsioaError):
+            renamed.transition("q0", "toss")  # original name no longer in signature
+
+    def test_state_dependent_rename(self):
+        t = ticker("t", 2)
+        renaming = StateActionRenaming(lambda q, a: (a, q))
+        renamed = rename_psioa(t, renaming)
+        assert renamed.signature(0).outputs == {("tick", 0)}
+        assert renamed.signature(1).outputs == {("tick", 1)}
+        assert renamed.transition(0, ("tick", 0)) == dirac(1)
+
+    def test_non_injective_rename_detected(self):
+        sigs = {"s": Signature(outputs={"a", "b"}), "t": Signature()}
+        from repro.core.psioa import TablePSIOA
+
+        base = TablePSIOA("base", "s", sigs, {("s", "a"): dirac("t"), ("s", "b"): dirac("t")})
+        renamed = rename_psioa(base, lambda a: "same")
+        with pytest.raises(Exception):
+            renamed.transition("s", "same")
+
+    def test_rename_roundtrip(self):
+        coin = fair_coin()
+        there = rename_psioa(coin, lambda a: ("r", a))
+        back = rename_psioa(there, lambda a: a[1], name="back")
+        assert back.signature("q0") == coin.signature("q0")
+        assert back.transition("q0", "toss") == coin.transition("q0", "toss")
+
+
+class TestComposition:
+    def test_joint_state_and_signature(self):
+        coin = fair_coin()
+        ear = listener("ear", {"toss", "head", "tail"})
+        system = compose(coin, ear)
+        assert system.start == ("q0", "s")
+        sig = system.signature(system.start)
+        assert sig.outputs == {"toss"}
+        # Definition 2.4 is per-state: only the currently-matched input
+        # ("toss") leaves the input set; "head"/"tail" are not outputs of the
+        # coin *at this state*, so they stay inputs of the composition.
+        assert sig.inputs == {"head", "tail"}
+
+    def test_joint_transition_moves_both(self):
+        coin = fair_coin()
+        ear = listener("ear", {"toss", "head", "tail"})
+        system = compose(coin, ear)
+        eta = system.transition(("q0", "s"), "toss")
+        assert eta(("qH", "s")) == Fraction(1, 2)
+        assert eta(("qT", "s")) == Fraction(1, 2)
+
+    def test_nonparticipant_stays_put(self):
+        t1 = ticker("t1", 1, action="a")
+        t2 = ticker("t2", 1, action="b")
+        system = compose(t1, t2)
+        eta = system.transition((0, 0), "a")
+        assert eta((1, 0)) == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PsioaError):
+            compose(fair_coin("x"), fair_coin("x"))
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(PsioaError):
+            compose()
+
+    def test_action_not_enabled_raises(self):
+        system = compose(fair_coin(), listener("ear", {"toss"}))
+        with pytest.raises(PsioaError):
+            system.transition(system.start, "head")
+
+    def test_output_clash_detected_on_access(self):
+        a = ticker("a", 1, action="x")
+        b = ticker("b", 1, action="x")
+        system = compose(a, b)
+        with pytest.raises(PsioaError, match="incompatible"):
+            system.signature(system.start)
+
+    def test_projection(self):
+        coin = fair_coin()
+        ear = listener("ear", {"toss", "head", "tail"})
+        system = compose(coin, ear)
+        assert project(("qH", "s"), system, "fair") == "qH"
+        assert project(("qH", "s"), system, "ear") == "s"
+        with pytest.raises(KeyError):
+            project(("qH", "s"), system, "nope")
+
+    def test_composed_automaton_validates(self):
+        system = compose(fair_coin(), listener("ear", {"toss", "head", "tail"}))
+        validate_psioa(system)
+
+    def test_relay_pipeline_reaches_end(self):
+        # coin announces; relay forwards 'head' to 'cheer'.
+        coin = coin_automaton("det", 1)
+        fwd = relay("fwd", "head", "cheer")
+        system = compose(coin, fwd)
+        states = set(reachable_states(system))
+        assert ("qF", "done") in states
+
+    def test_compatible_at_state_helper(self):
+        a = ticker("a", 1, action="x")
+        b = ticker("b", 1, action="x")
+        assert not compatible_at_state([a, b], (0, 0))
+        assert compatible_at_state([a, b], (1, 1))
+
+    def test_joint_transition_helper(self):
+        coin = fair_coin()
+        ear = listener("ear", {"toss"})
+        eta = joint_transition([coin, ear], ("q0", "s"), "toss")
+        assert eta(("qH", "s")) == Fraction(1, 2)
+
+
+class TestPartialCompatibility:
+    def test_compatible_system(self):
+        assert check_partial_compatibility([fair_coin(), listener("ear", {"toss", "head", "tail"})])
+
+    def test_incompatible_at_start(self):
+        assert not check_partial_compatibility([ticker("a", 1, action="x"), ticker("b", 1, action="x")])
+
+    def test_incompatible_only_later(self):
+        # Two tickers over distinct actions but whose *second* action clashes.
+        from repro.core.psioa import TablePSIOA
+
+        def two_phase(name, first, second):
+            sigs = {
+                0: Signature(outputs={first}),
+                1: Signature(outputs={second}),
+                2: Signature(),
+            }
+            trans = {(0, first): dirac(1), (1, second): dirac(2)}
+            return TablePSIOA(name, 0, sigs, trans)
+
+        a = two_phase("a", "a1", "clash")
+        b = two_phase("b", "b1", "clash")
+        assert not check_partial_compatibility([a, b])
+
+    def test_exploration_guard(self):
+        from repro.core.psioa import PSIOA
+
+        def sig(q):
+            return Signature(outputs={("step", q % 2)})
+
+        def trans(q, a):
+            return dirac(q + 1)
+
+        infinite_a = PSIOA("ia", 0, sig, trans)
+        quiet = listener("quiet", set())
+        with pytest.raises(PsioaError):
+            check_partial_compatibility([infinite_a, quiet], max_states=32)

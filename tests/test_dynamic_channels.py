@@ -1,0 +1,147 @@
+"""Tests for dynamic channel sessions (run-time creation/destruction) and
+the E13 machinery."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.config.validate import validate_pca
+from repro.core.composition import compose
+from repro.core.psioa import reachable_states, validate_psioa
+from repro.experiments.common import kind_priority_schema, run_experiment
+from repro.secure.dummy import hide_adversary_actions
+from repro.semantics.insight import accept_insight, f_dist
+from repro.semantics.measure import execution_measure
+from repro.semantics.scheduler import PriorityScheduler
+from repro.systems.channels import (
+    RECV,
+    SEND,
+    channel_environment,
+    dynamic_channel_pca,
+    guessing_adversary,
+    ideal_channel,
+    real_channel,
+)
+
+
+def session_factory(k=None):
+    return lambda index=0: real_channel(("sess", index), k, terminal=True)
+
+
+class TestTerminalChannel:
+    def test_terminal_done_state_is_empty(self):
+        channel = real_channel("t", terminal=True)
+        assert channel.signature("done").is_empty
+        validate_psioa(channel)
+
+    def test_terminal_ideal_too(self):
+        channel = ideal_channel("ti", terminal=True)
+        assert channel.signature("done").is_empty
+        validate_psioa(channel)
+
+    def test_non_terminal_unchanged(self):
+        channel = real_channel("nt")
+        assert not channel.signature("done").is_empty
+
+
+class TestSingleSession:
+    def test_pca_validates(self):
+        pca = dynamic_channel_pca("dyn", session_factory())
+        validate_pca(pca)
+
+    def test_session_created_then_destroyed(self):
+        pca = dynamic_channel_pca("dyn", session_factory())
+        sizes = sorted({len(s) for s in reachable_states(pca)})
+        assert sizes == [1, 2]  # manager alone <-> manager + live session
+
+    def test_structured_aact_is_session_interface(self):
+        pca = dynamic_channel_pca("dyn", session_factory())
+        assert pca.global_aact() == {("leak", 0), ("leak", 1)}
+
+    def test_full_session_run(self):
+        pca = dynamic_channel_pca("dyn", session_factory())
+        env = channel_environment(1)
+        world = compose(env, hide_adversary_actions(
+            compose(pca, guessing_adversary()), frozenset(pca.global_aact())
+        ))
+        sched = next(iter(kind_priority_schema(
+            ["open", "send", "leak", "guess", "recv"], plain=["acc"]
+        )(world, 12)))
+        measure = execution_measure(world, sched)
+        assert measure.total_mass == 1
+        # The adversary guesses correctly half the time (perfect pad).
+        dist = measure.map(lambda e: accept_insight()(env, world, e))
+        assert dist(1) == Fraction(1, 2)
+
+
+class TestMultiSession:
+    def test_two_sessions_validate(self):
+        pca = dynamic_channel_pca("dyn2", session_factory(), sessions=2)
+        validate_pca(pca)
+
+    def test_sessions_cycle_create_destroy(self):
+        pca = dynamic_channel_pca("dyn2", session_factory(), sessions=2)
+        states = reachable_states(pca)
+        # Configurations cycle: 1 member (between sessions) and 2 (live).
+        sizes = sorted({len(s) for s in states})
+        assert sizes == [1, 2]
+        # Both session instances appear (at different times, never together).
+        live = {n for s in states for n in s.ids()}
+        assert ("sess", 0) in live and ("sess", 1) in live
+        assert not any({("sess", 0), ("sess", 1)} <= set(s.ids()) for s in states)
+
+    def test_sequential_sessions_run_to_completion(self):
+        pca = dynamic_channel_pca("dyn2", session_factory(), sessions=2)
+
+        def two_message_env():
+            from repro.core.psioa import TablePSIOA
+            from repro.core.signature import Signature
+            from repro.probability.measures import dirac
+
+            watched = frozenset({RECV(0), RECV(1)})
+            signatures = {
+                "s0": Signature(outputs={SEND(1)}, inputs=watched),
+                "w0": Signature(inputs=watched),
+                "s1": Signature(outputs={SEND(0)}, inputs=watched),
+                "w1": Signature(inputs=watched),
+            }
+            transitions = {
+                ("s0", SEND(1)): dirac("w0"),
+                ("s1", SEND(0)): dirac("w1"),
+            }
+            for r in watched:
+                transitions[("s0", r)] = dirac("s0")
+                transitions[("w0", r)] = dirac("s1")
+                transitions[("s1", r)] = dirac("s1")
+                transitions[("w1", r)] = dirac("w1")
+            return TablePSIOA("E2", "s0", signatures, transitions)
+
+        env = two_message_env()
+        world = compose(env, pca)
+        sched = PriorityScheduler(
+            [
+                lambda a: isinstance(a, tuple) and a[0] == "open",
+                lambda a: isinstance(a, tuple) and a[0] == "send",
+                lambda a: isinstance(a, tuple) and a[0] == "leak",
+                lambda a: isinstance(a, tuple) and a[0] == "recv",
+            ],
+            16,
+        )
+        measure = execution_measure(world, sched)
+        assert measure.total_mass == 1
+        for execution in measure.support():
+            kinds = [a[0] for a in execution.actions]
+            # One explicit open; the second session chains off the first
+            # delivery via the configuration-aware created-mapping.
+            assert kinds.count("open") == 1
+            assert kinds.count("recv") == 2
+            # Both sessions delivered; the final configuration holds only
+            # the manager.
+            assert len(execution.lstate[1]) == 1
+
+
+class TestE13:
+    def test_experiment_passes(self):
+        report = run_experiment("E13")
+        assert report.passed
+        assert report.data["sizes"] == [1, 2]

@@ -1,0 +1,100 @@
+"""Tests for the Theorem 4.30 simulator-composition machinery
+(`composed_simulator`, `compose_emulation_instances`)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bounded.families import PSIOAFamily
+from repro.core.composition import compose
+from repro.secure.adversary import is_adversary
+from repro.secure.dummy import adversary_rename, dummy_adversary
+from repro.secure.emulation import (
+    EmulationInstance,
+    compose_emulation_instances,
+    composed_simulator,
+    hidden_world,
+)
+from repro.secure.structured import compose_structured
+from repro.systems.channels import (
+    channel_emulation_instance,
+    channel_simulator,
+    guessing_adversary,
+    ideal_channel,
+    real_channel,
+)
+from repro.systems.commitment import (
+    commitment_emulation_instance,
+    commitment_simulator,
+    ideal_commitment,
+    posting_adversary,
+    real_commitment,
+)
+
+
+class TestComposedSimulator:
+    def test_shape_hides_renamed_channel(self):
+        # Sim = hide(DSim || g(Adv), g(AAct)): the g-named channel between
+        # the dummy simulators and the renamed adversary must be internal.
+        real = real_channel("r", 1)
+        g = adversary_rename(real)
+        dummy, _ = dummy_adversary(real, g)
+        dsim = channel_simulator(dummy, name="DSim")
+        adv = guessing_adversary()
+        sim = composed_simulator([dsim], adv, g, frozenset(g.values()), name="Sim")
+        sig = sim.signature(sim.start)
+        for renamed_action in g.values():
+            assert renamed_action not in sig.outputs
+
+    def test_composed_instance_builds(self):
+        chan = channel_emulation_instance(leaky=True, name="chan")
+        com = commitment_emulation_instance(leaky=True, name="com")
+
+        def merged_g_for(k):
+            real = compose_structured(chan.real[k], com.real[k])
+            return adversary_rename(real)
+
+        def dummy_simulator_for(i, k):
+            instance = [chan, com][i]
+            real = instance.real[k]
+            g = adversary_rename(real)
+            dummy, _ = dummy_adversary(real, g)
+            return instance.simulator_for(k, dummy)
+
+        composite = compose_emulation_instances(
+            [chan, com],
+            merged_g_for=merged_g_for,
+            dummy_simulator_for=dummy_simulator_for,
+        )
+        real_member = composite.real[1]
+        ideal_member = composite.ideal[1]
+        assert real_member.global_aact() == {
+            ("leak", 0), ("leak", 1), ("post", 0), ("post", 1)
+        }
+        assert ideal_member.global_aact() == {("sent",), ("posted",)}
+
+        adv = compose(
+            guessing_adversary("chan-adv"),
+            posting_adversary("com-adv", guess_kind="cguess"),
+            name="Adv",
+        )
+        sim = composite.simulator_for(1, adv)
+        # The composed simulator exposes no renamed adversary channel.
+        g = merged_g_for(1)
+        sig = sim.signature(sim.start)
+        for renamed_action in g.values():
+            assert renamed_action not in sig.outputs
+
+    def test_per_component_simulators_are_adversaries_for_ideal(self):
+        chan_sim = channel_simulator(guessing_adversary())
+        assert is_adversary(chan_sim, ideal_channel())
+        com_sim = commitment_simulator(posting_adversary(guess_kind="cguess"))
+        assert is_adversary(com_sim, ideal_commitment())
+
+    def test_hidden_world_internalizes_adversary_channel(self):
+        real = real_channel("hr", 2)
+        world = hidden_world(real, guessing_adversary())
+        sig = world.signature(world.start)
+        assert ("leak", 0) not in sig.outputs
+        # Environment-facing actions survive.
+        assert ("send", 0) in sig.inputs

@@ -1,0 +1,62 @@
+"""Integration tests: the experiment harness itself.
+
+Each experiment is exercised end-to-end (fast sweeps) and its theorem-shape
+assertion checked; the heavier experiments run in benchmarks/ only, the
+cheap ones are also part of the regular test suite so a regression in any
+layer surfaces here immediately.
+"""
+
+import pytest
+
+from repro.experiments.common import ALL_EXPERIMENTS, run_experiment
+
+CHEAP = ["E3", "E4", "E5", "E7", "E8", "E9", "E12", "E14"]
+
+
+@pytest.mark.parametrize("experiment_id", CHEAP)
+def test_experiment_passes(experiment_id):
+    report = run_experiment(experiment_id)
+    assert report.passed, report.table
+    assert report.table.startswith("==")
+    assert report.experiment == experiment_id
+
+
+def test_registry_is_complete():
+    assert list(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 15)]
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("E99")
+
+
+def test_runner_cli_selected(capsys):
+    from repro.experiments.runner import main
+
+    assert main(["E4"]) == 0
+    out = capsys.readouterr().out
+    assert "E4" in out and "PASS" in out
+
+
+def test_runner_cli_unknown(capsys):
+    from repro.experiments.runner import main
+
+    assert main(["E99"]) == 2
+
+
+class TestReportShape:
+    def test_e9_reports_exact_zero(self):
+        report = run_experiment("E9")
+        assert report.passed
+        # The table must show integer-zero distances, not floats.
+        assert " 0 " in report.table or "0            True" in report.table
+
+    def test_e4_uses_exact_rationals(self):
+        report = run_experiment("E4")
+        assert "1/8" in report.table
+
+    def test_e12_reports_all_three_schemas(self):
+        report = run_experiment("E12")
+        for name in ("singleton", "oblivious", "adaptive"):
+            assert name in report.table
+        assert len(set(report.data["advantages"])) == 1

@@ -1,0 +1,124 @@
+"""Tests for polynomial/negligible envelope fitting (Definition 4.12 support)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.probability.asymptotics import (
+    NegligibleFit,
+    PolynomialBound,
+    evaluate_bound,
+    fit_negligible_envelope,
+    fit_polynomial_envelope,
+    is_negligible_fit,
+)
+
+
+class TestPolynomialBound:
+    def test_evaluation(self):
+        b = PolynomialBound(2.0, 3, offset=1.0)
+        assert b(2) == 17.0
+
+    def test_dominates(self):
+        b = PolynomialBound(1.0, 2)
+        assert b.dominates([(1, 1.0), (3, 9.0)])
+        assert not b.dominates([(2, 5.0)])
+
+    def test_compose_linear_matches_lemma_43_shape(self):
+        # Lemma 4.3: composition of b1/b2-bounded automata is c*(b1+b2)-bounded.
+        b1 = PolynomialBound(2.0, 1)
+        b2 = PolynomialBound(3.0, 2)
+        combined = b1.compose_linear(4.0, b2)
+        assert combined.degree == 2
+        for k in range(1, 10):
+            assert combined(k) >= 4.0 * (b1(k) + b2(k)) - 1e9 * 0  # envelope by construction
+            assert combined(k) >= b1(k)
+            assert combined(k) >= b2(k)
+
+
+class TestPolynomialFit:
+    def test_linear_data_gets_degree_one(self):
+        samples = [(k, 5.0 * k) for k in range(1, 20)]
+        fit = fit_polynomial_envelope(samples)
+        assert fit.degree == 1
+        assert fit.dominates(samples)
+
+    def test_quadratic_data_gets_degree_two(self):
+        samples = [(k, 3.0 * k * k + k) for k in range(1, 20)]
+        fit = fit_polynomial_envelope(samples)
+        assert fit.degree == 2
+        assert fit.dominates(samples)
+
+    def test_constant_data_gets_degree_zero(self):
+        samples = [(k, 7.0) for k in range(1, 10)]
+        fit = fit_polynomial_envelope(samples)
+        assert fit.degree == 0
+        assert fit.dominates(samples)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_polynomial_envelope([])
+
+    @given(st.integers(min_value=0, max_value=3), st.floats(min_value=0.5, max_value=10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_degree(self, degree, coefficient):
+        samples = [(k, coefficient * k ** degree) for k in range(1, 25)]
+        fit = fit_polynomial_envelope(samples)
+        assert fit.degree == degree
+        assert fit.dominates(samples)
+
+
+class TestNegligibleFit:
+    def test_geometric_series_is_negligible(self):
+        samples = [(k, 2.0 ** -k) for k in range(1, 15)]
+        assert is_negligible_fit(samples)
+        fit = fit_negligible_envelope(samples)
+        assert fit.ratio == pytest.approx(0.5, rel=1e-6)
+
+    def test_zero_series_is_negligible(self):
+        assert is_negligible_fit([(k, 0.0) for k in range(1, 10)])
+        fit = fit_negligible_envelope([(k, 0.0) for k in range(1, 10)])
+        assert fit.negligible
+
+    def test_constant_series_not_negligible(self):
+        assert not is_negligible_fit([(k, 0.25) for k in range(1, 15)])
+
+    def test_inverse_polynomial_not_negligible(self):
+        # 1/k decays but not geometrically; the fitted ratio approaches 1.
+        samples = [(k, 1.0 / k) for k in range(1, 40)]
+        fit = fit_negligible_envelope(samples)
+        assert fit.ratio > 0.9
+
+    def test_envelope_dominates_samples(self):
+        samples = [(k, 3.0 * 0.7 ** k) for k in range(1, 12)]
+        fit = fit_negligible_envelope(samples)
+        for k, v in samples:
+            assert fit(k) >= v - 1e-9
+
+    def test_single_nonzero_sample(self):
+        fit = fit_negligible_envelope([(3, 0.125)])
+        assert fit(3) >= 0.125 - 1e-12
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            fit_negligible_envelope([(1, -0.1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_negligible_envelope([])
+
+    @given(st.floats(min_value=0.1, max_value=0.9), st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_ratio(self, ratio, coefficient):
+        samples = [(k, coefficient * ratio ** k) for k in range(1, 15)]
+        fit = fit_negligible_envelope(samples)
+        assert math.isclose(fit.ratio, ratio, rel_tol=1e-6)
+        assert fit.negligible
+
+
+class TestEvaluateBound:
+    def test_tabulation(self):
+        table = evaluate_bound(lambda k: k * k, [1, 2, 3])
+        assert table == ((1, 1.0), (2, 4.0), (3, 9.0))

@@ -1,0 +1,261 @@
+"""Unit + property tests for repro.probability.measures (paper Section 2.1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.probability.measures import (
+    DiscreteMeasure,
+    SubDiscreteMeasure,
+    bernoulli,
+    convex_combination,
+    correspondence_bijection,
+    dirac,
+    from_pairs,
+    measures_correspond,
+    product,
+    pushforward,
+    total_variation,
+    uniform,
+)
+
+
+# -- strategy helpers ---------------------------------------------------------
+
+def rational_measures(outcomes=("a", "b", "c", "d")):
+    """Random exact probability measures over a small alphabet."""
+
+    @st.composite
+    def build(draw):
+        chosen = draw(st.lists(st.sampled_from(outcomes), min_size=1, unique=True))
+        raw = [draw(st.integers(min_value=1, max_value=20)) for _ in chosen]
+        total = sum(raw)
+        return DiscreteMeasure({o: Fraction(w, total) for o, w in zip(chosen, raw)})
+
+    return build()
+
+
+# -- construction -------------------------------------------------------------
+
+class TestConstruction:
+    def test_dirac_is_probability(self):
+        eta = dirac("x")
+        assert eta("x") == 1
+        assert eta("y") == 0
+        assert eta.is_dirac()
+        assert eta.support() == frozenset({"x"})
+
+    def test_uniform_exact_weights(self):
+        eta = uniform(["a", "b", "c"])
+        assert eta("a") == Fraction(1, 3)
+        assert eta.total_mass == 1
+
+    def test_uniform_rejects_empty(self):
+        with pytest.raises(ValueError):
+            uniform([])
+
+    def test_uniform_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            uniform(["a", "a"])
+
+    def test_bernoulli_endpoints_collapse_to_dirac(self):
+        assert bernoulli(0).is_dirac()
+        assert bernoulli(1).is_dirac()
+        assert bernoulli(1)(True) == 1
+        assert bernoulli(0)(False) == 1
+
+    def test_bernoulli_interior(self):
+        eta = bernoulli(Fraction(1, 4))
+        assert eta(True) == Fraction(1, 4)
+        assert eta(False) == Fraction(3, 4)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteMeasure({"a": -0.5, "b": 1.5})
+
+    def test_mass_must_be_one(self):
+        with pytest.raises(ValueError):
+            DiscreteMeasure({"a": Fraction(1, 2)})
+
+    def test_zero_weights_dropped_from_support(self):
+        eta = DiscreteMeasure({"a": 1, "b": 0})
+        assert eta.support() == frozenset({"a"})
+
+    def test_from_pairs_sums_duplicates(self):
+        eta = from_pairs([("a", Fraction(1, 2)), ("a", Fraction(1, 4)), ("b", Fraction(1, 4))])
+        assert eta("a") == Fraction(3, 4)
+
+    def test_float_measure_tolerance(self):
+        eta = DiscreteMeasure({"a": 0.1 + 0.2, "b": 0.7})
+        assert abs(eta.total_mass - 1.0) < 1e-9
+
+
+class TestSubProbability:
+    def test_halting_mass(self):
+        eta = SubDiscreteMeasure({"a": Fraction(1, 3)})
+        assert eta.halting_mass == Fraction(2, 3)
+
+    def test_halt_constructor(self):
+        eta = SubDiscreteMeasure.halt()
+        assert len(eta) == 0
+        assert eta.halting_mass == 1
+
+    def test_mass_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            SubDiscreteMeasure({"a": Fraction(3, 4), "b": Fraction(1, 2)})
+
+    def test_scale_produces_subprobability(self):
+        eta = uniform(["a", "b"]).scale(Fraction(1, 2))
+        assert eta.total_mass == Fraction(1, 2)
+
+
+# -- operations ----------------------------------------------------------------
+
+class TestOperations:
+    def test_product_weights_multiply(self):
+        eta = product(bernoulli(Fraction(1, 2)), bernoulli(Fraction(1, 3)))
+        assert eta((True, True)) == Fraction(1, 6)
+        assert eta((False, False)) == Fraction(1, 3)
+        assert eta.total_mass == 1
+
+    def test_product_of_none_is_dirac_empty_tuple(self):
+        assert product() == dirac(())
+
+    def test_pushforward_merges_fibres(self):
+        eta = uniform(["a", "b", "c", "d"])
+        image = pushforward(eta, lambda o: o in ("a", "b"))
+        assert image(True) == Fraction(1, 2)
+
+    def test_condition_renormalizes(self):
+        eta = DiscreteMeasure({"a": Fraction(1, 2), "b": Fraction(1, 4), "c": Fraction(1, 4)})
+        cond = eta.condition({"a", "b"})
+        assert cond("a") == Fraction(2, 3)
+        assert cond.total_mass == 1
+
+    def test_condition_on_null_event_rejected(self):
+        with pytest.raises(ValueError):
+            dirac("a").condition({"z"})
+
+    def test_convex_combination_probability(self):
+        eta = convex_combination([
+            (Fraction(1, 2), dirac("a")),
+            (Fraction(1, 2), dirac("b")),
+        ])
+        assert eta("a") == Fraction(1, 2)
+        assert eta.total_mass == 1
+
+    def test_convex_combination_subprobability(self):
+        eta = convex_combination([(Fraction(1, 2), dirac("a"))])
+        assert isinstance(eta, SubDiscreteMeasure)
+        assert eta.halting_mass == Fraction(1, 2)
+
+    def test_expectation(self):
+        eta = bernoulli(Fraction(1, 4), true=1, false=0)
+        assert eta.expectation(lambda v: v) == pytest.approx(0.25)
+
+    def test_probability_of_event(self):
+        eta = uniform(["a", "b", "c", "d"])
+        assert eta.probability_of({"a", "b"}) == Fraction(1, 2)
+
+
+# -- total variation -------------------------------------------------------------
+
+class TestTotalVariation:
+    def test_identical_measures_zero(self):
+        eta = uniform(["a", "b", "c"])
+        assert total_variation(eta, eta) == 0
+
+    def test_disjoint_support_one(self):
+        assert total_variation(dirac("a"), dirac("b")) == 1
+
+    def test_known_value(self):
+        eta = bernoulli(Fraction(1, 2))
+        theta = bernoulli(Fraction(1, 4))
+        assert total_variation(eta, theta) == Fraction(1, 4)
+
+    def test_symmetry_small(self):
+        eta = bernoulli(Fraction(2, 3))
+        theta = bernoulli(Fraction(1, 5))
+        assert total_variation(eta, theta) == total_variation(theta, eta)
+
+    def test_subprobability_halting_counts(self):
+        # Halting deficiency must register as distinguishable mass.
+        full = SubDiscreteMeasure({"a": 1})
+        half = SubDiscreteMeasure({"a": Fraction(1, 2)})
+        assert total_variation(full, half) == Fraction(1, 2)
+
+    @given(rational_measures(), rational_measures())
+    @settings(max_examples=60, deadline=None)
+    def test_tv_is_metric_bounds(self, eta, theta):
+        d = total_variation(eta, theta)
+        assert 0 <= d <= 1
+        assert total_variation(eta, eta) == 0
+        assert total_variation(eta, theta) == total_variation(theta, eta)
+
+    @given(rational_measures(), rational_measures(), rational_measures())
+    @settings(max_examples=40, deadline=None)
+    def test_tv_triangle_inequality(self, a, b, c):
+        assert total_variation(a, c) <= total_variation(a, b) + total_variation(b, c)
+
+    @given(rational_measures(), rational_measures())
+    @settings(max_examples=40, deadline=None)
+    def test_tv_contracts_under_pushforward(self, eta, theta):
+        # Data-processing inequality: insight functions cannot amplify advantage,
+        # the informal heart of Definition 3.7 (stability by composition).
+        collapse = lambda o: o in ("a", "b")
+        assert total_variation(eta.map(collapse), theta.map(collapse)) <= total_variation(eta, theta)
+
+
+# -- Definition 2.15 correspondence ---------------------------------------------
+
+class TestCorrespondence:
+    def test_identity_correspondence(self):
+        eta = uniform(["a", "b"])
+        assert measures_correspond(eta, eta, lambda o: o)
+
+    def test_relabelling_correspondence(self):
+        eta = uniform(["a", "b"])
+        theta = uniform(["A", "B"])
+        assert measures_correspond(eta, theta, str.upper)
+        bij = correspondence_bijection(eta, theta, str.upper)
+        assert bij == {"a": "A", "b": "B"}
+
+    def test_non_injective_function_fails(self):
+        eta = uniform(["a", "b"])
+        theta = dirac("X")
+        assert not measures_correspond(eta, theta, lambda o: "X")
+
+    def test_weight_mismatch_fails(self):
+        eta = bernoulli(Fraction(1, 2), true="a", false="b")
+        theta = bernoulli(Fraction(1, 3), true="A", false="B")
+        assert not measures_correspond(eta, theta, str.upper)
+
+    def test_not_onto_fails(self):
+        eta = dirac("a")
+        theta = uniform(["A", "B"])
+        assert not measures_correspond(eta, theta, str.upper)
+
+    @given(rational_measures())
+    @settings(max_examples=40, deadline=None)
+    def test_correspondence_with_injective_rename_always_holds(self, eta):
+        renamed = eta.map(lambda o: ("tag", o))
+        assert measures_correspond(eta, renamed, lambda o: ("tag", o))
+
+
+# -- hashing / equality -----------------------------------------------------------
+
+class TestValueSemantics:
+    def test_equality_by_value(self):
+        assert uniform(["a", "b"]) == DiscreteMeasure({"b": Fraction(1, 2), "a": Fraction(1, 2)})
+
+    def test_inequality_different_weights(self):
+        assert bernoulli(Fraction(1, 2)) != bernoulli(Fraction(1, 3))
+
+    def test_hash_stable_for_equal_support(self):
+        assert hash(uniform(["a", "b"])) == hash(DiscreteMeasure({"a": Fraction(1, 4), "b": Fraction(3, 4)}))
+
+    def test_usable_in_sets(self):
+        s = {dirac("a"), dirac("a"), dirac("b")}
+        assert len(s) == 2

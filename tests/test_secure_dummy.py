@@ -1,0 +1,299 @@
+"""Tests for the dummy adversary and Forward constructions (Defs 4.27-4.28,
+Lemma 4.29/D.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.executions import Fragment
+from repro.core.psioa import TablePSIOA, validate_psioa
+from repro.core.signature import Signature
+from repro.probability.measures import dirac, total_variation
+from repro.secure.adversary import is_adversary
+from repro.secure.dummy import (
+    DummyAdversary,
+    ForwardScheduler,
+    adversary_rename,
+    apply_adversary_rename,
+    build_dummy_worlds,
+    collapse_execution,
+    dummy_adversary,
+    forward_execution,
+    hide_adversary_actions,
+)
+from repro.secure.structured import structure
+from repro.semantics.insight import f_dist, print_insight, trace_insight
+from repro.semantics.measure import execution_measure
+from repro.semantics.scheduler import ActionSequenceScheduler
+
+from tests.helpers import coin_automaton, controlled_coin, listener
+
+
+def structured_coin(name="coin", p=Fraction(1, 2)):
+    return structure(coin_automaton(name, p), {"head", "tail"})
+
+
+def structured_controlled(name="rc", p=Fraction(1, 2)):
+    return structure(controlled_coin(name, p, go="go"), {"head", "tail"})
+
+
+def env_observer(name="E"):
+    """Environment watching head/tail and reporting via output 'acc'."""
+    signatures = {
+        "watch": Signature(inputs={"head", "tail"}),
+        "happy": Signature(inputs={"head", "tail"}, outputs={"acc"}),
+        "done": Signature(inputs={"head", "tail"}),
+    }
+    transitions = {
+        ("watch", "head"): dirac("happy"),
+        ("watch", "tail"): dirac("watch"),
+        ("happy", "head"): dirac("happy"),
+        ("happy", "tail"): dirac("happy"),
+        ("happy", "acc"): dirac("done"),
+        ("done", "head"): dirac("done"),
+        ("done", "tail"): dirac("done"),
+    }
+    return TablePSIOA(name, "watch", signatures, transitions)
+
+
+def passive_adv(name="Adv", g_names=()):
+    """Adversary listening on the renamed channel."""
+    return listener(name, set(g_names))
+
+
+def driving_adv(name="Adv", action=("g", "go")):
+    """Adversary that repeatedly fires one renamed action."""
+    return TablePSIOA(
+        name,
+        "s",
+        {"s": Signature(outputs={action})},
+        {("s", action): dirac("s")},
+    )
+
+
+class TestRenaming:
+    def test_adversary_rename_covers_aact(self):
+        sc = structured_coin()
+        g = adversary_rename(sc)
+        assert g == {"toss": ("g", "toss")}
+
+    def test_apply_rename_keeps_eact(self):
+        sc = structured_coin()
+        g = adversary_rename(sc)
+        renamed = apply_adversary_rename(sc, g)
+        assert renamed.signature("q0").outputs == {("g", "toss")}
+        assert renamed.signature("qH").outputs == {"head"}
+        assert renamed.eact("qH") == {"head"}
+        validate_psioa(renamed)
+
+
+class TestDummyAutomaton:
+    def test_dummy_shape_output_direction(self):
+        sc = structured_coin()
+        dummy, g = dummy_adversary(sc)
+        assert dummy.start == ("pend", None)
+        sig0 = dummy.signature(("pend", None))
+        assert sig0.inputs == {"toss"}
+        assert sig0.outputs == frozenset()
+        # After latching 'toss', the dummy offers g('toss').
+        latched = dummy.transition(("pend", None), "toss")
+        assert latched(("pend", "toss")) == 1
+        sig1 = dummy.signature(("pend", "toss"))
+        assert sig1.outputs == {("g", "toss")}
+        assert dummy.transition(("pend", "toss"), ("g", "toss"))(("pend", None)) == 1
+
+    def test_dummy_shape_input_direction(self):
+        rc = structured_controlled()
+        dummy, g = dummy_adversary(rc)
+        sig0 = dummy.signature(("pend", None))
+        assert sig0.inputs == {("g", "go")}
+        latched = dummy.transition(("pend", None), ("g", "go"))
+        assert latched(("pend", ("g", "go"))) == 1
+        sig1 = dummy.signature(("pend", ("g", "go")))
+        assert sig1.outputs == {"go"}
+
+    def test_forward_and_origin_actions(self):
+        sc = structured_coin()
+        dummy, g = dummy_adversary(sc)
+        assert dummy.forward_action("toss") == ("g", "toss")
+        assert dummy.origin_action("toss") == ("g", "toss")
+        rc = structured_controlled("rc2")
+        dummy2, _ = dummy_adversary(rc)
+        assert dummy2.forward_action(("g", "go")) == "go"
+        assert dummy2.origin_action(("g", "go")) == ("g", "go")
+
+    def test_dummy_is_valid_psioa(self):
+        sc = structured_coin()
+        dummy, _ = dummy_adversary(sc)
+        # Dummy alone never reaches latched states (inputs drive it), so
+        # validate over the explicit state set.
+        states = [("pend", None), ("pend", "toss"), ("pend", ("g", "toss"))]
+        validate_psioa(dummy, states=[("pend", None), ("pend", "toss")])
+
+    def test_dummy_rejects_incomplete_renaming(self):
+        sc = structured_coin()
+        with pytest.raises(Exception):
+            DummyAdversary(sc, {})
+
+
+class TestWorldsAndAdversaryStatus:
+    def test_adv_is_adversary_for_renamed_and_hidden(self):
+        # The premise of Lemma 4.29: Adv must be an adversary for both g(A)
+        # and hide(A || Dummy, AAct_A).
+        sc = structured_coin()
+        g = adversary_rename(sc)
+        adv = passive_adv(g_names=[("g", "toss")])
+        renamed = apply_adversary_rename(sc, g)
+        assert is_adversary(adv, renamed)
+
+    def test_build_dummy_worlds_shapes(self):
+        sc = structured_coin()
+        env = env_observer()
+        adv = passive_adv(g_names=[("g", "toss")])
+        phi, psi, dummy, g = build_dummy_worlds(env, sc, adv)
+        assert phi.start == ("watch", "q0", "s")
+        assert psi.start == ("watch", ("q0", ("pend", None)), "s")
+
+    def test_hidden_world_internalizes_aact(self):
+        sc = structured_coin()
+        env = env_observer()
+        adv = passive_adv(g_names=[("g", "toss")])
+        _phi, psi, _dummy, _g = build_dummy_worlds(env, sc, adv)
+        sig = psi.signature(psi.start)
+        assert "toss" in sig.internals
+        assert "toss" not in sig.outputs
+
+
+class TestForwardExecution:
+    def setup_method(self):
+        self.sc = structured_coin()
+        self.env = env_observer()
+        self.adv = passive_adv(g_names=[("g", "toss")])
+        self.phi, self.psi, self.dummy, self.g = build_dummy_worlds(self.env, self.sc, self.adv)
+
+    def phi_execution(self):
+        return Fragment(
+            (
+                ("watch", "q0", "s"),
+                ("watch", "qH", "s"),
+                ("happy", "qF", "s"),
+            ),
+            (("g", "toss"), "head"),
+        )
+
+    def test_forward_expands_adversary_steps(self):
+        alpha = self.phi_execution()
+        alpha_prime = forward_execution(alpha, self.dummy)
+        assert alpha_prime.actions == ("toss", ("g", "toss"), "head")
+        assert alpha_prime.states[1] == ("watch", ("qH", ("pend", "toss")), "s")
+        assert alpha_prime.is_execution_of(self.psi)
+
+    def test_collapse_is_inverse(self):
+        alpha = self.phi_execution()
+        assert collapse_execution(forward_execution(alpha, self.dummy), self.dummy) == alpha
+
+    def test_collapse_rejects_mid_forward(self):
+        alpha = self.phi_execution()
+        alpha_prime = forward_execution(alpha, self.dummy)
+        mid = Fragment(alpha_prime.states[:2], alpha_prime.actions[:1])
+        assert collapse_execution(mid, self.dummy) is None
+
+    def test_forward_execution_valid_in_psi(self):
+        # Every phi execution maps to a valid psi execution.
+        alpha = Fragment(
+            (("watch", "q0", "s"), ("watch", "qT", "s")),
+            (("g", "toss"),),
+        )
+        assert alpha.is_execution_of(self.phi)
+        assert forward_execution(alpha, self.dummy).is_execution_of(self.psi)
+
+    def test_input_direction_expansion(self):
+        rc = structured_controlled()
+        env = env_observer("E2")
+        adv = driving_adv(action=("g", "go"))
+        phi, psi, dummy, g = build_dummy_worlds(env, rc, adv)
+        alpha = Fragment(
+            (("watch", "w", "s"), ("watch", "qH", "s")),
+            (("g", "go"),),
+        )
+        assert alpha.is_execution_of(phi)
+        alpha_prime = forward_execution(alpha, dummy)
+        assert alpha_prime.actions == (("g", "go"), "go")
+        assert alpha_prime.states[1] == ("watch", ("w", ("pend", ("g", "go"))), "s")
+        assert alpha_prime.is_execution_of(psi)
+
+
+class TestLemma429:
+    """Dummy adversary insertion: exact f-dist equality under Forward^s."""
+
+    def check_equality(self, structured, env, adv, script, insight):
+        phi, psi, dummy, g = build_dummy_worlds(env, structured, adv)
+        sigma = ActionSequenceScheduler(script, local_only=True)
+        sigma_prime = ForwardScheduler(sigma, phi, dummy)
+        dist_phi = execution_measure(phi, sigma).map(
+            lambda e: insight(env, phi, e)
+        )
+        dist_psi = execution_measure(psi, sigma_prime).map(
+            lambda e: insight(env, psi, e)
+        )
+        return total_variation(dist_phi, dist_psi)
+
+    def test_output_direction_exact_zero(self):
+        sc = structured_coin()
+        env = env_observer()
+        adv = passive_adv(g_names=[("g", "toss")])
+        d = self.check_equality(
+            sc, env, adv, [("g", "toss"), "head", "acc"], print_insight()
+        )
+        assert d == 0
+
+    def test_output_direction_trace_insight_zero(self):
+        # Hiding makes the initiating step internal, so even the full trace
+        # agrees between the two worlds.
+        sc = structured_coin()
+        env = env_observer()
+        adv = passive_adv(g_names=[("g", "toss")])
+        d = self.check_equality(
+            sc, env, adv, [("g", "toss"), "head", "acc"], trace_insight()
+        )
+        assert d == 0
+
+    def test_input_direction_exact_zero(self):
+        rc = structured_controlled()
+        env = env_observer("E2")
+        adv = driving_adv(action=("g", "go"))
+        d = self.check_equality(
+            rc, env, adv, [("g", "go"), "head", "acc"], print_insight()
+        )
+        assert d == 0
+
+    def test_biased_coin_still_zero(self):
+        sc = structured_coin(p=Fraction(2, 7))
+        env = env_observer()
+        adv = passive_adv(g_names=[("g", "toss")])
+        d = self.check_equality(
+            sc, env, adv, [("g", "toss"), "head", "acc"], print_insight()
+        )
+        assert d == 0
+
+    def test_q2_is_twice_q1(self):
+        sc = structured_coin()
+        env = env_observer()
+        adv = passive_adv(g_names=[("g", "toss")])
+        phi, psi, dummy, g = build_dummy_worlds(env, sc, adv)
+        sigma = ActionSequenceScheduler([("g", "toss"), "head"], local_only=True)
+        sigma_prime = ForwardScheduler(sigma, phi, dummy)
+        assert sigma_prime.step_bound() == 2 * sigma.step_bound()
+
+    def test_longer_scripts_stay_exact(self):
+        rc = structured_controlled()
+        env = env_observer("E2")
+        adv = driving_adv(action=("g", "go"))
+        for script in [
+            [("g", "go")],
+            [("g", "go"), "head"],
+            [("g", "go"), "tail", "head", "acc"],
+            [("g", "go"), ("g", "go"), "head", "acc"],
+        ]:
+            d = self.check_equality(rc, env, adv, script, print_insight())
+            assert d == 0, script

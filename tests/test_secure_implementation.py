@@ -1,0 +1,250 @@
+"""Tests for the approximate implementation relation (Def 4.12) and its
+composability/transitivity (Lemmas 4.13-4.14, Theorems 4.15-4.16)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bounded.families import PSIOAFamily, compose_families
+from repro.core.composition import compose
+from repro.core.psioa import TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import dirac
+from repro.secure.implementation import (
+    ImplementationResult,
+    family_implementation_profile,
+    implementation_distance,
+    implements,
+    neg_pt_implements,
+)
+from repro.semantics.insight import accept_insight, trace_insight
+from repro.semantics.schema import SchedulerSchema, oblivious_schema
+from repro.semantics.scheduler import ActionSequenceScheduler
+
+from tests.helpers import coin_automaton, listener, ticker
+
+
+def observer(name="E", accept_on="head"):
+    signatures = {
+        "watch": Signature(inputs={"head", "tail"}),
+        "happy": Signature(inputs={"head", "tail"}, outputs={"acc"}),
+        "done": Signature(inputs={"head", "tail"}),
+    }
+    transitions = {
+        ("watch", "head"): dirac("happy" if accept_on == "head" else "watch"),
+        ("watch", "tail"): dirac("happy" if accept_on == "tail" else "watch"),
+        ("happy", "head"): dirac("happy"),
+        ("happy", "tail"): dirac("happy"),
+        ("happy", "acc"): dirac("done"),
+        ("done", "head"): dirac("done"),
+        ("done", "tail"): dirac("done"),
+    }
+    return TablePSIOA(name, "watch", signatures, transitions)
+
+
+def coin_schema():
+    """Oblivious schedulers over the coin alphabet, locally controlled."""
+
+    def members(automaton, bound):
+        base = ["toss", "head", "tail", "acc"]
+        import itertools
+
+        for length in range(bound + 1):
+            for seq in itertools.product(base, repeat=length):
+                yield ActionSequenceScheduler(seq, local_only=True)
+
+    return SchedulerSchema("coin-oblivious", members)
+
+
+ENVS = [observer()]
+SCHEMA = coin_schema()
+INSIGHT = accept_insight()
+
+
+class TestImplements:
+    def test_reflexive_at_zero(self):
+        coin = coin_automaton("c", Fraction(1, 2))
+        result = implements(
+            coin,
+            coin,
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environments=ENVS,
+            q1=3,
+            q2=3,
+            epsilon=0,
+        )
+        assert result.holds
+        assert result.distance == 0
+        assert bool(result)
+
+    def test_biased_coin_implements_fair_up_to_bias(self):
+        fair = coin_automaton("fair", Fraction(1, 2))
+        biased = coin_automaton("biased", Fraction(1, 2) + Fraction(1, 8))
+        result = implements(
+            biased,
+            fair,
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environments=ENVS,
+            q1=3,
+            q2=3,
+            epsilon=Fraction(1, 8),
+        )
+        assert result.holds
+
+    def test_fails_below_true_distance(self):
+        fair = coin_automaton("fair", Fraction(1, 2))
+        biased = coin_automaton("biased", Fraction(3, 4))
+        result = implements(
+            biased,
+            fair,
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environments=ENVS,
+            q1=3,
+            q2=3,
+            epsilon=Fraction(1, 8),
+        )
+        assert not result.holds
+        assert result.counterexample is not None
+
+    def test_p_filter_excludes_large_environments(self):
+        # With every environment filtered out, the relation holds vacuously.
+        fair = coin_automaton("fair", Fraction(1, 2))
+        det = coin_automaton("det", 1)
+        result = implements(
+            det,
+            fair,
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environments=ENVS,
+            q1=3,
+            q2=3,
+            epsilon=0,
+            p=1,  # far below the observer's measured bound
+        )
+        assert result.holds
+
+    def test_witness_shortcircuits_search(self):
+        coin = coin_automaton("c", Fraction(1, 2))
+        calls = []
+
+        def witness(env, scheduler):
+            calls.append(scheduler)
+            return scheduler  # identity works for A == B
+
+        result = implements(
+            coin,
+            coin,
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environments=ENVS,
+            q1=2,
+            q2=2,
+            epsilon=0,
+            witness=witness,
+        )
+        assert result.holds
+        assert calls
+
+
+class TestImplementationDistance:
+    def test_distance_equals_bias(self):
+        fair = coin_automaton("fair", Fraction(1, 2))
+        biased = coin_automaton("biased", Fraction(3, 4))
+        d = implementation_distance(
+            biased,
+            fair,
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environments=ENVS,
+            q1=3,
+            q2=3,
+        )
+        assert d == Fraction(1, 4)
+
+    def test_theorem_416_transitivity(self):
+        # d(A1,A3) <= d(A1,A2) + d(A2,A3) with matched bounds.
+        a1 = coin_automaton("a1", Fraction(1, 2))
+        a2 = coin_automaton("a2", Fraction(5, 8))
+        a3 = coin_automaton("a3", Fraction(3, 4))
+        kw = dict(schema=SCHEMA, insight=INSIGHT, environments=ENVS, q1=3, q2=3)
+        d12 = implementation_distance(a1, a2, **kw)
+        d23 = implementation_distance(a2, a3, **kw)
+        d13 = implementation_distance(a1, a3, **kw)
+        assert d13 <= d12 + d23
+
+    def test_lemma_413_composability(self):
+        # Composing a context A3 cannot increase the distance.
+        fair = coin_automaton("fair", Fraction(1, 2))
+        biased = coin_automaton("biased", Fraction(5, 8))
+        context = ticker("ctx", 2, action="ctx-tick")
+        kw = dict(schema=SCHEMA, insight=INSIGHT, environments=ENVS, q1=3, q2=3)
+        d_bare = implementation_distance(biased, fair, **kw)
+        d_composed = implementation_distance(
+            compose(context, biased, name="cb"),
+            compose(context, fair, name="cf"),
+            **kw,
+        )
+        assert d_composed <= d_bare
+
+
+class TestFamilies:
+    def xor_coin_family(self, name, delta_exponent_offset=0):
+        """Coin family with bias 2^-(k+offset): epsilon(k) negligible."""
+
+        def build(k):
+            bias = Fraction(1, 2 ** (k + delta_exponent_offset))
+            return coin_automaton((name, k), Fraction(1, 2) + bias)
+
+        return PSIOAFamily(name, build)
+
+    def test_profile_decays_geometrically(self):
+        fair = PSIOAFamily("fair", lambda k: coin_automaton(("fair", k), Fraction(1, 2)))
+        biased = self.xor_coin_family("biased", 1)
+        profile = family_implementation_profile(
+            biased,
+            fair,
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environment_family=lambda k: ENVS,
+            q1=lambda k: 3,
+            q2=lambda k: 3,
+            ks=range(1, 6),
+        )
+        values = [v for _, v in profile]
+        assert values == sorted(values, reverse=True)
+        assert neg_pt_implements(profile)
+
+    def test_constant_error_profile_not_negligible(self):
+        fair = PSIOAFamily("fair", lambda k: coin_automaton(("fair", k), Fraction(1, 2)))
+        skewed = PSIOAFamily("skewed", lambda k: coin_automaton(("skewed", k), Fraction(3, 4)))
+        profile = family_implementation_profile(
+            skewed,
+            fair,
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environment_family=lambda k: ENVS,
+            q1=lambda k: 3,
+            q2=lambda k: 3,
+            ks=range(1, 6),
+        )
+        assert not neg_pt_implements(profile)
+
+    def test_theorem_415_family_composability(self):
+        # Composing a polynomially-bounded context family preserves neg,pt.
+        fair = PSIOAFamily("fair", lambda k: coin_automaton(("fair", k), Fraction(1, 2)))
+        biased = self.xor_coin_family("biased", 1)
+        context = PSIOAFamily("ctx", lambda k: ticker(("ctx", k), 1, action="ctx-tick"))
+        profile = family_implementation_profile(
+            compose_families(context, biased),
+            compose_families(context, fair),
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environment_family=lambda k: ENVS,
+            q1=lambda k: 3,
+            q2=lambda k: 3,
+            ks=range(1, 6),
+        )
+        assert neg_pt_implements(profile)

@@ -1,0 +1,235 @@
+"""Tests for structured PSIOA/PCA and adversaries (Defs 4.17-4.25)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.config.pca import CanonicalPCA
+from repro.core.psioa import PsioaError
+from repro.secure.adversary import adversary_violations, is_adversary, restrict_adversary_check
+from repro.secure.structured import (
+    StructuredPCA,
+    check_structured_pca_constraint,
+    compose_structured,
+    compose_structured_pca,
+    hide_structured,
+    structure,
+    structure_pca,
+    structured_compatible,
+)
+
+from tests.helpers import (
+    coin_automaton,
+    controlled_coin,
+    driver,
+    fair_coin,
+    listener,
+    ticker,
+)
+
+
+def structured_coin(name="coin", p=Fraction(1, 2)):
+    """Coin whose toss is adversary-facing, results environment-facing."""
+    return structure(coin_automaton(name, p), {"head", "tail"})
+
+
+def structured_controlled(name="rc", p=Fraction(1, 2), go=("adv", "go")):
+    return structure(controlled_coin(name, p, go=go), {"head", "tail"})
+
+
+class TestStructuredPsioa:
+    def test_eact_aact_partition(self):
+        sc = structured_coin()
+        assert sc.eact("qH") == {"head"}
+        assert sc.aact("q0") == {"toss"}
+        assert sc.eact("q0") == frozenset()
+
+    def test_io_refinements(self):
+        rc = structured_controlled()
+        assert rc.ai("w") == {("adv", "go")}
+        assert rc.ao("w") == frozenset()
+        assert rc.eo("qH") == {"head"}
+        assert rc.ei("qH") == frozenset()
+
+    def test_global_unions(self):
+        sc = structured_coin()
+        assert sc.global_aact() == {"toss"}
+        assert sc.global_eact() == {"head", "tail"}
+        assert sc.global_ao() == {"toss"}
+        assert sc.global_ai() == frozenset()
+
+    def test_eact_must_be_external(self):
+        bad = structure(fair_coin(), lambda q: {"not-an-action"})
+        with pytest.raises(PsioaError):
+            bad.eact("q0")
+
+    def test_constant_eact_intersects_per_state(self):
+        sc = structured_coin()
+        # 'head' is not external at q0, so it is not in EAct(q0).
+        assert "head" not in sc.eact("q0")
+
+    def test_structured_is_psioa(self):
+        sc = structured_coin()
+        assert sc.transition("q0", "toss")("qH") == Fraction(1, 2)
+
+
+class TestStructuredCompatibility:
+    def test_disjoint_systems_compatible(self):
+        a = structure(ticker("a", 1, action="x"), {"x"})
+        b = structure(ticker("b", 1, action="y"), {"y"})
+        assert structured_compatible(a, b)
+
+    def test_shared_environment_action_compatible(self):
+        a = structured_coin("a")
+        ear = structure(listener("ear", {"head", "tail"}), {"head", "tail"})
+        assert structured_compatible(a, ear)
+
+    def test_shared_adversary_action_incompatible(self):
+        # 'toss' is adversary-facing for the coin but shared with the listener.
+        a = structured_coin("a")
+        spy = structure(listener("spy", {"toss"}), {"toss"})
+        assert not structured_compatible(a, spy)
+
+    def test_incompatible_signatures_not_structured_compatible(self):
+        a = structure(ticker("a", 1, action="x"), {"x"})
+        b = structure(ticker("b", 1, action="x"), {"x"})
+        assert not structured_compatible(a, b)
+
+
+class TestStructuredComposition:
+    def test_eact_union(self):
+        a = structured_coin("a")
+        ear = structure(listener("ear", {"head", "tail"}), {"head", "tail"})
+        both = compose_structured(a, ear)
+        # Definition 4.19 unions the per-state EActs: the listener keeps
+        # head/tail marked even while the coin has not announced yet.
+        assert both.eact(both.start) == {"head", "tail"}
+        assert both.aact(both.start) == {"toss"}
+        state_h = ("qH", "s")
+        assert "head" in both.eact(state_h)
+
+    def test_requires_structured_components(self):
+        with pytest.raises(PsioaError):
+            compose_structured(structured_coin(), fair_coin())  # type: ignore[arg-type]
+
+    def test_composition_is_structured_psioa(self):
+        a = structure(ticker("a", 2, action="x"), {"x"})
+        b = structure(ticker("b", 2, action="y"), set())
+        both = compose_structured(a, b)
+        assert both.global_eact() == {"x"}
+        assert both.global_aact() == {"y"}
+
+
+class TestHideStructured:
+    def test_hiding_removes_from_eact(self):
+        sc = structured_coin()
+        hidden = hide_structured(sc, lambda q: {"head"})
+        assert "head" not in hidden.eact("qH")
+        assert "head" in hidden.signature("qH").internals
+
+    def test_hide_keeps_transitions(self):
+        sc = structured_coin()
+        hidden = hide_structured(sc, lambda q: {"toss"})
+        assert hidden.transition("q0", "toss") == sc.transition("q0", "toss")
+
+    def test_hide_eact_minus_s(self):
+        # Definition 4.17: hide((A, EAct), S) = (hide(A, S), EAct \ S).
+        rc = structured_controlled()
+        hidden = hide_structured(rc, lambda q: {"head", "tail"})
+        assert hidden.eact("qH") == frozenset()
+        assert hidden.aact("qH") <= {("adv", "go")}
+
+
+class TestAdversary:
+    def test_passive_eavesdropper_is_adversary(self):
+        sc = structured_coin()
+        adv = listener("adv", {"toss"})
+        assert is_adversary(adv, sc)
+
+    def test_driving_adversary_covers_inputs(self):
+        rc = structured_controlled()
+        adv = driver("adv", [("adv", "go")])
+        # After its single shot the driver no longer offers 'go', violating
+        # input coverage at later joint states.
+        violations = adversary_violations(adv, rc)
+        assert violations  # AI not covered once the driver is exhausted
+
+    def test_always_on_driver_is_adversary(self):
+        rc = structured_controlled()
+        adv = listener("adv", set())  # no outputs at all -> fails coverage
+        assert not is_adversary(adv, rc)
+        from repro.core.psioa import TablePSIOA
+        from repro.core.signature import Signature
+        from repro.probability.measures import dirac
+
+        forever = TablePSIOA(
+            "adv",
+            "s",
+            {"s": Signature(outputs={("adv", "go")})},
+            {("s", ("adv", "go")): dirac("s")},
+        )
+        assert is_adversary(forever, rc)
+
+    def test_adversary_must_not_touch_environment_actions(self):
+        sc = structured_coin()
+        nosy = listener("adv", {"toss", "head"})
+        violations = adversary_violations(nosy, sc)
+        assert any("environment actions" in v for v in violations)
+
+    def test_incompatible_candidate_reported(self):
+        sc = structured_coin()
+        clashing = ticker("adv", 1, action="toss")  # output clash with the coin
+        violations = adversary_violations(clashing, sc)
+        assert violations and "compatible" in violations[0]
+
+    def test_lemma_425_restriction(self):
+        a = structured_coin("a")
+        b = structure(
+            coin_automaton("b", Fraction(1, 2), toss="toss-b", head="head-b", tail="tail-b"),
+            {"head-b", "tail-b"},
+        )
+        adv = listener("adv", {"toss", "toss-b"})
+        assert is_adversary(adv, compose_structured(a, b))
+        assert is_adversary(adv, a)  # the lemma's conclusion
+        assert restrict_adversary_check(adv, a, b)
+
+
+class TestStructuredPca:
+    def make_pca(self):
+        member = structured_coin("inner")
+        return CanonicalPCA("pca", [member])
+
+    def test_structure_pca_derives_eact(self):
+        spca = structure_pca(self.make_pca())
+        assert spca.eact(spca.start) == frozenset()
+        assert spca.aact(spca.start) == {"toss"}
+
+    def test_hidden_actions_removed_from_eact(self):
+        member = structured_coin("inner")
+        pca = CanonicalPCA("pca", [member], hidden=lambda c: {"head"})
+        spca = structure_pca(pca)
+        after_toss = [s for s in spca.transition(spca.start, "toss").support()]
+        heads = [s for s in after_toss if s.state_of("inner") == "qH"][0]
+        assert "head" not in spca.eact(heads)
+
+    def test_constraint_checker(self):
+        spca = structure_pca(self.make_pca())
+        assert check_structured_pca_constraint(spca)
+
+    def test_lemma_423_composition_closed(self):
+        left = structure_pca(CanonicalPCA("pl", [structured_coin("cl")]))
+        right = structure_pca(
+            CanonicalPCA(
+                "pr",
+                [
+                    structure(
+                        coin_automaton("cr", Fraction(1, 2), toss="toss-r", head="head-r", tail="tail-r"),
+                        {"head-r", "tail-r"},
+                    )
+                ],
+            )
+        )
+        both = compose_structured_pca(left, right)
+        assert isinstance(both, StructuredPCA)
+        assert check_structured_pca_constraint(both)
+        assert both.global_aact() == {"toss", "toss-r"}

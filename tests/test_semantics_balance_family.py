@@ -1,0 +1,56 @@
+"""Tests for the family form of the balanced relation (Definition 4.11)."""
+
+from fractions import Fraction
+
+from repro.bounded.families import PSIOAFamily, SchedulerFamily
+from repro.semantics.balance import family_balanced
+from repro.semantics.insight import accept_insight
+from repro.semantics.scheduler import ActionSequenceScheduler
+from repro.systems.coin import amplified_coin_family, coin_observer, fair_coin_family, xor_bias
+
+
+def scheduler_family():
+    return SchedulerFamily(
+        "script",
+        lambda k: ActionSequenceScheduler(["toss", "head", "acc"], local_only=True),
+    )
+
+
+class TestFamilyBalanced:
+    def test_amplified_vs_fair_balanced_at_the_bias(self):
+        envs = PSIOAFamily("envs", lambda k: coin_observer(("E", k)))
+        assert family_balanced(
+            accept_insight(),
+            envs,
+            amplified_coin_family(),
+            scheduler_family(),
+            fair_coin_family(),
+            scheduler_family(),
+            epsilon=lambda k: xor_bias(k),
+            ks=range(1, 5),
+        )
+
+    def test_fails_below_the_bias(self):
+        envs = PSIOAFamily("envs", lambda k: coin_observer(("E", k)))
+        assert not family_balanced(
+            accept_insight(),
+            envs,
+            amplified_coin_family(),
+            scheduler_family(),
+            fair_coin_family(),
+            scheduler_family(),
+            epsilon=lambda k: xor_bias(k) / 2,
+            ks=range(1, 5),
+        )
+
+    def test_callable_families_supported(self):
+        assert family_balanced(
+            accept_insight(),
+            lambda k: coin_observer(("E", k)),
+            amplified_coin_family(),
+            lambda k: ActionSequenceScheduler(["toss", "head", "acc"], local_only=True),
+            fair_coin_family(),
+            lambda k: ActionSequenceScheduler(["toss", "head", "acc"], local_only=True),
+            epsilon=lambda k: Fraction(1, 2),
+            ks=range(1, 4),
+        )

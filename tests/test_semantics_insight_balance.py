@@ -1,0 +1,154 @@
+"""Tests for insight functions, f-dist and balanced schedulers (Defs 3.3-3.7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.composition import compose
+from repro.core.psioa import TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import dirac
+from repro.semantics.balance import balanced, perception_distance
+from repro.semantics.environment import environments_of_both, is_environment
+from repro.semantics.insight import (
+    accept_insight,
+    check_stability_by_composition,
+    compose_world,
+    f_dist,
+    print_insight,
+    trace_insight,
+)
+from repro.semantics.scheduler import ActionSequenceScheduler
+
+from tests.helpers import coin_automaton, fair_coin, listener, ticker
+
+
+def observer(name="env", watched=("toss", "head", "tail"), accept_on="head"):
+    """An environment that observes coin actions and outputs 'acc' after
+    seeing `accept_on` — the classic distinguisher shape."""
+    signatures = {
+        "watch": Signature(inputs=frozenset(watched)),
+        "happy": Signature(inputs=frozenset(watched), outputs={"acc"}),
+        "done": Signature(inputs=frozenset(watched)),
+    }
+    transitions = {}
+    for w in watched:
+        transitions[("watch", w)] = dirac("happy" if w == accept_on else "watch")
+        transitions[("happy", w)] = dirac("happy")
+        transitions[("done", w)] = dirac("done")
+    transitions[("happy", "acc")] = dirac("done")
+    return TablePSIOA(name, "watch", signatures, transitions)
+
+
+class TestEnvironment:
+    def test_observer_is_environment_of_coin(self):
+        assert is_environment(observer(), fair_coin())
+
+    def test_same_name_not_environment(self):
+        assert not is_environment(fair_coin("x"), fair_coin("x"))
+
+    def test_output_clash_not_environment(self):
+        noisy = ticker("noisy", 1, action="toss")  # clashes with the coin's output
+        assert not is_environment(noisy, fair_coin())
+
+    def test_environments_of_both_filters(self):
+        candidates = [observer(), ticker("noisy", 1, action="toss")]
+        both = environments_of_both(candidates, fair_coin("a"), coin_automaton("b", 1))
+        assert [e.name for e in both] == ["env"]
+
+
+class TestInsightFunctions:
+    def test_trace_insight_projects_external(self):
+        env = observer()
+        coin = fair_coin()
+        world = compose_world(env, coin)
+        sched = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        dist = f_dist(trace_insight(), env, coin, sched)
+        assert dist(("toss", "head", "acc")) == Fraction(1, 2)
+        assert dist(("toss",)) == Fraction(1, 2)  # tails branch halts early
+
+    def test_accept_insight_flags_distinguisher_bit(self):
+        env = observer()
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        dist = f_dist(accept_insight(), env, coin, sched)
+        assert dist(1) == Fraction(1, 2)
+        assert dist(0) == Fraction(1, 2)
+
+    def test_accept_insight_zero_without_acc(self):
+        env = observer()
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["toss"])
+        dist = f_dist(accept_insight(), env, coin, sched)
+        assert dist(0) == 1
+
+    def test_print_insight_sees_env_actions_only(self):
+        env = observer(watched=("toss",))
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["toss", "head"])
+        dist = f_dist(print_insight(), env, coin, sched)
+        # 'head'/'tail' are not in the environment's signature: invisible.
+        assert dist(("toss",)) == 1
+
+    def test_fdist_total_mass_one(self):
+        env = observer()
+        sched = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        dist = f_dist(trace_insight(), env, fair_coin(), sched)
+        assert dist.total_mass == 1
+
+
+class TestBalance:
+    def test_same_system_schedulers_are_zero_balanced(self):
+        env = observer()
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        assert perception_distance(accept_insight(), env, coin, sched, coin, sched) == 0
+        assert balanced(accept_insight(), env, coin, sched, coin, sched, 0)
+
+    def test_biased_vs_fair_distance_is_bias(self):
+        env = observer()
+        fair = fair_coin("fair")
+        biased = coin_automaton("biased", Fraction(3, 4))
+        sched = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        distance = perception_distance(accept_insight(), env, fair, sched, biased, sched)
+        assert distance == Fraction(1, 4)
+        assert balanced(accept_insight(), env, fair, sched, biased, sched, Fraction(1, 4))
+        assert not balanced(accept_insight(), env, fair, sched, biased, sched, Fraction(1, 5))
+
+    def test_trace_insight_at_least_as_sharp_as_accept(self):
+        env = observer()
+        fair = fair_coin("fair")
+        biased = coin_automaton("biased", Fraction(2, 3))
+        sched = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        d_trace = perception_distance(trace_insight(), env, fair, sched, biased, sched)
+        d_accept = perception_distance(accept_insight(), env, fair, sched, biased, sched)
+        # accept is a function of the trace: data processing inequality.
+        assert d_accept <= d_trace
+
+    def test_deterministic_coins_fully_distinguishable(self):
+        env = observer()
+        heads = coin_automaton("h", 1)
+        tails = coin_automaton("t", 0)
+        sched = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        assert perception_distance(accept_insight(), env, heads, sched, tails, sched) == 1
+
+    def test_different_schedulers_can_balance_different_systems(self):
+        # The quantifier structure of Def 4.12: a *different* sigma' may be
+        # needed on the B side.  Here B renames head/tail order in its script.
+        env = observer(watched=("toss", "head", "tail"))
+        coin = fair_coin("fair")
+        sched1 = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        sched2 = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        assert balanced(accept_insight(), env, coin, sched1, coin, sched2, 0)
+
+
+class TestStability:
+    def test_standard_insights_stable_on_concrete_quintuple(self):
+        env = observer(watched=("tick",), accept_on="tick")
+        context = listener("ctx", {"toss", "head", "tail"})
+        fair = fair_coin("fair")
+        biased = coin_automaton("biased", Fraction(3, 4))
+        sched = ActionSequenceScheduler(["toss", "head", "tail"])
+        assert check_stability_by_composition(
+            print_insight(), env, context, fair, biased, sched, sched
+        )

@@ -1,0 +1,221 @@
+"""Tests for schedulers (Defs 3.1, 4.6) and the execution measure epsilon_sigma."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.composition import compose
+from repro.core.executions import Fragment
+from repro.probability.measures import SubDiscreteMeasure
+from repro.semantics.measure import (
+    UnboundedUnfoldingError,
+    cone_probability,
+    execution_measure,
+)
+from repro.semantics.scheduler import (
+    ActionSequenceScheduler,
+    BoundedScheduler,
+    DeterministicScheduler,
+    FunctionScheduler,
+    RandomizedScheduler,
+    TaskScheduler,
+    bound_scheduler,
+)
+
+from tests.helpers import coin_automaton, fair_coin, listener, ticker
+
+
+def frag(*parts):
+    return Fragment(tuple(parts[0::2]), tuple(parts[1::2]))
+
+
+class TestSchedulers:
+    def test_action_sequence_follows_script(self):
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["toss", "head"])
+        d0 = sched.decide(coin, Fragment.initial("q0"))
+        assert d0("toss") == 1
+        d1 = sched.decide(coin, frag("q0", "toss", "qH"))
+        assert d1("head") == 1
+
+    def test_action_sequence_halts_when_disabled(self):
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["head"])  # not enabled at q0
+        decision = sched.decide(coin, Fragment.initial("q0"))
+        assert decision.halting_mass == 1
+
+    def test_action_sequence_halts_after_script(self):
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["toss"])
+        decision = sched.decide(coin, frag("q0", "toss", "qH"))
+        assert decision.halting_mass == 1
+        assert sched.step_bound() == 1
+
+    def test_greedy_deterministic(self):
+        coin = fair_coin()
+        sched = DeterministicScheduler.greedy()
+        assert sched.decide(coin, Fragment.initial("q0"))("toss") == 1
+        assert sched.decide(coin, frag("q0", "toss", "qF")). halting_mass == 1
+
+    def test_decide_checked_rejects_disabled_mass(self):
+        coin = fair_coin()
+        cheater = FunctionScheduler(lambda a, f: SubDiscreteMeasure({"head": 1}))
+        with pytest.raises(ValueError, match="disabled"):
+            cheater.decide_checked(coin, Fragment.initial("q0"))
+
+    def test_bounded_scheduler_halts_at_bound(self):
+        t = ticker("t", 10)
+        sched = BoundedScheduler(DeterministicScheduler.greedy(), 3)
+        assert sched.decide(t, frag(0, "tick", 1, "tick", 2, "tick", 3)).halting_mass == 1
+        assert sched.step_bound() == 3
+
+    def test_bound_scheduler_keeps_tighter_bound(self):
+        inner = ActionSequenceScheduler(["toss"])
+        assert bound_scheduler(inner, 5) is inner
+        wrapped = bound_scheduler(DeterministicScheduler.greedy(), 5)
+        assert wrapped.step_bound() == 5
+
+    def test_randomized_scheduler_mixes(self):
+        coin = fair_coin()
+        sched = RandomizedScheduler(
+            [
+                (Fraction(1, 2), ActionSequenceScheduler(["toss"])),
+                (Fraction(1, 2), ActionSequenceScheduler([])),
+            ]
+        )
+        decision = sched.decide(coin, Fragment.initial("q0"))
+        assert decision("toss") == Fraction(1, 2)
+        assert decision.halting_mass == Fraction(1, 2)
+
+    def test_randomized_scheduler_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            RandomizedScheduler([(Fraction(1, 2), ActionSequenceScheduler([]))])
+
+    def test_task_scheduler_resolves_among_enabled(self):
+        coin = fair_coin()
+        sched = TaskScheduler([lambda a: a in ("head", "tail")])
+        # At qH only 'head' matches the task.
+        assert sched.decide(coin, frag("q0", "toss", "qH"))("head") == 0  # index=1 past tasks
+        fresh = TaskScheduler([lambda a: a == "toss", lambda a: a in ("head", "tail")])
+        assert fresh.decide(coin, Fragment.initial("q0"))("toss") == 1
+        assert fresh.decide(coin, frag("q0", "toss", "qT"))("tail") == 1
+
+    def test_task_scheduler_skips_disabled_tasks(self):
+        coin = fair_coin()
+        sched = TaskScheduler([lambda a: a == "nonsense", lambda a: a == "toss"])
+        assert sched.decide(coin, Fragment.initial("q0"))("toss") == 1
+
+
+class TestExecutionMeasure:
+    def test_fair_coin_measure(self):
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["toss", "head"])
+        measure = execution_measure(coin, sched)
+        heads = frag("q0", "toss", "qH", "head", "qF")
+        tails_stuck = frag("q0", "toss", "qT")  # 'head' disabled at qT: halt
+        assert measure(heads) == Fraction(1, 2)
+        assert measure(tails_stuck) == Fraction(1, 2)
+        assert measure.total_mass == 1
+
+    def test_exact_probabilities_multiply_along_paths(self):
+        coin = coin_automaton("c", Fraction(1, 3))
+        sched = ActionSequenceScheduler(["toss", "tail"])
+        measure = execution_measure(coin, sched)
+        tails = frag("q0", "toss", "qT", "tail", "qF")
+        assert measure(tails) == Fraction(2, 3)
+
+    def test_randomized_scheduler_halting_mass(self):
+        coin = fair_coin()
+        sched = RandomizedScheduler(
+            [
+                (Fraction(1, 4), ActionSequenceScheduler(["toss"])),
+                (Fraction(3, 4), ActionSequenceScheduler([])),
+            ]
+        )
+        measure = execution_measure(coin, sched)
+        assert measure(Fragment.initial("q0")) == Fraction(3, 4)
+
+    def test_unbounded_scheduler_requires_depth(self):
+        coin = fair_coin()
+        with pytest.raises(UnboundedUnfoldingError):
+            execution_measure(coin, DeterministicScheduler.greedy())
+
+    def test_nonhalting_raises_without_truncate(self):
+        t = ticker("t", 100)
+        greedy = DeterministicScheduler.greedy()
+        with pytest.raises(UnboundedUnfoldingError):
+            execution_measure(t, greedy, max_depth=5)
+
+    def test_truncate_attributes_residual_mass(self):
+        t = ticker("t", 100)
+        greedy = DeterministicScheduler.greedy()
+        measure = execution_measure(t, greedy, max_depth=5, truncate=True)
+        assert measure.total_mass == 1
+        (execution,) = measure.support()
+        assert len(execution) == 5
+
+    def test_greedy_terminates_on_finite_run(self):
+        t = ticker("t", 4)
+        measure = execution_measure(t, DeterministicScheduler.greedy(), max_depth=10)
+        (execution,) = measure.support()
+        assert len(execution) == 4
+        assert execution.lstate == 4
+
+    def test_measure_over_composition(self):
+        coin = fair_coin()
+        ear = listener("ear", {"toss", "head", "tail"})
+        world = compose(coin, ear)
+        sched = ActionSequenceScheduler(["toss", "head", "tail"])
+        measure = execution_measure(world, sched)
+        assert measure.total_mass == 1
+        # Without local_only, the scheduler may inject unmatched inputs of
+        # the composition (the listener keeps every input enabled), so both
+        # branches run the full three-action script.
+        lengths = sorted(len(e) for e in measure.support())
+        assert lengths == [3, 3]
+
+    def test_measure_over_composition_local_only(self):
+        coin = fair_coin()
+        ear = listener("ear", {"toss", "head", "tail"})
+        world = compose(coin, ear)
+        sched = ActionSequenceScheduler(["toss", "head", "tail"], local_only=True)
+        measure = execution_measure(world, sched)
+        assert measure.total_mass == 1
+        # Locally-controlled scheduling: heads branch fires toss+head then
+        # halts ('tail' not an output); tails branch halts right after toss.
+        lengths = sorted(len(e) for e in measure.support())
+        assert lengths == [1, 2]
+
+
+class TestConeProbability:
+    def test_cone_of_empty_prefix_is_one(self):
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["toss"])
+        assert cone_probability(coin, sched, Fragment.initial("q0")) == 1
+
+    def test_cone_probability_multiplies(self):
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["toss", "head"])
+        assert cone_probability(coin, sched, frag("q0", "toss", "qH")) == Fraction(1, 2)
+        assert cone_probability(coin, sched, frag("q0", "toss", "qH", "head", "qF")) == Fraction(1, 2)
+
+    def test_cone_of_unscheduled_path_is_zero(self):
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["toss"])
+        assert cone_probability(coin, sched, frag("q0", "toss", "qH", "head", "qF")) == 0
+
+    def test_cone_of_wrong_start_is_zero(self):
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["head"])
+        assert cone_probability(coin, sched, frag("qH", "head", "qF")) == 0
+
+    def test_cone_matches_unfolded_mass(self):
+        # epsilon_sigma(C_alpha) must equal the sum of completed-execution
+        # masses with alpha as prefix.
+        coin = fair_coin()
+        sched = ActionSequenceScheduler(["toss", "head"])
+        measure = execution_measure(coin, sched)
+        prefix = frag("q0", "toss", "qH")
+        from_cone = cone_probability(coin, sched, prefix)
+        from_unfold = sum(w for e, w in measure.items() if prefix <= e)
+        assert from_cone == from_unfold

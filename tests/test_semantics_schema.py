@@ -1,0 +1,90 @@
+"""Tests for scheduler schemas (Def 3.2) and their enumerations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.composition import compose
+from repro.semantics.measure import execution_measure
+from repro.semantics.schema import (
+    SchedulerSchema,
+    adaptive_schema,
+    enumerate_action_sequences,
+    oblivious_schema,
+    singleton_schema,
+)
+from repro.semantics.scheduler import ActionSequenceScheduler, PriorityScheduler
+
+from tests.helpers import fair_coin, listener, ticker
+
+
+class TestObliviousSchema:
+    def test_member_count_is_geometric(self):
+        coin = fair_coin()
+        members = list(enumerate_action_sequences(coin, 2))
+        # alphabet {toss, head, tail}: 1 + 3 + 9 sequences.
+        assert len(members) == 13
+
+    def test_explicit_action_alphabet(self):
+        coin = fair_coin()
+        members = list(enumerate_action_sequences(coin, 2, actions=["toss"]))
+        assert len(members) == 3  # (), (toss), (toss, toss)
+
+    def test_schema_membership(self):
+        schema = oblivious_schema()
+        coin = fair_coin()
+        member = next(iter(schema(coin, 1)))
+        assert schema.contains(coin, member)
+        assert not schema.contains(coin, PriorityScheduler([lambda a: True], 3))
+
+    def test_members_are_bounded(self):
+        schema = oblivious_schema()
+        for member in schema(fair_coin(), 2):
+            assert member.step_bound() <= 2
+
+
+class TestAdaptiveSchema:
+    def test_members_run_to_their_depth(self):
+        schema = adaptive_schema()
+        t = ticker("t", 5)
+        depths = set()
+        for member in schema(t, 3):
+            measure = execution_measure(t, member, max_depth=5)
+            (execution,) = measure.support()
+            depths.add(len(execution))
+        assert depths == {0, 1, 2, 3}
+
+    def test_members_never_fire_inputs(self):
+        schema = adaptive_schema()
+        ear = listener("ear", {"ping"})
+        for member in schema(ear, 2):
+            measure = execution_measure(ear, member, max_depth=3)
+            for execution in measure.support():
+                assert len(execution) == 0  # nothing locally controlled
+
+
+class TestSingletonSchema:
+    def test_exactly_one_member(self):
+        schema = singleton_schema(
+            lambda automaton, bound: ActionSequenceScheduler(["toss"])
+        )
+        members = list(schema(fair_coin(), 5))
+        assert len(members) == 1
+
+    def test_member_is_bound_wrapped(self):
+        schema = singleton_schema(
+            lambda automaton, bound: PriorityScheduler([lambda a: True], 100)
+        )
+        (member,) = list(schema(fair_coin(), 3))
+        assert member.step_bound() == 3
+
+
+class TestSchemaOverCompositions:
+    def test_schema_applies_to_composed_world(self):
+        world = compose(fair_coin(), listener("ear", {"toss", "head", "tail"}))
+        schema = oblivious_schema(actions=["toss", "head", "tail"])
+        members = list(schema(world, 1))
+        assert len(members) == 4
+        for member in members:
+            measure = execution_measure(world, member)
+            assert measure.total_mass == 1

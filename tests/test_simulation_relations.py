@@ -1,0 +1,144 @@
+"""Tests for strong probabilistic simulation relations (Segala lineage)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.simulation import (
+    is_strong_simulation,
+    lifting_feasible,
+    simulation_counterexample,
+)
+from repro.core.psioa import TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import DiscreteMeasure, dirac, uniform
+from repro.semantics.balance import perception_distance
+from repro.semantics.insight import trace_insight
+from repro.semantics.scheduler import ActionSequenceScheduler
+from repro.systems.coin import coin
+
+from tests.helpers import fair_coin
+
+
+class TestLifting:
+    def test_identical_measures_identity_relation(self):
+        eta = uniform(["a", "b"])
+        assert lifting_feasible(eta, eta, lambda x, y: x == y)
+
+    def test_full_relation_always_feasible(self):
+        eta = uniform(["a", "b"])
+        theta = DiscreteMeasure({"x": Fraction(1, 3), "y": Fraction(2, 3)})
+        assert lifting_feasible(eta, theta, lambda x, y: True)
+
+    def test_empty_relation_infeasible(self):
+        eta = dirac("a")
+        theta = dirac("x")
+        assert not lifting_feasible(eta, theta, lambda x, y: False)
+
+    def test_split_state_coupling(self):
+        # eta splits one outcome of theta into two halves.
+        eta = DiscreteMeasure({"h1": Fraction(1, 4), "h2": Fraction(1, 4), "t": Fraction(1, 2)})
+        theta = DiscreteMeasure({"H": Fraction(1, 2), "T": Fraction(1, 2)})
+        related = lambda x, y: (x in ("h1", "h2") and y == "H") or (x == "t" and y == "T")
+        assert lifting_feasible(eta, theta, related)
+
+    def test_weight_mismatch_infeasible(self):
+        eta = DiscreteMeasure({"h": Fraction(3, 4), "t": Fraction(1, 4)})
+        theta = DiscreteMeasure({"H": Fraction(1, 2), "T": Fraction(1, 2)})
+        related = lambda x, y: (x, y) in {("h", "H"), ("t", "T")}
+        assert not lifting_feasible(eta, theta, related)
+
+    def test_partial_bipartite_needs_enough_capacity(self):
+        # h can map to H only; t to H or T: feasible iff weights fit.
+        eta = DiscreteMeasure({"h": Fraction(1, 4), "t": Fraction(3, 4)})
+        theta = DiscreteMeasure({"H": Fraction(1, 2), "T": Fraction(1, 2)})
+        related = lambda x, y: (x, y) in {("h", "H"), ("t", "H"), ("t", "T")}
+        assert lifting_feasible(eta, theta, related)
+        related_tight = lambda x, y: (x, y) in {("h", "H"), ("t", "T")}
+        assert not lifting_feasible(eta, theta, related_tight)
+
+
+def split_coin(name="split"):
+    """A fair coin whose heads branch passes through two intermediate
+    states — a refinement of the plain coin."""
+    signatures = {
+        "q0": Signature(outputs={"toss"}),
+        "qH1": Signature(outputs={"head"}),
+        "qH2": Signature(outputs={"head"}),
+        "qT": Signature(outputs={"tail"}),
+        "qF": Signature(),
+    }
+    transitions = {
+        ("q0", "toss"): DiscreteMeasure(
+            {"qH1": Fraction(1, 4), "qH2": Fraction(1, 4), "qT": Fraction(1, 2)}
+        ),
+        ("qH1", "head"): dirac("qF"),
+        ("qH2", "head"): dirac("qF"),
+        ("qT", "tail"): dirac("qF"),
+    }
+    return TablePSIOA(name, "q0", signatures, transitions)
+
+
+REFINEMENT = {
+    ("q0", "q0"),
+    ("qH1", "qH"),
+    ("qH2", "qH"),
+    ("qT", "qT"),
+    ("qF", "qF"),
+}
+
+
+class TestStrongSimulation:
+    def test_identity_is_a_simulation(self):
+        a = fair_coin("a")
+        b = fair_coin("b")
+        assert is_strong_simulation(a, b, lambda x, y: x == y)
+
+    def test_refinement_simulation(self):
+        assert is_strong_simulation(split_coin(), fair_coin(), REFINEMENT)
+
+    def test_wrong_weights_rejected(self):
+        biased = coin("biased", Fraction(3, 4))
+        fair = fair_coin()
+        witness = simulation_counterexample(
+            biased, fair, lambda x, y: x == y
+        )
+        assert witness is not None
+        assert "coupling" in witness
+
+    def test_missing_action_rejected(self):
+        fair = fair_coin()
+        mute = TablePSIOA("mute", "q0", {"q0": Signature()}, {})
+        witness = simulation_counterexample(fair, mute, lambda x, y: True)
+        assert "enabled in A but not in B" in witness
+
+    def test_unrelated_starts_rejected(self):
+        a = fair_coin("a")
+        b = fair_coin("b")
+        witness = simulation_counterexample(a, b, lambda x, y: False)
+        assert "start states" in witness
+
+    def test_explicit_pairs_to_check(self):
+        assert is_strong_simulation(
+            split_coin(),
+            fair_coin(),
+            REFINEMENT,
+            pairs_to_check=list(REFINEMENT),
+        )
+
+    def test_soundness_simulation_implies_equal_perception(self):
+        """Related systems are indistinguishable: the observational reading
+        of a simulation relation, checked via the exact semantics."""
+        from tests.test_semantics_insight_balance import observer
+
+        refined = split_coin()
+        abstract = fair_coin()
+        assert is_strong_simulation(refined, abstract, REFINEMENT)
+        env = observer()
+        sched = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        assert (
+            perception_distance(
+                trace_insight(), env, refined, sched, abstract, sched
+            )
+            == 0
+        )

@@ -1,0 +1,187 @@
+"""Tests for the OTP channel workload and its secure emulation (Def 4.26)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.composition import compose
+from repro.core.psioa import validate_psioa
+from repro.secure.adversary import is_adversary
+from repro.secure.emulation import (
+    emulation_distance_profile,
+    hidden_world,
+    secure_emulates,
+)
+from repro.secure.implementation import neg_pt_implements
+from repro.semantics.insight import accept_insight, f_dist
+from repro.systems.channels import (
+    GUESS,
+    LEAK,
+    RECV,
+    SEND,
+    SENT,
+    broken_channel,
+    channel_emulation_instance,
+    channel_environment,
+    channel_schema,
+    channel_simulator,
+    guessing_adversary,
+    ideal_channel,
+    leak_bias,
+    real_channel,
+)
+
+ENVS = [channel_environment(0), channel_environment(1)]
+SCHEMA = channel_schema()
+INSIGHT = accept_insight()
+Q = 8
+
+
+def protocol_scheduler(world):
+    (member,) = list(SCHEMA(world, Q))[:1]
+    return member
+
+
+class TestChannelAutomata:
+    def test_real_channel_validates(self):
+        validate_psioa(real_channel())
+        validate_psioa(real_channel("leaky", 3))
+        validate_psioa(broken_channel())
+
+    def test_ideal_channel_validates(self):
+        validate_psioa(ideal_channel())
+
+    def test_action_split(self):
+        real = real_channel()
+        assert real.global_aact() == {LEAK(0), LEAK(1)}
+        assert SEND(0) in real.global_eact()
+        ideal = ideal_channel()
+        assert ideal.global_aact() == {SENT}
+
+    def test_perfect_pad_ciphertext_uniform(self):
+        real = real_channel()
+        eta = real.transition("idle", SEND(1))
+        assert eta(("cipher", 1, 0)) == Fraction(1, 2)
+        assert eta(("cipher", 1, 1)) == Fraction(1, 2)
+
+    def test_leaky_pad_bias(self):
+        real = real_channel("leaky", 2)
+        eta = real.transition("idle", SEND(1))
+        assert eta(("cipher", 1, 1)) == Fraction(1, 2) + Fraction(1, 8)
+
+    def test_broken_channel_leaks_message(self):
+        broken = broken_channel()
+        eta = broken.transition("idle", SEND(1))
+        assert eta(("cipher", 1, 1)) == 1
+
+    def test_leak_bias_values(self):
+        assert leak_bias(None) == 0
+        assert leak_bias(3) == Fraction(1, 16)
+
+
+class TestAdversaryAndSimulator:
+    def test_guessing_adversary_is_adversary_for_real(self):
+        assert is_adversary(guessing_adversary(), real_channel())
+
+    def test_simulator_is_adversary_for_ideal(self):
+        sim = channel_simulator(guessing_adversary())
+        assert is_adversary(sim, ideal_channel())
+
+    def test_simulator_hides_leak_channel(self):
+        sim = channel_simulator(guessing_adversary())
+        sig = sim.signature(sim.start)
+        assert LEAK(0) not in sig.outputs
+        assert SENT in sig.inputs
+
+
+class TestRealWorldRun:
+    def test_adversary_guess_matches_pad_statistics(self):
+        env = channel_environment(1)
+        world = compose(env, hidden_world(real_channel(), guessing_adversary()))
+        sched = protocol_scheduler(world)
+        dist = f_dist(INSIGHT, env, hidden_world(real_channel(), guessing_adversary()), sched)
+        # Perfect pad: the adversary's guess is right half the time.
+        assert dist(1) == Fraction(1, 2)
+
+    def test_broken_channel_adversary_always_wins(self):
+        env = channel_environment(1)
+        world_sys = hidden_world(broken_channel(), guessing_adversary())
+        sched = protocol_scheduler(compose(env, world_sys))
+        dist = f_dist(INSIGHT, env, world_sys, sched)
+        assert dist(1) == 1
+
+    def test_ideal_with_simulator_guess_uniform(self):
+        env = channel_environment(1)
+        sim = channel_simulator(guessing_adversary())
+        world_sys = hidden_world(ideal_channel(), sim)
+        sched = protocol_scheduler(compose(env, world_sys))
+        dist = f_dist(INSIGHT, env, world_sys, sched)
+        assert dist(1) == Fraction(1, 2)
+
+
+class TestEmulation:
+    def test_perfect_channel_zero_profile(self):
+        instance = channel_emulation_instance(leaky=False)
+        profile = emulation_distance_profile(
+            instance,
+            lambda k: guessing_adversary(),
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environment_family=lambda k: ENVS,
+            q1=lambda k: Q,
+            q2=lambda k: Q,
+            ks=range(1, 4),
+        )
+        assert all(v == 0 for _, v in profile)
+
+    def test_leaky_channel_profile_is_exact_bias(self):
+        instance = channel_emulation_instance(leaky=True)
+        profile = emulation_distance_profile(
+            instance,
+            lambda k: guessing_adversary(),
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environment_family=lambda k: ENVS,
+            q1=lambda k: Q,
+            q2=lambda k: Q,
+            ks=range(1, 5),
+        )
+        for k, v in profile:
+            assert v == pytest.approx(float(leak_bias(k)))
+        assert neg_pt_implements(profile)
+
+    def test_secure_emulates_passes_for_leaky_family(self):
+        instance = channel_emulation_instance(leaky=True)
+        profiles = secure_emulates(
+            instance,
+            [lambda k: guessing_adversary()],
+            schema=SCHEMA,
+            insight=INSIGHT,
+            environment_family=lambda k: ENVS,
+            q1=lambda k: Q,
+            q2=lambda k: Q,
+            ks=range(1, 5),
+        )
+        assert 0 in profiles
+
+    def test_broken_channel_fails_emulation(self):
+        from repro.bounded.families import PSIOAFamily
+        from repro.secure.emulation import EmulationInstance
+
+        broken_instance = EmulationInstance(
+            "broken",
+            PSIOAFamily("broken/real", lambda k: broken_channel(("broken", k))),
+            PSIOAFamily("broken/ideal", lambda k: ideal_channel(("ideal", k))),
+            simulator_for=lambda k, adv: channel_simulator(adv, name=("Sim", k)),
+        )
+        with pytest.raises(AssertionError, match="not negligible"):
+            secure_emulates(
+                broken_instance,
+                [lambda k: guessing_adversary()],
+                schema=SCHEMA,
+                insight=INSIGHT,
+                environment_family=lambda k: ENVS,
+                q1=lambda k: Q,
+                q2=lambda k: Q,
+                ks=range(1, 4),
+            )

@@ -1,0 +1,91 @@
+"""Tests for the compositional (two-automata) consensus protocol."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.composition import check_partial_compatibility, compose
+from repro.core.psioa import validate_psioa
+from repro.secure.implementation import implementation_distance, neg_pt_implements
+from repro.semantics.insight import accept_insight, f_dist
+from repro.systems.consensus import consensus_environment, ideal_consensus
+from repro.systems.consensus_compositional import (
+    consensus_pair,
+    consensus_pair_schema,
+    consensus_process,
+)
+
+INSIGHT = accept_insight()
+SCHEMA = consensus_pair_schema()
+Q = 40
+
+
+def violation_probability(system, v1, v2):
+    env = consensus_environment(v1, v2)
+    scheduler = next(iter(SCHEMA(compose(env, system), Q)))
+    return f_dist(INSIGHT, env, system, scheduler)(1)
+
+
+class TestProcessAutomaton:
+    def test_single_process_validates(self):
+        validate_psioa(consensus_process(1, 2, 2), max_states=20_000)
+
+    def test_pair_partially_compatible(self):
+        p1 = consensus_process(1, 2, 1)
+        p2 = consensus_process(2, 1, 1)
+        assert check_partial_compatibility([p1, p2], max_states=100_000)
+
+    def test_composed_pair_validates(self):
+        validate_psioa(consensus_pair(1), max_states=100_000)
+
+    def test_vote_actions_wire_outputs_to_inputs(self):
+        p1 = consensus_process(1, 2, 1)
+        sig = p1.signature(("send", 0, 1))
+        assert ("vote", 1, 0, 1) in sig.outputs
+        assert ("vote", 2, 0, 0) in sig.inputs
+
+
+class TestProtocolBehaviour:
+    def test_agreement_on_common_proposal(self):
+        assert violation_probability(consensus_pair(1), 1, 1) == 0
+        assert violation_probability(consensus_pair(1), 0, 0) == 0
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_disagreement_probability_matches_monolithic(self, k):
+        # The emergent behaviour of the composition equals the monolithic
+        # model: residual disagreement exactly 2^-k.
+        assert violation_probability(consensus_pair(k), 0, 1) == Fraction(1, 2 ** k)
+
+    def test_symmetric_conflict(self):
+        assert violation_probability(consensus_pair(2), 1, 0) == Fraction(1, 4)
+
+    def test_decisions_are_valid_values(self):
+        # With agreeing proposals the decision is the proposed value.
+        from repro.semantics.measure import execution_measure
+
+        env = consensus_environment(1, 1)
+        world = compose(env, consensus_pair(1))
+        scheduler = next(iter(SCHEMA(world, Q)))
+        measure = execution_measure(world, scheduler)
+        for execution in measure.support():
+            decisions = [a for a in execution.actions if a[0] == "decide"]
+            assert decisions == [("decide", 1, 1), ("decide", 2, 1)]
+
+
+class TestImplementsIdeal:
+    def test_profile_negligible(self):
+        envs = [consensus_environment(v1, v2) for v1 in (0, 1) for v2 in (0, 1)]
+        profile = []
+        for k in (1, 2, 3):
+            d = implementation_distance(
+                consensus_pair(k),
+                ideal_consensus(("ideal", k)),
+                schema=SCHEMA,
+                insight=INSIGHT,
+                environments=envs,
+                q1=Q,
+                q2=Q,
+            )
+            profile.append((k, float(d)))
+            assert d == Fraction(1, 2 ** k)
+        assert neg_pt_implements(profile)

@@ -1,0 +1,76 @@
+"""Tests for m-ary OTP channels (non-binary message alphabets)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.composition import compose
+from repro.core.psioa import validate_psioa
+from repro.experiments.common import kind_priority_schema
+from repro.probability.measures import total_variation
+from repro.secure.adversary import is_adversary
+from repro.secure.emulation import hidden_world
+from repro.semantics.insight import accept_insight, f_dist
+from repro.systems.channels_mary import (
+    GUESS,
+    LEAK,
+    SEND,
+    mary_channel_environment,
+    mary_channel_simulator,
+    mary_guessing_adversary,
+    mary_ideal_channel,
+    mary_real_channel,
+)
+
+SCHEMA = kind_priority_schema(["send", "sent", "leak", "guess", "recv"], plain=["acc"])
+
+
+@pytest.mark.parametrize("m", [2, 3, 4])
+class TestMaryChannel:
+    def test_automata_validate(self, m):
+        validate_psioa(mary_real_channel(("mr", m), m))
+        validate_psioa(mary_ideal_channel(("mi", m), m))
+        validate_psioa(mary_guessing_adversary(("ma", m), m))
+
+    def test_ciphertext_uniform(self, m):
+        real = mary_real_channel(("mr", m), m)
+        for v in range(m):
+            eta = real.transition("idle", SEND(v))
+            for c in range(m):
+                assert eta(("cipher", v, c)) == Fraction(1, m)
+
+    def test_adversary_and_simulator_admissible(self, m):
+        adv = mary_guessing_adversary(("ma", m), m)
+        assert is_adversary(adv, mary_real_channel(("mr", m), m))
+        sim = mary_channel_simulator(adv, m)
+        assert is_adversary(sim, mary_ideal_channel(("mi", m), m))
+
+    def test_guess_probability_is_one_over_m(self, m):
+        adv = mary_guessing_adversary(("ma", m), m)
+        env = mary_channel_environment(1, m)
+        system = hidden_world(mary_real_channel(("mr", m), m), adv)
+        sched = next(iter(SCHEMA(compose(env, system), 10)))
+        dist = f_dist(accept_insight(), env, system, sched)
+        assert dist(1) == Fraction(1, m)
+
+    def test_emulation_error_exactly_zero(self, m):
+        adv = mary_guessing_adversary(("ma", m), m)
+        env = mary_channel_environment(min(1, m - 1), m)
+        real_world = hidden_world(mary_real_channel(("mr", m), m), adv)
+        ideal_world = hidden_world(
+            mary_ideal_channel(("mi", m), m), mary_channel_simulator(adv, m)
+        )
+        insight = accept_insight()
+        sched_real = next(iter(SCHEMA(compose(env, real_world), 10)))
+        sched_ideal = next(iter(SCHEMA(compose(env, ideal_world), 10)))
+        d = total_variation(
+            f_dist(insight, env, real_world, sched_real),
+            f_dist(insight, env, ideal_world, sched_ideal),
+        )
+        assert d == 0
+
+
+class TestDegenerate:
+    def test_alphabet_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            mary_real_channel("bad", 1)

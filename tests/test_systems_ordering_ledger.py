@@ -1,0 +1,106 @@
+"""Unit tests for the ordering-ledger workload (the E14 substrate)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.composition import compose
+from repro.core.psioa import validate_psioa
+from repro.experiments.common import kind_priority_schema
+from repro.secure.adversary import is_adversary
+from repro.secure.dummy import hide_adversary_actions
+from repro.semantics.insight import accept_insight, f_dist
+from repro.semantics.measure import execution_measure
+from repro.semantics.scheduler import ActionSequenceScheduler
+from repro.systems.ledger import (
+    COMMITTED,
+    ORDER,
+    PENDING,
+    SUBMIT,
+    fifo_ideal_ledger,
+    fifo_script,
+    ideal_fifo_script,
+    ledger_environment,
+    ordering_adversary,
+    ordering_ledger,
+    reversing_script,
+)
+
+
+class TestAutomata:
+    def test_all_validate(self):
+        for automaton in (
+            ordering_ledger(),
+            fifo_ideal_ledger(),
+            ordering_adversary(),
+            ledger_environment(),
+        ):
+            validate_psioa(automaton)
+
+    def test_action_splits(self):
+        real = ordering_ledger()
+        assert real.global_aact() == {PENDING, ORDER("12"), ORDER("21")}
+        assert SUBMIT(1) in real.global_eact()
+        fifo = fifo_ideal_ledger()
+        assert fifo.global_aact() == {PENDING}
+
+    def test_ordering_adversary_is_adversary(self):
+        # Definition 4.24 input coverage: the adversary offers *both*
+        # ordering actions; the scheduler resolves the choice.
+        assert is_adversary(ordering_adversary(), ordering_ledger())
+
+    def test_submission_order_insensitive(self):
+        real = ordering_ledger()
+        s = next(iter(real.transition("idle", SUBMIT(2)).support()))
+        assert s == ("one", 2)
+        s2 = next(iter(real.transition(("one", 2), SUBMIT(1)).support()))
+        assert s2 == "ask"
+
+
+class TestRuns:
+    def run_world(self, system, adversary, script, env=None):
+        env = env or ledger_environment()
+        hidden = hide_adversary_actions(
+            compose(system, adversary, name=("w", system.name, adversary.name)),
+            frozenset(system.global_aact()),
+        )
+        sched = ActionSequenceScheduler(script, local_only=True)
+        return env, hidden, sched
+
+    def test_reversing_resolution_reverses(self):
+        env, world_sys, sched = self.run_world(
+            ordering_ledger("r1"), ordering_adversary("a1"), reversing_script()
+        )
+        dist = f_dist(accept_insight(), env, world_sys, sched)
+        assert dist(1) == 1  # commits observed reversed with certainty
+
+    def test_fifo_resolution_preserves_order(self):
+        env, world_sys, sched = self.run_world(
+            ordering_ledger("r2"), ordering_adversary("a2"), fifo_script()
+        )
+        dist = f_dist(accept_insight(), env, world_sys, sched)
+        assert dist(0) == 1
+
+    def test_fifo_ideal_never_reverses(self):
+        from repro.core.psioa import TablePSIOA
+        from repro.core.signature import Signature
+        from repro.probability.measures import dirac
+
+        sim = TablePSIOA(
+            "sim", "s", {"s": Signature(inputs={PENDING})}, {("s", PENDING): dirac("s")}
+        )
+        env, world_sys, sched = self.run_world(
+            fifo_ideal_ledger("i1"), sim, ideal_fifo_script()
+        )
+        dist = f_dist(accept_insight(), env, world_sys, sched)
+        assert dist(0) == 1
+
+    def test_commit_sequence_in_trace(self):
+        env, world_sys, sched = self.run_world(
+            ordering_ledger("r3"), ordering_adversary("a3"), reversing_script()
+        )
+        world = compose(env, world_sys)
+        measure = execution_measure(world, sched)
+        (execution,) = measure.support()
+        commits = [a for a in execution.actions if a[0] == "committed"]
+        assert commits == [COMMITTED(2), COMMITTED(1)]

@@ -1,0 +1,248 @@
+"""Tests for task schedules ([3], Section 4.4) and the Theorem B.4
+renaming (disambiguation) construction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.composition import compose
+from repro.core.psioa import PsioaError, TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import dirac
+from repro.secure.disambiguation import (
+    RenamedScheduler,
+    RINT,
+    ROUT,
+    disambiguate,
+    isomorphism_check,
+)
+from repro.semantics.insight import accept_insight, trace_insight, f_dist
+from repro.semantics.measure import execution_measure
+from repro.semantics.scheduler import ActionSequenceScheduler
+from repro.semantics.tasks import (
+    TaskScheduleScheduler,
+    is_action_deterministic,
+    task_partition,
+    task_schedule_schema,
+)
+from repro.systems.coin import coin, coin_observer
+
+from tests.helpers import fair_coin, listener, ticker
+
+
+class TestTaskPartition:
+    def test_partition_groups_by_key(self):
+        coin_auto = fair_coin()
+        tasks = task_partition(coin_auto, lambda a: "result" if a in ("head", "tail") else a)
+        assert frozenset({"head", "tail"}) in tasks
+        assert frozenset({"toss"}) in tasks
+
+    def test_partition_excludes_inputs(self):
+        ear = listener("ear", {"ping"})
+        assert task_partition(ear, lambda a: a) == []
+
+    def test_action_determinism(self):
+        coin_auto = fair_coin()
+        assert is_action_deterministic(coin_auto, frozenset({"head", "tail"}))
+        two_headed = TablePSIOA(
+            "two",
+            "s",
+            {"s": Signature(outputs={"a", "b"}), "t": Signature()},
+            {("s", "a"): dirac("t"), ("s", "b"): dirac("t")},
+        )
+        assert not is_action_deterministic(two_headed, frozenset({"a", "b"}))
+
+
+class TestTaskSchedule:
+    def test_basic_schedule_runs_protocol(self):
+        coin_auto = fair_coin()
+        schedule = TaskScheduleScheduler(
+            [frozenset({"toss"}), frozenset({"head", "tail"})]
+        )
+        measure = execution_measure(coin_auto, schedule)
+        # Both branches complete: the result task fires whichever action is
+        # enabled — this is exactly what a plain action sequence cannot do.
+        traces = {e.trace(coin_auto.signature) for e in measure.support()}
+        assert traces == {("toss", "head"), ("toss", "tail")}
+        assert measure.total_mass == 1
+
+    def test_noop_task_skipped(self):
+        coin_auto = fair_coin()
+        schedule = TaskScheduleScheduler(
+            [frozenset({"nonexistent"}), frozenset({"toss"})]
+        )
+        measure = execution_measure(coin_auto, schedule)
+        assert all(e.actions == ("toss",) for e in measure.support())
+
+    def test_exhausted_schedule_halts(self):
+        coin_auto = fair_coin()
+        schedule = TaskScheduleScheduler([frozenset({"toss"})])
+        measure = execution_measure(coin_auto, schedule)
+        assert all(len(e) == 1 for e in measure.support())
+
+    def test_nondeterministic_task_rejected(self):
+        two_headed = TablePSIOA(
+            "two",
+            "s",
+            {"s": Signature(outputs={"a", "b"}), "t": Signature()},
+            {("s", "a"): dirac("t"), ("s", "b"): dirac("t")},
+        )
+        schedule = TaskScheduleScheduler([frozenset({"a", "b"})])
+        with pytest.raises(PsioaError, match="action-deterministic"):
+            execution_measure(two_headed, schedule)
+
+    def test_step_bound_is_task_count(self):
+        schedule = TaskScheduleScheduler([frozenset({"x"})] * 5)
+        assert schedule.step_bound() == 5
+
+    def test_off_schedule_fragments_halt(self):
+        from repro.core.executions import Fragment
+
+        coin_auto = fair_coin()
+        schedule = TaskScheduleScheduler([frozenset({"toss"}), frozenset({"head"})])
+        # A fragment that took 'tail' deviates from this schedule.
+        off = Fragment(("q0", "qT", "qF"), ("toss", "tail"))
+        assert schedule.decide(coin_auto, off).halting_mass == 1
+
+    def test_schedule_vs_sequence_on_branching(self):
+        # The task {head, tail} covers both branches; a single action
+        # sequence covers only one.  f-dists under the accept insight show
+        # the difference: the schedule observes the full toss distribution.
+        env = coin_observer()
+        biased = coin("biased", Fraction(2, 3))
+        schedule = TaskScheduleScheduler(
+            [
+                frozenset({"toss"}),
+                frozenset({"head", "tail"}),
+                frozenset({"acc"}),
+            ]
+        )
+        dist = f_dist(accept_insight(), env, biased, schedule)
+        assert dist(1) == Fraction(2, 3)
+
+    def test_schema_enumerates_and_recognizes(self):
+        tasks = [frozenset({"toss"}), frozenset({"head", "tail"})]
+        schema = task_schedule_schema(tasks)
+        members = list(schema(fair_coin(), 2))
+        assert len(members) == 1 + 2 + 4
+        assert schema.contains(fair_coin(), members[0])
+        assert not schema.contains(fair_coin(), ActionSequenceScheduler([]))
+
+
+class TestDisambiguation:
+    def clashing_env(self):
+        """An environment whose output 'toss' clashes with the coin's."""
+        signatures = {
+            "s": Signature(outputs={"toss"}, internals={"think"}),
+            "t": Signature(inputs={"head", "tail"}),
+        }
+        transitions = {
+            ("s", "toss"): dirac("t"),
+            ("s", "think"): dirac("s"),
+            ("t", "head"): dirac("t"),
+            ("t", "tail"): dirac("t"),
+        }
+        return TablePSIOA("E", "s", signatures, transitions)
+
+    def test_clash_detected_then_repaired(self):
+        from repro.semantics.environment import is_environment
+
+        env = self.clashing_env()
+        coin_auto = fair_coin()
+        assert not is_environment(env, coin_auto)  # output clash on 'toss'
+        renamed_env, (renamed_coin,), _m = disambiguate(env, [coin_auto])
+        assert is_environment(renamed_env, renamed_coin)
+
+    def test_internals_tagged(self):
+        env = self.clashing_env()
+        renamed_env, _, _ = disambiguate(env, [fair_coin()])
+        assert (RINT, "think") in renamed_env.signature("s").internals
+
+    def test_outputs_and_matching_inputs_tagged_consistently(self):
+        env = self.clashing_env()
+        watcher = listener("W", {"toss"})
+        renamed_env, (renamed_watcher,), _ = disambiguate(env, [watcher])
+        assert (ROUT, "toss") in renamed_env.signature("s").outputs
+        assert (ROUT, "toss") in renamed_watcher.signature("s").inputs
+
+    def test_isomorphism_preserves_perception(self):
+        env = coin_observer()
+        biased = coin("biased", Fraction(3, 4))
+        sigma = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        assert isomorphism_check(env, biased, sigma, trace_insight())
+        assert isomorphism_check(env, biased, sigma, accept_insight())
+
+    def test_renamed_scheduler_translates_decisions(self):
+        env = coin_observer()
+        biased = coin("biased", Fraction(3, 4))
+        sigma = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        renamed_env, (renamed_coin,), action_map = disambiguate(env, [biased])
+        world = compose(env, biased)
+        renamed_world = compose(renamed_env, renamed_coin)
+        transported = RenamedScheduler(sigma, world, action_map)
+        measure = execution_measure(renamed_world, transported)
+        assert measure.total_mass == 1
+        # The renamed world fires the tagged accept action.
+        tagged_acc = action_map.get("acc", "acc")
+        assert any(tagged_acc in e.actions for e in measure.support())
+
+    def test_transitivity_case2_end_to_end(self):
+        """Theorem B.4 case 2: an E not in env(A2) still mediates
+        transitivity after disambiguation."""
+        from repro.probability.measures import total_variation
+
+        # A2's signature includes an output 'probe' that E also outputs.
+        def probing_coin(name, p):
+            base = coin(name, p)
+            signatures = dict(base.signatures)
+            signatures["q0"] = Signature(outputs={"toss", "probe"})
+            transitions = dict(base.transitions)
+            transitions[("q0", "probe")] = dirac("q0")
+            return TablePSIOA(name, "q0", signatures, transitions)
+
+        a1 = coin("a1", Fraction(1, 2))
+        a2 = probing_coin("a2", Fraction(5, 8))
+        a3 = coin("a3", Fraction(3, 4))
+
+        env_sigs = {
+            "s": Signature(outputs={"probe"}, inputs={"head", "tail"}),
+            "h": Signature(inputs={"head", "tail"}, outputs={"acc", "probe"}),
+        }
+        env_trans = {
+            ("s", "probe"): dirac("s"),
+            ("s", "head"): dirac("h"),
+            ("s", "tail"): dirac("s"),
+            ("h", "head"): dirac("h"),
+            ("h", "tail"): dirac("h"),
+            ("h", "acc"): dirac("h"),
+            ("h", "probe"): dirac("h"),
+        }
+        env = TablePSIOA("E", "s", env_sigs, env_trans)
+
+        from repro.semantics.environment import is_environment
+
+        assert is_environment(env, a1)
+        assert is_environment(env, a3)
+        assert not is_environment(env, a2)  # the case-2 situation
+
+        renamed_env, renamed_automata, action_map = disambiguate(env, [a1, a2, a3])
+        r1, r2, r3 = renamed_automata
+        for renamed in (r1, r2, r3):
+            assert is_environment(renamed_env, renamed)
+
+        # Perceptions chain through the middle automaton exactly.
+        sigma = ActionSequenceScheduler(["toss", "head", "acc"], local_only=True)
+        insight = accept_insight()
+        d12 = total_variation(
+            f_dist(insight, renamed_env, r1, sigma),
+            f_dist(insight, renamed_env, r2, sigma),
+        )
+        d23 = total_variation(
+            f_dist(insight, renamed_env, r2, sigma),
+            f_dist(insight, renamed_env, r3, sigma),
+        )
+        d13 = total_variation(
+            f_dist(insight, renamed_env, r1, sigma),
+            f_dist(insight, renamed_env, r3, sigma),
+        )
+        assert d13 <= d12 + d23

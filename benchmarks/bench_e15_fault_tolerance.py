@@ -1,0 +1,11 @@
+"""Experiment bench E15: robustness — emulation error under fault injection.
+
+Runs the experiment once (deterministic), prints its table (use ``-s``)
+and asserts the robustness-shape check (tolerated faults stay within the
+theorem bound, assumption-breaking faults exceed it); the benchmark records
+the wall-clock cost of the fault sweep.
+"""
+
+
+def test_e15_fault_tolerance(run_report):
+    run_report("E15")

@@ -25,6 +25,9 @@ Layer map (bottom-up):
   (Sections 4.6–4.9);
 * :mod:`repro.systems` — example workloads (coins, OTP channels,
   commitments, consensus, dynamic ledgers);
+* :mod:`repro.faults` — fault injection: crash-stop/crash-recovery
+  wrappers, channel drop/duplicate/delay, Byzantine corruption, seeded
+  fault plans and the fault-injecting scheduler (see docs/fault_model.md);
 * :mod:`repro.analysis` — exploration, Monte-Carlo cross-checks,
   distinguisher search, reporting.
 
@@ -121,6 +124,18 @@ from repro.systems import (
     ideal_channel,
     channel_emulation_instance,
 )
+from repro.faults import (
+    crash_stop,
+    crash_recovery,
+    bernoulli_crash,
+    drop,
+    duplicate,
+    delay,
+    byzantine,
+    FaultPlan,
+    FaultyScheduler,
+    faulty_schema,
+)
 
 __version__ = "1.0.0"
 
@@ -187,5 +202,15 @@ __all__ = [
     "real_channel",
     "ideal_channel",
     "channel_emulation_instance",
+    "crash_stop",
+    "crash_recovery",
+    "bernoulli_crash",
+    "drop",
+    "duplicate",
+    "delay",
+    "byzantine",
+    "FaultPlan",
+    "FaultyScheduler",
+    "faulty_schema",
     "__version__",
 ]

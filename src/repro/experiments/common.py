@@ -1,15 +1,38 @@
-"""Shared infrastructure of the experiment harness."""
+"""Shared infrastructure of the experiment harness.
+
+Two layers:
+
+* :func:`run_experiment` — the bare runner: import the experiment module,
+  call ``run(fast=...)``, return its :class:`ExperimentReport`.  Any
+  exception propagates (this is what unit tests exercising a single
+  experiment want).
+* :func:`run_experiment_guarded` — the hardened runner the CLI and CI use:
+  each experiment executes inside an **isolation boundary** (a forked
+  subprocess) with a **wall-clock timeout**; a crash or hang becomes a
+  structured :class:`ExperimentOutcome` (status ``error`` / ``timeout``
+  with the traceback attached) instead of killing the suite, and failed
+  attempts are retried up to ``retries`` times with **seed rotation** for
+  Monte-Carlo flakiness (the per-attempt seed is visible to experiments
+  through :func:`experiment_seed`).
+"""
 
 from __future__ import annotations
 
 import importlib
+import multiprocessing
+import time
+import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "ExperimentReport",
+    "ExperimentOutcome",
     "ALL_EXPERIMENTS",
     "run_experiment",
+    "run_experiment_guarded",
+    "experiment_seed",
+    "set_experiment_seed",
     "kind_priority_schema",
     "coin_oblivious_schema",
 ]
@@ -51,14 +74,204 @@ ALL_EXPERIMENTS: Dict[str, Tuple[str, str]] = {
     "E12": ("e12_scheduler_ablation", "Section 4.4 ablation: oblivious schema suffices"),
     "E13": ("e13_dynamic_emulation", "Extension: dynamic secure emulation of run-time-created sessions"),
     "E14": ("e14_ledger_realizability", "Extension: which ideal ledger functionality is realizable"),
+    "E15": ("e15_fault_tolerance", "Robustness: emulation error under crash/drop/Byzantine faults"),
 }
+
+#: Default seed for experiments that sample (fault plans, Monte-Carlo runs).
+DEFAULT_SEED = 20260806
+
+_EXPERIMENT_SEED: Optional[int] = None
+
+
+def set_experiment_seed(seed: Optional[int]) -> None:
+    """Install the per-attempt seed (called by the guarded runner; the
+    rotation adds the attempt index on retries)."""
+    global _EXPERIMENT_SEED
+    _EXPERIMENT_SEED = seed
+
+
+def experiment_seed(default: int = DEFAULT_SEED) -> int:
+    """The seed an experiment should use for any sampling it performs."""
+    return _EXPERIMENT_SEED if _EXPERIMENT_SEED is not None else default
 
 
 def run_experiment(experiment_id: str, *, fast: bool = True) -> ExperimentReport:
-    """Run one experiment by id (``"E1"`` .. ``"E12"``)."""
+    """Run one experiment by id (``"E1"`` .. ``"E15"``).
+
+    Registry entries whose module name contains a dot are imported as
+    absolute module paths (the hook the resilience tests use to inject
+    crashing/hanging experiments).
+    """
     module_name, _claim = ALL_EXPERIMENTS[experiment_id]
-    module = importlib.import_module(f"repro.experiments.{module_name}")
+    qualified = module_name if "." in module_name else f"repro.experiments.{module_name}"
+    module = importlib.import_module(qualified)
     return module.run(fast=fast)
+
+
+# -- the hardened (crash-isolated, timeout-guarded) runner ---------------------
+
+
+@dataclass
+class ExperimentOutcome:
+    """What the guarded runner reports for one experiment.
+
+    ``status`` is ``"pass"`` / ``"fail"`` (the experiment ran; ``report``
+    is set) or ``"error"`` / ``"timeout"`` (it did not finish; ``error``
+    carries the traceback or diagnosis).  ``attempts`` counts runs
+    including retries; ``seed`` is the seed of the *last* attempt.
+    """
+
+    experiment: str
+    status: str
+    report: Optional[ExperimentReport] = None
+    error: Optional[str] = None
+    attempts: int = 1
+    elapsed: float = 0.0
+    seed: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "pass"
+
+    def __str__(self) -> str:
+        if self.report is not None:
+            return str(self.report)
+        _module, claim = ALL_EXPERIMENTS.get(self.experiment, ("?", "?"))
+        detail = "\n".join(
+            f"   {line}" for line in (self.error or "no detail").rstrip().splitlines()
+        )
+        return f"[{self.status.upper()}] {self.experiment} — {claim}\n{detail}"
+
+
+def _guarded_child(conn, experiment_id: str, fast: bool, seed: Optional[int]) -> None:
+    """Child-process entry point: run one experiment, ship the result back."""
+    try:
+        set_experiment_seed(seed)
+        report = run_experiment(experiment_id, fast=fast)
+        payload: Tuple[str, Any] = ("report", report)
+    except BaseException:  # noqa: BLE001 - the boundary exists to catch everything
+        payload = ("error", traceback.format_exc())
+    try:
+        conn.send(payload)
+    except Exception as exc:  # the report itself may be untransferable
+        try:
+            conn.send(("error", f"experiment result could not be transferred: {exc!r}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _attempt_isolated(
+    experiment_id: str, fast: bool, timeout: Optional[float], seed: Optional[int]
+) -> Tuple[str, Optional[ExperimentReport], Optional[str]]:
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_guarded_child,
+        args=(child_conn, experiment_id, fast, seed),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(timeout):
+            process.terminate()
+            process.join(5)
+            if process.is_alive():
+                process.kill()
+                process.join(5)
+            return "timeout", None, f"no result within {timeout}s (process terminated)"
+        try:
+            kind, value = parent_conn.recv()
+        except EOFError:
+            process.join(5)
+            return (
+                "error",
+                None,
+                f"experiment process died without a report (exit code {process.exitcode})",
+            )
+        process.join(5)
+        if kind == "report":
+            report: ExperimentReport = value
+            return ("pass" if report.passed else "fail"), report, None
+        return "error", None, str(value)
+    finally:
+        parent_conn.close()
+        if process.is_alive():
+            process.kill()
+            process.join(5)
+
+
+def _attempt_inline(
+    experiment_id: str, fast: bool, seed: Optional[int]
+) -> Tuple[str, Optional[ExperimentReport], Optional[str]]:
+    previous = _EXPERIMENT_SEED
+    try:
+        set_experiment_seed(seed)
+        report = run_experiment(experiment_id, fast=fast)
+        return ("pass" if report.passed else "fail"), report, None
+    except Exception:
+        return "error", None, traceback.format_exc()
+    finally:
+        set_experiment_seed(previous)
+
+
+def run_experiment_guarded(
+    experiment_id: str,
+    *,
+    fast: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    seed: Optional[int] = None,
+    isolated: bool = True,
+) -> ExperimentOutcome:
+    """Run one experiment behind the isolation boundary.
+
+    Parameters
+    ----------
+    timeout:
+        Wall-clock seconds per attempt; ``None`` waits forever.  Requires
+        ``isolated=True`` to be enforceable (inline runs cannot be
+        interrupted and ignore it).
+    retries:
+        Extra attempts after a non-passing one (fail, error or timeout).
+    seed:
+        Base seed for :func:`experiment_seed`; attempt ``i`` runs under
+        ``seed + i`` (seed rotation), so Monte-Carlo flakiness does not
+        repeat the same unlucky sample.  ``None`` keeps the experiment's
+        default seed on every attempt.
+    isolated:
+        Run in a subprocess (default).  ``False`` runs inline — exceptions
+        are still captured but hangs and hard crashes are not survivable.
+    """
+    start = time.perf_counter()
+    attempts = 0
+    status: str = "error"
+    report: Optional[ExperimentReport] = None
+    error: Optional[str] = None
+    attempt_seed: Optional[int] = None
+    for attempt in range(max(0, retries) + 1):
+        attempts = attempt + 1
+        attempt_seed = None if seed is None else seed + attempt
+        if isolated:
+            status, report, error = _attempt_isolated(
+                experiment_id, fast, timeout, attempt_seed
+            )
+        else:
+            status, report, error = _attempt_inline(experiment_id, fast, attempt_seed)
+        if status == "pass":
+            break
+    return ExperimentOutcome(
+        experiment=experiment_id,
+        status=status,
+        report=report,
+        error=error,
+        attempts=attempts,
+        elapsed=time.perf_counter() - start,
+        seed=attempt_seed,
+    )
 
 
 def coin_oblivious_schema(alphabet=("toss", "head", "tail", "acc")):

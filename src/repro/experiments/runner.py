@@ -1,44 +1,118 @@
-"""Run the full experiment suite and print every table.
+"""Run the experiment suite: each experiment crash-isolated and timeout-guarded.
 
 Usage::
 
-    python -m repro.experiments.runner            # all experiments, fast
-    python -m repro.experiments.runner E4 E9      # selected experiments
-    python -m repro.experiments.runner --full     # larger sweeps
+    python -m repro.experiments.runner                 # all experiments, fast
+    python -m repro.experiments.runner E4 E9           # selected experiments
+    python -m repro.experiments.runner --full          # larger sweeps
+    python -m repro.experiments.runner --timeout 120   # per-experiment wall clock
+    python -m repro.experiments.runner --retries 2     # retry flaky runs (seed rotates)
+    python -m repro.experiments.runner --fail-fast     # stop at the first failure
+
+Every experiment runs in its own subprocess (see
+:func:`repro.experiments.common.run_experiment_guarded`): an experiment that
+raises, segfaults or hangs is reported as ``[ERROR]`` / ``[TIMEOUT]`` with
+its traceback, and the suite keeps going (``--keep-going`` is the default;
+``--fail-fast`` flips it).  The exit code is 1 as soon as any experiment
+did not pass, 2 for unknown experiment ids, 0 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from repro.experiments.common import ALL_EXPERIMENTS, run_experiment
+from repro.experiments.common import ALL_EXPERIMENTS, run_experiment_guarded
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description="Run the reproduction's experiment suite.",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
     parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
     parser.add_argument("--full", action="store_true", help="run the larger sweeps")
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="wall-clock seconds per experiment attempt (0 disables)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts for a non-passing experiment (seed rotates per attempt)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed for sampling experiments (attempt i runs under seed+i)",
+    )
+    parser.add_argument(
+        "--keep-going",
+        dest="keep_going",
+        action="store_true",
+        default=True,
+        help="continue after a failing experiment (default)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        dest="keep_going",
+        action="store_false",
+        help="stop the suite at the first non-passing experiment",
+    )
+    parser.add_argument(
+        "--no-isolation",
+        dest="isolated",
+        action="store_false",
+        default=True,
+        help="run experiments inline (no subprocess; timeouts not enforced)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list known experiments and exit"
+    )
     args = parser.parse_args(argv)
 
+    if args.list:
+        for experiment_id, (_module, claim) in ALL_EXPERIMENTS.items():
+            print(f"{experiment_id:4s} {claim}")
+        return 0
+
     selected = args.experiments or list(ALL_EXPERIMENTS)
-    failures = []
+    unknown = [e for e in selected if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
+            f"known: {', '.join(ALL_EXPERIMENTS)}"
+        )
+        return 2
+
+    timeout = args.timeout if args.timeout and args.timeout > 0 else None
+    outcomes = []
     for experiment_id in selected:
-        if experiment_id not in ALL_EXPERIMENTS:
-            print(f"unknown experiment {experiment_id!r}; known: {', '.join(ALL_EXPERIMENTS)}")
-            return 2
-        start = time.perf_counter()
-        report = run_experiment(experiment_id, fast=not args.full)
-        elapsed = time.perf_counter() - start
-        print(report)
-        print(f"   ({elapsed:.2f}s)\n")
-        if not report.passed:
-            failures.append(experiment_id)
+        outcome = run_experiment_guarded(
+            experiment_id,
+            fast=not args.full,
+            timeout=timeout,
+            retries=args.retries,
+            seed=args.seed,
+            isolated=args.isolated,
+        )
+        outcomes.append(outcome)
+        print(outcome)
+        retry_note = f", {outcome.attempts} attempts" if outcome.attempts > 1 else ""
+        print(f"   ({outcome.elapsed:.2f}s{retry_note})\n")
+        if not outcome.ok and not args.keep_going:
+            break
+
+    failures = [o for o in outcomes if not o.ok]
     if failures:
-        print(f"FAILED: {', '.join(failures)}")
+        summary = ", ".join(f"{o.experiment} [{o.status.upper()}]" for o in failures)
+        print(f"FAILED ({len(failures)}/{len(outcomes)} run): {summary}")
         return 1
-    print(f"all {len(selected)} experiments passed")
+    print(f"all {len(outcomes)} experiments passed")
     return 0
 
 

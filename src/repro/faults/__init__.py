@@ -1,0 +1,67 @@
+"""Fault models for dynamic probabilistic automata.
+
+The paper's central objects are *dynamic*: automata are created and
+destroyed at run time (Definition 2.12 — an automaton whose signature
+becomes empty is removed by configuration reduction).  This package turns
+that destruction semantics into an explicit *fault model* so every
+workload of the reproduction can be run under adverse conditions:
+
+* :mod:`repro.faults.crash` — crash-stop and crash-recovery wrappers
+  (process destruction as a first-class transition, after the dynamic
+  I/O automata treatment of destruction) plus a per-step Bernoulli
+  crash folded exactly into the transition measures;
+* :mod:`repro.faults.channel_faults` — drop / duplicate / delay wrappers
+  for the message-channel automata of :mod:`repro.systems`;
+* :mod:`repro.faults.byzantine` — a corruption wrapper handing an
+  automaton's adversary-facing outputs to an adversary strategy,
+  compatible with the :mod:`repro.secure.adversary` checks;
+* :mod:`repro.faults.injector` — serializable, seeded
+  :class:`~repro.faults.injector.FaultPlan` schedules and the
+  :class:`~repro.faults.injector.FaultyScheduler` wrapper that interleaves
+  fault events into any existing scheduler or scheduler schema.
+
+All wrappers preserve the exact-arithmetic discipline of the substrate:
+fault probabilities given as :class:`fractions.Fraction` flow through the
+execution measure untouched, so fault-tolerance experiments (E15) assert
+exact equalities, not tolerances.
+"""
+
+from repro.faults.byzantine import ByzantinePSIOA, byzantine, output_rename_strategy
+from repro.faults.channel_faults import delay, drop, duplicate
+from repro.faults.crash import (
+    CRASHED,
+    CrashRecoveryPSIOA,
+    CrashStopPSIOA,
+    bernoulli_crash,
+    crash_action,
+    crash_recovery,
+    crash_stop,
+    recover_action,
+)
+from repro.faults.injector import (
+    FaultEvent,
+    FaultPlan,
+    FaultyScheduler,
+    faulty_schema,
+)
+
+__all__ = [
+    "CRASHED",
+    "CrashStopPSIOA",
+    "CrashRecoveryPSIOA",
+    "crash_action",
+    "recover_action",
+    "crash_stop",
+    "crash_recovery",
+    "bernoulli_crash",
+    "drop",
+    "duplicate",
+    "delay",
+    "ByzantinePSIOA",
+    "byzantine",
+    "output_rename_strategy",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyScheduler",
+    "faulty_schema",
+]

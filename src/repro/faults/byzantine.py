@@ -1,0 +1,159 @@
+"""Byzantine corruption: an automaton's adversary-facing outputs are handed
+to an adversary strategy.
+
+A corrupted automaton no longer follows its own output discipline: at every
+corrupted state, each *adversary output* (``AO_A(q)``, Definition 4.17's
+split) is replaced by whatever action the strategy chooses — the classic
+Byzantine node that lies on its adversary-facing interface while its
+environment interface stays intact.  Because the environment split
+(``EAct``) is untouched, a corrupted automaton is still a
+:class:`~repro.secure.structured.StructuredPSIOA` and the Definition 4.24
+adversary checks of :mod:`repro.secure.adversary` apply to it unchanged.
+
+Corruption can be *partial*: with ``rate = r`` every transition re-draws
+the corruption mode of the target state — honest with probability ``1-r``,
+Byzantine with probability ``r`` — so emulation error can be swept as a
+function of the corruption rate (experiment E15).  ``rate=1`` is the fully
+corrupted (static Byzantine) node, ``rate=0`` the honest one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable
+
+from repro.core.psioa import PsioaError
+from repro.core.signature import Action, Signature
+from repro.probability.measures import DiscreteMeasure
+from repro.secure.structured import StructuredPSIOA
+
+__all__ = ["ByzantinePSIOA", "byzantine", "output_rename_strategy"]
+
+State = Hashable
+
+#: A strategy maps ``(base_state, adversary_output) -> emitted_action``.
+Strategy = Callable[[State, Action], Action]
+
+_HONEST = "honest"
+_BYZ = "byz"
+
+
+def output_rename_strategy(mapping: Dict[Action, Action]) -> Strategy:
+    """A state-independent strategy: rename adversary outputs by table,
+    leaving unmapped actions untouched."""
+
+    def strategy(_state: State, action: Action) -> Action:
+        return mapping.get(action, action)
+
+    return strategy
+
+
+class ByzantinePSIOA(StructuredPSIOA):
+    """A structured PSIOA whose adversary outputs are driven by a strategy.
+
+    States are ``("honest", q)`` and ``("byz", q)``.  In Byzantine mode the
+    adversary outputs of ``q`` are renamed by the strategy (the transition
+    behind an emitted action is the base transition of the action it
+    masks); in honest mode behaviour is unchanged.  Every transition
+    re-draws the target's mode with corruption probability ``rate``.
+    """
+
+    __slots__ = ("corrupted", "strategy", "rate")
+
+    def __init__(
+        self,
+        base: StructuredPSIOA,
+        strategy: Strategy,
+        *,
+        rate=1,
+        name=None,
+    ) -> None:
+        if rate < 0 or rate > 1:
+            raise ValueError(f"corruption rate {rate!r} outside [0, 1]")
+        self.corrupted = base
+        self.strategy = strategy
+        self.rate = rate
+        start_mode = _BYZ if rate == 1 else _HONEST
+        shell = _Shell(base, strategy, rate, (start_mode, base.start))
+        super().__init__(
+            shell,
+            lambda state: base.eact(state[1]),
+            name=name if name is not None else ("byzantine", base.name),
+        )
+
+
+class _Shell:
+    """The raw PSIOA surface behind :class:`ByzantinePSIOA` (kept separate
+    so the structured wrapper can delegate signature/transition to it)."""
+
+    def __init__(self, base: StructuredPSIOA, strategy: Strategy, rate, start) -> None:
+        self.base = base
+        self.strategy = strategy
+        self.rate = rate
+        self.start = start
+        self.name = ("byzantine-shell", base.name)
+
+    # -- mode plumbing ---------------------------------------------------------
+
+    def _emission_map(self, q: State) -> Dict[Action, Action]:
+        """Byzantine mode: emitted action -> base action it masks."""
+        ao = self.base.ao(q)
+        eact = self.base.eact(q)
+        emitted: Dict[Action, Action] = {}
+        for action in self.base.signature(q).outputs:
+            target = self.strategy(q, action) if action in ao else action
+            if target in eact and target != action:
+                raise PsioaError(
+                    f"strategy may not emit environment action {target!r} at {q!r}"
+                )
+            if target in emitted:
+                raise PsioaError(
+                    f"strategy is not injective at {q!r}: {target!r} emitted twice"
+                )
+            emitted[target] = action
+        return emitted
+
+    def _mode_mix(self, eta: DiscreteMeasure) -> DiscreteMeasure:
+        if self.rate == 0:
+            return eta.map(lambda q: (_HONEST, q))
+        if self.rate == 1:
+            return eta.map(lambda q: (_BYZ, q))
+        weights: Dict[State, object] = {}
+        for q, weight in eta.items():
+            honest = (_HONEST, q)
+            byz = (_BYZ, q)
+            weights[honest] = weights.get(honest, 0) + weight * (1 - self.rate)
+            weights[byz] = weights.get(byz, 0) + weight * self.rate
+        return DiscreteMeasure(weights)
+
+    # -- PSIOA surface ----------------------------------------------------------
+
+    def signature(self, state: State) -> Signature:
+        mode, q = state
+        sig = self.base.signature(q)
+        if mode == _HONEST:
+            return sig
+        return Signature(
+            inputs=sig.inputs,
+            outputs=frozenset(self._emission_map(q)),
+            internals=sig.internals,
+        )
+
+    def transition(self, state: State, action: Action) -> DiscreteMeasure:
+        mode, q = state
+        if mode == _BYZ:
+            emitted = self._emission_map(q)
+            action = emitted.get(action, action)
+        return self._mode_mix(self.base.transition(q, action))
+
+
+def byzantine(
+    base: StructuredPSIOA,
+    strategy: Strategy,
+    *,
+    rate=1,
+    name=None,
+) -> ByzantinePSIOA:
+    """Corrupt ``base``: hand its adversary outputs to ``strategy`` with
+    per-transition corruption probability ``rate`` (exact when a
+    :class:`fractions.Fraction`)."""
+    return ByzantinePSIOA(base, strategy, rate=rate, name=name)

@@ -1,0 +1,203 @@
+"""Drop / duplicate / delay wrappers for message-channel automata.
+
+The wrappers rewrite the transition table of a finite channel automaton
+(:class:`~repro.core.psioa.TablePSIOA`, possibly carrying the structured
+environment/adversary split of :class:`~repro.secure.structured`) so the
+channel misbehaves probabilistically while keeping its external interface —
+the signatures at every original state are unchanged, so a faulty channel
+composes with exactly the same environments, adversaries and simulators as
+the healthy one.
+
+* :func:`drop` — a send is lost with probability ``p``: the accepting
+  transition is mixed with a jump straight to the post-delivery state, so
+  neither leak nor delivery ever happens on the lost branch.
+* :func:`duplicate` — a delivery can repeat: after an output of the
+  matched kind fires, the channel returns to the delivering state with
+  probability ``p`` (so the same message may be delivered again).
+* :func:`delay` — delivery is postponed: entering a delivering state is
+  routed through ``steps`` internal ``tick`` transitions.  Only internal
+  actions are added, so the external signature is untouched.
+
+All mixing is exact when ``p`` is a :class:`fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.core.psioa import PSIOA, PsioaError, TablePSIOA
+from repro.core.signature import Action, Signature
+from repro.probability.measures import DiscreteMeasure, dirac
+from repro.secure.structured import StructuredPSIOA, structure
+
+__all__ = ["drop", "duplicate", "delay"]
+
+State = Hashable
+
+
+def _is_kind(kind: str) -> Callable[[Action], bool]:
+    return lambda a: isinstance(a, tuple) and len(a) >= 1 and a[0] == kind
+
+
+def _mix(eta: DiscreteMeasure, p, target: State) -> DiscreteMeasure:
+    """``(1-p) * eta + p * dirac(target)`` with exact weights."""
+    if p == 0:
+        return eta
+    if p == 1:
+        return dirac(target)
+    weights = {outcome: weight * (1 - p) for outcome, weight in eta.items()}
+    weights[target] = weights.get(target, 0) + p
+    return DiscreteMeasure(weights)
+
+
+def _unwrap(channel: PSIOA) -> Tuple[TablePSIOA, Optional[StructuredPSIOA]]:
+    if isinstance(channel, StructuredPSIOA):
+        base = channel.base
+        if not isinstance(base, TablePSIOA):
+            raise PsioaError(
+                f"channel fault wrappers need an explicit table, got {base!r}"
+            )
+        return base, channel
+    if not isinstance(channel, TablePSIOA):
+        raise PsioaError(f"channel fault wrappers need a TablePSIOA, got {channel!r}")
+    return channel, None
+
+
+def _rewrap(
+    table: TablePSIOA,
+    structured: Optional[StructuredPSIOA],
+    orig_of: Callable[[State], State],
+) -> PSIOA:
+    """Re-attach the structured split, mapping fresh states to the original
+    state they stand in for (delay states inherit the split of the state
+    they postpone)."""
+    if structured is None:
+        return table
+
+    def eact(state: State) -> frozenset:
+        marked = structured.eact(orig_of(state))
+        return marked & table.signature(state).external
+
+    return structure(table, eact, name=table.name)
+
+
+def drop(
+    channel: PSIOA,
+    p,
+    *,
+    kind: str = "send",
+    lost_state: State = "done",
+    name=None,
+) -> PSIOA:
+    """A lossy channel: accepting a ``kind`` input in the start state is
+    mixed with probability ``p`` towards ``lost_state`` (message lost —
+    no leak, no delivery on that branch)."""
+    if p < 0 or p > 1:
+        raise ValueError(f"drop probability {p!r} outside [0, 1]")
+    table, structured = _unwrap(channel)
+    if lost_state not in table.signatures:
+        raise PsioaError(f"lost state {lost_state!r} is not a state of {table.name!r}")
+    match = _is_kind(kind)
+    transitions = {
+        (state, action): (
+            _mix(eta, p, lost_state)
+            if state == table.start and match(action)
+            else eta
+        )
+        for (state, action), eta in table.transitions.items()
+    }
+    out = TablePSIOA(
+        name if name is not None else ("drop", p, channel.name),
+        table.start,
+        table.signatures,
+        transitions,
+    )
+    return _rewrap(out, structured, lambda state: state)
+
+
+def duplicate(
+    channel: PSIOA,
+    p,
+    *,
+    kind: str = "recv",
+    name=None,
+) -> PSIOA:
+    """A duplicating channel: after a ``kind`` output fires, the channel
+    stays in the delivering state with probability ``p``, so the same
+    message can be delivered again."""
+    if p < 0 or p > 1:
+        raise ValueError(f"duplicate probability {p!r} outside [0, 1]")
+    table, structured = _unwrap(channel)
+    match = _is_kind(kind)
+    transitions = {
+        (state, action): (
+            _mix(eta, p, state)
+            if match(action) and action in table.signatures[state].outputs
+            else eta
+        )
+        for (state, action), eta in table.transitions.items()
+    }
+    out = TablePSIOA(
+        name if name is not None else ("dup", p, channel.name),
+        table.start,
+        table.signatures,
+        transitions,
+    )
+    return _rewrap(out, structured, lambda state: state)
+
+
+def delay(
+    channel: PSIOA,
+    steps: int,
+    *,
+    kind: str = "recv",
+    name=None,
+) -> PSIOA:
+    """A delaying channel: every entrance into a state that can fire a
+    ``kind`` output is routed through ``steps`` internal ``tick``
+    transitions.  Inputs stay enabled (self-looping) along the delay chain,
+    so input-enabledness and the external interface are preserved."""
+    if steps < 0:
+        raise ValueError("delay steps must be non-negative")
+    table, structured = _unwrap(channel)
+    match = _is_kind(kind)
+    delayed = {
+        state
+        for state, sig in table.signatures.items()
+        if any(match(a) for a in sig.outputs)
+    }
+    if table.start in delayed:
+        raise PsioaError("delaying the start state is not supported")
+    tick = ("tick", table.name)
+
+    def reroute(source: State, target: State) -> State:
+        if steps and target in delayed and target != source:
+            return ("delayed", target, steps)
+        return target
+
+    signatures: Dict[State, Signature] = dict(table.signatures)
+    transitions: Dict[Tuple[State, Action], DiscreteMeasure] = {
+        (state, action): eta.map(lambda t, _s=state: reroute(_s, t))
+        for (state, action), eta in table.transitions.items()
+    }
+    for target in delayed:
+        inputs = table.signatures[target].inputs
+        for i in range(1, steps + 1):
+            chain = ("delayed", target, i)
+            signatures[chain] = Signature(inputs=inputs, internals={tick})
+            next_state = target if i == 1 else ("delayed", target, i - 1)
+            transitions[(chain, tick)] = dirac(next_state)
+            for action in inputs:
+                transitions[(chain, action)] = dirac(chain)
+
+    out = TablePSIOA(
+        name if name is not None else ("delay", steps, channel.name),
+        table.start,
+        signatures,
+        transitions,
+    )
+    return _rewrap(
+        out,
+        structured,
+        lambda state: state[1] if isinstance(state, tuple) and len(state) == 3 and state[0] == "delayed" else state,
+    )

@@ -1,0 +1,217 @@
+"""Crash-stop and crash-recovery wrappers (dynamic destruction as a fault).
+
+The paper destroys an automaton by driving its signature to the empty
+signature (Definition 2.12: configuration reduction removes members with
+``sig = (0, 0, 0)``).  The wrappers here expose that destruction semantics
+as *faults* of an otherwise healthy automaton:
+
+* :func:`crash_stop` — adds a distinguished crash input; once it fires the
+  automaton reaches a state with the **empty signature**: every action is
+  disabled forever, exactly the destroyed-automaton sentinel of the paper.
+* :func:`crash_recovery` — same crash input, but the crashed state keeps a
+  single recovery input that restarts the automaton from its start state
+  ``qbar`` (amnesia semantics: all volatile state is lost).
+* :func:`bernoulli_crash` — no extra actions; instead every transition
+  measure is mixed with a crash outcome of probability ``p``.  This is the
+  *distribution* of a per-step Bernoulli crash process, folded exactly into
+  the automaton so downstream theorem checks stay exact.  (For a *sampled*
+  crash trajectory under a seed, build a
+  :class:`~repro.faults.injector.FaultPlan` over the crash action of a
+  :func:`crash_stop` wrapper instead.)
+
+Crash and recovery events are modelled as *input* actions so that the fault
+injector (a scheduler wrapper, see :mod:`repro.faults.injector`) can fire
+them explicitly: schedulers may schedule any enabled action, and the
+priority/sequence schedulers used by the experiments restrict themselves to
+locally-controlled actions, so faults never fire unless injected.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.psioa import PSIOA, PsioaError
+from repro.core.signature import EMPTY_SIGNATURE, Action, Signature
+from repro.probability.measures import DiscreteMeasure, dirac
+
+__all__ = [
+    "CRASHED",
+    "crash_action",
+    "recover_action",
+    "CrashStopPSIOA",
+    "CrashRecoveryPSIOA",
+    "crash_stop",
+    "crash_recovery",
+    "bernoulli_crash",
+]
+
+State = Hashable
+
+#: The absorbing crashed state shared by all wrappers.
+CRASHED = ("crashed",)
+
+_UP = "up"
+
+
+def crash_action(automaton: PSIOA) -> Action:
+    """The distinguished crash input of a wrapped automaton."""
+    return ("crash", automaton.name)
+
+
+def recover_action(automaton: PSIOA) -> Action:
+    """The distinguished recovery input of a crash-recovery wrapper."""
+    return ("recover", automaton.name)
+
+
+def _up_state(state: State) -> State:
+    return (_UP, state)
+
+
+class CrashStopPSIOA(PSIOA):
+    """A PSIOA that can be killed through a crash input (crash-stop).
+
+    States are ``("up", q)`` for every base state ``q`` plus the absorbing
+    :data:`CRASHED` state, whose signature is **empty** — the wrapped
+    automaton is *destroyed* in the sense of Definition 2.12: no action is
+    ever enabled again, and inside a configuration the member is removed by
+    reduction.
+    """
+
+    __slots__ = ("base", "crash")
+
+    def __init__(self, base: PSIOA, *, crash: Optional[Action] = None, name=None) -> None:
+        self.base = base
+        self.crash = crash if crash is not None else crash_action(base)
+        super().__init__(
+            name if name is not None else ("crash-stop", base.name),
+            _up_state(base.start),
+            self._sig,
+            self._trans,
+        )
+
+    # -- crashed-state behaviour (overridden by the recovery variant) ----------
+
+    def _crashed_signature(self) -> Signature:
+        return EMPTY_SIGNATURE
+
+    def _crashed_transition(self, action: Action) -> DiscreteMeasure:
+        raise PsioaError(f"{self.name!r} is crashed; no action is enabled")
+
+    # -- PSIOA surface ----------------------------------------------------------
+
+    def _sig(self, state: State) -> Signature:
+        if state == CRASHED:
+            return self._crashed_signature()
+        _, q = state
+        base_sig = self.base.signature(q)
+        if self.crash in base_sig.all_actions:
+            raise PsioaError(
+                f"crash action {self.crash!r} already belongs to the signature of "
+                f"{self.base.name!r} at {q!r}"
+            )
+        return Signature(
+            inputs=base_sig.inputs | {self.crash},
+            outputs=base_sig.outputs,
+            internals=base_sig.internals,
+        )
+
+    def _trans(self, state: State, action: Action) -> DiscreteMeasure:
+        if state == CRASHED:
+            return self._crashed_transition(action)
+        if action == self.crash:
+            return dirac(CRASHED)
+        _, q = state
+        return self.base.transition(q, action).map(_up_state)
+
+
+class CrashRecoveryPSIOA(CrashStopPSIOA):
+    """Crash-recovery: the crashed state accepts a recovery input that
+    restarts the automaton from its start state (volatile state is lost)."""
+
+    __slots__ = ("recover",)
+
+    def __init__(
+        self,
+        base: PSIOA,
+        *,
+        crash: Optional[Action] = None,
+        recover: Optional[Action] = None,
+        name=None,
+    ) -> None:
+        self.recover = recover if recover is not None else recover_action(base)
+        super().__init__(
+            base,
+            crash=crash,
+            name=name if name is not None else ("crash-recovery", base.name),
+        )
+        if self.recover == self.crash:
+            raise PsioaError("crash and recovery actions must differ")
+
+    def _crashed_signature(self) -> Signature:
+        return Signature(inputs={self.recover})
+
+    def _crashed_transition(self, action: Action) -> DiscreteMeasure:
+        if action == self.recover:
+            return dirac(_up_state(self.base.start))
+        raise PsioaError(f"{self.name!r} is crashed; only {self.recover!r} is enabled")
+
+
+def crash_stop(base: PSIOA, *, crash: Optional[Action] = None, name=None) -> CrashStopPSIOA:
+    """Wrap ``base`` so the fault injector can destroy it (crash-stop)."""
+    return CrashStopPSIOA(base, crash=crash, name=name)
+
+
+def crash_recovery(
+    base: PSIOA,
+    *,
+    crash: Optional[Action] = None,
+    recover: Optional[Action] = None,
+    name=None,
+) -> CrashRecoveryPSIOA:
+    """Wrap ``base`` so it can be killed and restarted from ``qbar``."""
+    return CrashRecoveryPSIOA(base, crash=crash, recover=recover, name=name)
+
+
+class _BernoulliCrashPSIOA(PSIOA):
+    """Every transition crashes with probability ``p`` (exact mixing)."""
+
+    __slots__ = ("base", "p")
+
+    def __init__(self, base: PSIOA, p, *, name=None) -> None:
+        if p < 0 or p > 1:
+            raise ValueError(f"crash probability {p!r} outside [0, 1]")
+        self.base = base
+        self.p = p
+        super().__init__(
+            name if name is not None else ("bernoulli-crash", base.name),
+            _up_state(base.start),
+            self._sig,
+            self._trans,
+        )
+
+    def _sig(self, state: State) -> Signature:
+        if state == CRASHED:
+            return EMPTY_SIGNATURE
+        _, q = state
+        return self.base.signature(q)
+
+    def _trans(self, state: State, action: Action) -> DiscreteMeasure:
+        if state == CRASHED:
+            raise PsioaError(f"{self.name!r} is crashed; no action is enabled")
+        _, q = state
+        eta = self.base.transition(q, action).map(_up_state)
+        if self.p == 0:
+            return eta
+        survive = 1 - self.p
+        weights = {target: weight * survive for target, weight in eta.items()}
+        weights[CRASHED] = weights.get(CRASHED, 0) + self.p
+        return DiscreteMeasure(weights)
+
+
+def bernoulli_crash(base: PSIOA, p, *, name=None) -> PSIOA:
+    """The per-step Bernoulli(``p``) crash process, folded into the automaton.
+
+    Pass ``p`` as a :class:`fractions.Fraction` to keep the execution
+    measure exact.
+    """
+    return _BernoulliCrashPSIOA(base, p, name=name)

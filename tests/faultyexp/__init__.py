@@ -1,0 +1,4 @@
+"""Deliberately misbehaving experiment modules for the runner-resilience
+tests: each submodule exposes the ``run(fast=...)`` surface the harness
+expects and then crashes, hangs, fails, or passes only under a lucky seed.
+"""

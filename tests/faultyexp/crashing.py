@@ -1,0 +1,5 @@
+"""An experiment that always raises."""
+
+
+def run(*, fast: bool = True):
+    raise RuntimeError("deliberate experiment crash")

@@ -1,0 +1,9 @@
+"""An experiment that completes but whose theorem-shape check fails."""
+
+from repro.experiments.common import ExperimentReport
+
+
+def run(*, fast: bool = True):
+    return ExperimentReport(
+        "EX-FAIL", "a claim that does not hold", "== EX-FAIL ==\nno rows", False
+    )

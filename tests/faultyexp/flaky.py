@@ -1,0 +1,14 @@
+"""An experiment that passes only under an odd seed — exercises the guarded
+runner's retry-with-seed-rotation loop."""
+
+from repro.experiments.common import ExperimentReport, experiment_seed
+
+
+def run(*, fast: bool = True):
+    seed = experiment_seed()
+    if seed % 2 == 0:
+        raise RuntimeError(f"unlucky seed {seed}")
+    return ExperimentReport(
+        "EX-FLAKY", "passes under odd seeds", "== EX-FLAKY ==\nlucky", True,
+        data={"seed": seed},
+    )

@@ -1,0 +1,7 @@
+"""An experiment that never returns (within any reasonable timeout)."""
+
+import time
+
+
+def run(*, fast: bool = True):
+    time.sleep(600)

@@ -10,7 +10,7 @@ import pytest
 
 from repro.experiments.common import ALL_EXPERIMENTS, run_experiment
 
-CHEAP = ["E3", "E4", "E5", "E7", "E8", "E9", "E12", "E14"]
+CHEAP = ["E3", "E4", "E5", "E7", "E8", "E9", "E12", "E14", "E15"]
 
 
 @pytest.mark.parametrize("experiment_id", CHEAP)
@@ -22,7 +22,7 @@ def test_experiment_passes(experiment_id):
 
 
 def test_registry_is_complete():
-    assert list(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 15)]
+    assert list(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 16)]
 
 
 def test_unknown_experiment_rejected():

@@ -1,0 +1,366 @@
+"""Unit tests: the fault-injection subsystem (``repro.faults``).
+
+Covers the crash wrappers (crash-stop destruction, crash-recovery restart,
+Bernoulli crash mixing), the channel fault wrappers (drop / duplicate /
+delay keep the external interface), Byzantine corruption (strategy-driven
+adversary outputs, adversary checks still apply), and the fault injector
+(deterministic seeded plans, JSON round-trip, scheduler wrapping that is
+invisible to the base scheduler's step counting).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from tests.helpers import coin_automaton, fair_coin
+
+from repro.core.executions import Fragment
+from repro.core.psioa import PsioaError, reachable_states, validate_psioa
+from repro.core.signature import EMPTY_SIGNATURE
+from repro.faults import (
+    CRASHED,
+    FaultEvent,
+    FaultPlan,
+    FaultyScheduler,
+    bernoulli_crash,
+    byzantine,
+    crash_action,
+    crash_recovery,
+    crash_stop,
+    delay,
+    drop,
+    duplicate,
+    faulty_schema,
+    output_rename_strategy,
+    recover_action,
+)
+from repro.probability.measures import DiscreteMeasure, dirac, total_variation
+from repro.secure.adversary import is_adversary
+from repro.semantics.insight import accept_insight, f_dist, trace_insight
+from repro.semantics.measure import execution_measure
+from repro.semantics.scheduler import ActionSequenceScheduler, PriorityScheduler
+from repro.semantics.schema import SchedulerSchema
+from repro.systems.channels import (
+    LEAK,
+    RECV,
+    SEND,
+    channel_environment,
+    guessing_adversary,
+    ideal_channel,
+    real_channel,
+)
+
+
+class TestCrashStop:
+    def test_crashed_state_has_empty_signature(self):
+        wrapped = crash_stop(fair_coin())
+        assert wrapped.signature(CRASHED) == EMPTY_SIGNATURE
+
+    def test_crash_input_added_everywhere_up(self):
+        base = fair_coin()
+        wrapped = crash_stop(base)
+        for q in ("q0", "qH", "qT", "qF"):
+            sig = wrapped.signature(("up", q))
+            assert crash_action(base) in sig.inputs
+            assert sig.outputs == base.signature(q).outputs
+
+    def test_crash_transition_destroys(self):
+        base = fair_coin()
+        wrapped = crash_stop(base)
+        eta = wrapped.transition(("up", "q0"), crash_action(base))
+        assert eta == dirac(CRASHED)
+        with pytest.raises(PsioaError):
+            wrapped.transition(CRASHED, "toss")
+
+    def test_valid_psioa(self):
+        wrapped = crash_stop(fair_coin())
+        validate_psioa(wrapped)
+        assert CRASHED in reachable_states(wrapped)
+
+    def test_crash_name_collision_rejected(self):
+        base = fair_coin()
+        wrapped = crash_stop(base, crash="toss")
+        with pytest.raises(PsioaError):
+            wrapped.signature(("up", "q0"))
+
+
+class TestCrashRecovery:
+    def test_recovery_restarts_from_start_state(self):
+        base = coin_automaton("c", Fraction(1, 3))
+        wrapped = crash_recovery(base)
+        assert wrapped.signature(CRASHED).inputs == frozenset({recover_action(base)})
+        eta = wrapped.transition(CRASHED, recover_action(base))
+        assert eta == dirac(("up", "q0"))
+        validate_psioa(wrapped)
+
+    def test_only_recovery_enabled_when_crashed(self):
+        wrapped = crash_recovery(fair_coin())
+        with pytest.raises(PsioaError):
+            wrapped.transition(CRASHED, "toss")
+
+    def test_crash_equals_recover_rejected(self):
+        with pytest.raises(PsioaError):
+            crash_recovery(fair_coin(), crash="x", recover="x")
+
+
+class TestBernoulliCrash:
+    def test_transitions_mix_toward_crash(self):
+        p = Fraction(1, 4)
+        wrapped = bernoulli_crash(fair_coin(), p)
+        eta = wrapped.transition(("up", "q0"), "toss")
+        assert eta(CRASHED) == p
+        assert eta(("up", "qH")) == Fraction(1, 2) * (1 - p)
+        validate_psioa(wrapped)
+
+    def test_zero_rate_is_faithful(self):
+        base = fair_coin()
+        wrapped = bernoulli_crash(base, 0)
+        eta = wrapped.transition(("up", "q0"), "toss")
+        assert eta == DiscreteMeasure({("up", "qH"): Fraction(1, 2), ("up", "qT"): Fraction(1, 2)})
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(ValueError):
+            bernoulli_crash(fair_coin(), 2)
+
+
+class TestChannelFaults:
+    def test_drop_preserves_signatures(self):
+        chan = real_channel("c", 2)
+        lossy = drop(chan, Fraction(1, 2))
+        for q in ("idle", "done", ("cipher", 0, 0), ("deliver", 1)):
+            assert lossy.signature(q) == chan.signature(q)
+        validate_psioa(lossy)
+
+    def test_drop_mixes_send_toward_done(self):
+        p = Fraction(1, 3)
+        lossy = drop(real_channel("c", 2), p)
+        eta = lossy.transition("idle", SEND(0))
+        assert eta("done") == p
+        assert sum(w for q, w in eta.items() if q != "done") == 1 - p
+
+    def test_drop_keeps_structured_split(self):
+        chan = real_channel("c", 2)
+        lossy = drop(chan, Fraction(1, 4))
+        assert lossy.eact(("cipher", 0, 1)) == chan.eact(("cipher", 0, 1))
+        assert set(lossy.global_aact()) == set(chan.global_aact())
+
+    def test_drop_works_on_ideal_channel(self):
+        lossy = drop(ideal_channel("i"), Fraction(1, 2))
+        validate_psioa(lossy)
+        assert lossy.transition("idle", SEND(1))("done") == Fraction(1, 2)
+
+    def test_duplicate_returns_to_delivering_state(self):
+        p = Fraction(1, 4)
+        chan = real_channel("c", 2)
+        dup = duplicate(chan, p)
+        eta = dup.transition(("deliver", 1), RECV(1))
+        assert eta(("deliver", 1)) == p and eta("done") == 1 - p
+        for q in ("idle", ("deliver", 0)):
+            assert dup.signature(q) == chan.signature(q)
+        validate_psioa(dup)
+
+    def test_delay_adds_only_internal_actions(self):
+        chan = real_channel("c", 2)
+        slowed = delay(chan, 2)
+        # External interface at original states unchanged.
+        for q in ("idle", ("deliver", 0), ("cipher", 1, 0)):
+            assert slowed.signature(q).external == chan.signature(q).external
+        chain = ("delayed", ("deliver", 0), 2)
+        sig = slowed.signature(chain)
+        assert sig.outputs == frozenset()
+        assert sig.internals == frozenset({("tick", "c")})
+        validate_psioa(slowed)
+
+    def test_delay_chain_reaches_target(self):
+        slowed = delay(real_channel("c", 2), 1)
+        tick = ("tick", "c")
+        eta = slowed.transition(("delayed", ("deliver", 0), 1), tick)
+        assert eta == dirac(("deliver", 0))
+
+    def test_probability_range_enforced(self):
+        with pytest.raises(ValueError):
+            drop(real_channel("c", 2), 2)
+        with pytest.raises(ValueError):
+            duplicate(real_channel("c", 2), -1)
+        with pytest.raises(ValueError):
+            delay(real_channel("c", 2), -1)
+
+
+class TestByzantine:
+    def test_full_corruption_rewrites_adversary_outputs(self):
+        chan = real_channel("c", 2)
+        strategy = output_rename_strategy({LEAK(0): LEAK(1), LEAK(1): LEAK(0)})
+        byz = byzantine(chan, strategy, rate=1)
+        sig = byz.signature(("byz", ("cipher", 0, 0)))
+        assert sig.outputs == frozenset({LEAK(1)})
+        # The emitted action drives the transition of the action it masks.
+        eta = byz.transition(("byz", ("cipher", 0, 0)), LEAK(1))
+        assert eta == dirac(("byz", ("deliver", 0)))
+        validate_psioa(byz)
+
+    def test_environment_interface_untouched(self):
+        chan = real_channel("c", 2)
+        byz = byzantine(chan, output_rename_strategy({}), rate=1)
+        assert byz.eact(("byz", "idle")) == chan.eact("idle")
+        assert set(byz.global_aact()) == set(chan.global_aact())
+
+    def test_partial_rate_mixes_modes(self):
+        r = Fraction(1, 4)
+        byz = byzantine(real_channel("c", 2), output_rename_strategy({}), rate=r)
+        assert byz.start == ("honest", "idle")
+        eta = byz.transition(("honest", ("deliver", 0)), RECV(0))
+        assert eta(("honest", "done")) == 1 - r and eta(("byz", "done")) == r
+
+    def test_adversary_checks_still_apply(self):
+        byz = byzantine(real_channel("c", 2), output_rename_strategy({}), rate=1)
+        assert is_adversary(guessing_adversary(), byz)
+
+    def test_strategy_may_not_emit_environment_actions(self):
+        byz = byzantine(
+            real_channel("c", 2),
+            output_rename_strategy({LEAK(0): SEND(0)}),
+            rate=1,
+        )
+        with pytest.raises(PsioaError):
+            byz.signature(("byz", ("cipher", 0, 0)))
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(ValueError):
+            byzantine(real_channel("c", 2), output_rename_strategy({}), rate=Fraction(3, 2))
+
+
+class TestFaultPlan:
+    def test_deterministic_under_fixed_seed(self):
+        actions = [("crash", "a"), ("crash", "b")]
+        one = FaultPlan.bernoulli(actions, 0.3, 50, seed=7)
+        two = FaultPlan.bernoulli(actions, 0.3, 50, seed=7)
+        other = FaultPlan.bernoulli(actions, 0.3, 50, seed=8)
+        assert one == two
+        assert one.seed == 7
+        assert one != other
+
+    def test_events_sorted_and_unique(self):
+        plan = FaultPlan.of((5, "x"), (1, "y"))
+        assert [e.step for e in plan.events] == [1, 5]
+        assert plan.action_at(5) == "x" and plan.action_at(2) is None
+        with pytest.raises(ValueError):
+            FaultPlan.of((1, "x"), (1, "y"))
+        with pytest.raises(ValueError):
+            FaultEvent(-1, "x")
+
+    def test_json_roundtrip_with_tuple_actions(self):
+        plan = FaultPlan.of((0, ("crash", ("cons", 2))), (3, ("recover", ("cons", 2))))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_bernoulli_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan.bernoulli(["x"], 1.5, 10, seed=0)
+        with pytest.raises(ValueError):
+            FaultPlan.bernoulli([], 0.5, 10, seed=0)
+
+
+class TestFaultyScheduler:
+    def test_injects_enabled_fault_dirac(self):
+        base = fair_coin()
+        wrapped = crash_stop(base)
+        plan = FaultPlan.of((0, crash_action(base)))
+        scheduler = FaultyScheduler(
+            ActionSequenceScheduler(("toss", "head", "tail"), local_only=True), plan
+        )
+        decision = scheduler.decide(wrapped, Fragment((wrapped.start,), ()))
+        assert decision(crash_action(base)) == 1
+
+    def test_skips_disabled_fault(self):
+        base = fair_coin()
+        wrapped = crash_stop(base)
+        # A crash scheduled while already crashed: delegate to the base.
+        plan = FaultPlan.of((0, ("not-enabled",)))
+        scheduler = FaultyScheduler(
+            ActionSequenceScheduler(("toss",), local_only=True), plan
+        )
+        decision = scheduler.decide(wrapped, Fragment((wrapped.start,), ()))
+        assert decision("toss") == 1
+
+    def test_base_scheduler_sees_stripped_fragment(self):
+        base = fair_coin()
+        wrapped = crash_stop(base)
+        crash = crash_action(base)
+
+        seen = []
+
+        class Recording(ActionSequenceScheduler):
+            def decide(self, automaton, fragment):
+                seen.append(fragment)
+                return super().decide(automaton, fragment)
+
+        plan = FaultPlan.of((1, crash))
+        scheduler = FaultyScheduler(Recording(("toss", "head"), local_only=True), plan)
+        # Raw history: toss, then the injected crash at step 1.
+        fragment = Fragment(
+            (("up", "q0"), ("up", "qH"), CRASHED), ("toss", crash)
+        )
+        scheduler.decide(wrapped, fragment)
+        assert seen[-1].actions == ("toss",)
+        assert seen[-1].lstate == CRASHED  # the true current state survives
+
+    def test_crash_kills_the_coin_execution(self):
+        base = fair_coin()
+        wrapped = crash_stop(base)
+        schedule = ActionSequenceScheduler(("toss", "head", "tail"), local_only=True)
+        healthy = execution_measure(wrapped, schedule)
+        crashed = execution_measure(
+            wrapped, FaultyScheduler(schedule, FaultPlan.of((0, crash_action(base))))
+        )
+        assert total_variation(healthy, crashed) == 1
+        assert all(execution.lstate == CRASHED for execution in crashed.support())
+
+    def test_step_bound_extends_by_plan_length(self):
+        base = FaultyScheduler(
+            PriorityScheduler([lambda a: True], 5), FaultPlan.of((0, "x"), (2, "y"))
+        )
+        assert base.step_bound() == 7
+
+    def test_faulty_schema_lifts_members(self):
+        plan = FaultPlan.of((0, ("crash", "fair")))
+        schema = SchedulerSchema(
+            "seq",
+            lambda automaton, bound: iter(
+                [ActionSequenceScheduler(("toss",), local_only=True)]
+            ),
+        )
+        lifted = faulty_schema(schema, plan)
+        members = list(lifted.members(fair_coin(), 3))
+        assert len(members) == 1
+        assert isinstance(members[0], FaultyScheduler)
+        assert members[0].plan is plan
+
+
+class TestEndToEnd:
+    def test_crash_preserves_safety_breaks_liveness(self):
+        """The E15 headline on a tiny instance: under the accept insight a
+        crashed channel run stays close; under the trace insight it is
+        distance 1 from the healthy run."""
+        chan = real_channel("c", 2)
+        wrapped = crash_stop(chan)
+        env = channel_environment(0)
+        scheduler = PriorityScheduler(
+            [
+                lambda a: isinstance(a, tuple) and a[0] == "send",
+                lambda a: isinstance(a, tuple) and a[0] == "leak",
+                lambda a: isinstance(a, tuple) and a[0] == "recv",
+                lambda a: a == "acc",
+            ],
+            8,
+        )
+        plan = FaultPlan.of((1, crash_action(chan)))
+        healthy_trace = f_dist(trace_insight(), env, wrapped, scheduler)
+        crashed_trace = f_dist(
+            trace_insight(), env, wrapped, FaultyScheduler(scheduler, plan)
+        )
+        assert total_variation(healthy_trace, crashed_trace) == 1
+        healthy_acc = f_dist(accept_insight(), env, wrapped, scheduler)
+        crashed_acc = f_dist(
+            accept_insight(), env, wrapped, FaultyScheduler(scheduler, plan)
+        )
+        # No adversary in the loop: acc never fires either way.
+        assert total_variation(healthy_acc, crashed_acc) == 0

@@ -5,9 +5,58 @@ Every experiment bench runs its experiment exactly once under
 would only re-measure the same computation), prints the experiment's table
 (run with ``-s`` to see it), and asserts the theorem-shape check.
 Performance benches (``bench_perf_*``) use the default calibration loop.
+
+Observability hook: every bench test starts from a clean
+:mod:`repro.obs.metrics` registry, and the counters each test accumulated
+are written to a ``BENCH_obs.json`` trajectory artifact at session end
+(path overridable via ``REPRO_BENCH_OBS``; merge artifacts from several
+runs with ``benchmarks/report_trajectory.py``).  Counter values are raw
+totals over however many rounds pytest-benchmark ran, so within-run
+comparisons are exact for the pedantic experiment benches and indicative
+for the calibrated perf benches.
 """
 
+import json
+import os
+import time
+
 import pytest
+
+from repro.obs import metrics
+
+TRAJECTORY_SCHEMA = "repro.obs.bench-trajectory/1"
+
+_RUNS = {}
+
+
+@pytest.fixture(autouse=True)
+def _obs_capture(request):
+    """Reset the metrics registry per test; collect its counters after."""
+    metrics.reset()
+    start = time.perf_counter()
+    yield
+    snapshot = metrics.snapshot()
+    if snapshot["counters"] or snapshot["histograms"]:
+        _RUNS[request.node.nodeid] = {
+            "elapsed_s": time.perf_counter() - start,
+            "counters": snapshot["counters"],
+        }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RUNS:
+        return
+    path = os.environ.get("REPRO_BENCH_OBS", "BENCH_obs.json")
+    payload = {
+        "schema": TRAJECTORY_SCHEMA,
+        "created_unix": time.time(),
+        "runs": _RUNS,
+    }
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+    except OSError:
+        pass
 
 
 @pytest.fixture

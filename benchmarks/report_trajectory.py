@@ -1,0 +1,127 @@
+"""Merge ``BENCH_obs.json`` trajectory artifacts into one table.
+
+Each benchmark session writes a ``BENCH_obs.json`` (see
+``benchmarks/conftest.py``) mapping test ids to the hot-path counters the
+test exercised.  This tool merges several such files — e.g. one per commit
+or one per machine — into a single aligned table so counter trajectories
+("did this refactor reduce ``scheduler.steps``?") are visible at a glance:
+
+::
+
+    python benchmarks/report_trajectory.py before/BENCH_obs.json after/BENCH_obs.json
+    python benchmarks/report_trajectory.py *.json --counter measure.unfold.transitions
+    python benchmarks/report_trajectory.py *.json --counter elapsed_s --json merged.json
+
+Counters are exact, deterministic work measures (unlike wall time), which
+makes them the right axis for tracking algorithmic improvements across
+runs; this is the seed of the repo's ``BENCH_*.json`` tracking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+TRAJECTORY_SCHEMA = "repro.obs.bench-trajectory/1"
+
+
+def load_trajectory(path: str) -> Dict[str, Any]:
+    """Load and sanity-check one ``BENCH_obs.json`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("schema") != TRAJECTORY_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {TRAJECTORY_SCHEMA} artifact "
+            f"(schema={payload.get('schema') if isinstance(payload, dict) else None!r})"
+        )
+    if not isinstance(payload.get("runs"), dict):
+        raise ValueError(f"{path}: 'runs' must be an object")
+    return payload
+
+
+def _cell(run: Optional[Dict[str, Any]], counter: str) -> Optional[Any]:
+    if run is None:
+        return None
+    if counter == "elapsed_s":
+        return run.get("elapsed_s")
+    return run.get("counters", {}).get(counter, 0)
+
+
+def merge(paths: Sequence[str], counter: str) -> Dict[str, Any]:
+    """The merged trajectory: per test id, one value per input file."""
+    columns = []
+    rows: Dict[str, List[Optional[Any]]] = {}
+    for index, path in enumerate(paths):
+        payload = load_trajectory(path)
+        columns.append(path)
+        for test_id, run in payload["runs"].items():
+            rows.setdefault(test_id, [None] * len(paths))[index] = _cell(run, counter)
+    return {
+        "schema": TRAJECTORY_SCHEMA + "+merged",
+        "counter": counter,
+        "columns": columns,
+        "rows": {test_id: values for test_id, values in sorted(rows.items())},
+    }
+
+
+def format_table(merged: Dict[str, Any]) -> str:
+    """The merged trajectory as an aligned plain-text table."""
+
+    def render(value: Optional[Any]) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    headers = ["test"] + [f"run{i}" for i in range(len(merged["columns"]))]
+    body = [
+        [test_id] + [render(v) for v in values]
+        for test_id, values in merged["rows"].items()
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in body)) if body else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [f"counter: {merged['counter']}"]
+    lines += [f"run{i}: {path}" for i, path in enumerate(merged["columns"])]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Merge BENCH_obs.json trajectory artifacts into one table."
+    )
+    parser.add_argument("files", nargs="+", help="BENCH_obs.json files, oldest first")
+    parser.add_argument(
+        "--counter",
+        default="scheduler.steps",
+        help="counter to tabulate (or the pseudo-counter 'elapsed_s')",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="also write the merged trajectory as JSON to this path",
+    )
+    args = parser.parse_args(argv)
+    try:
+        merged = merge(args.files, args.counter)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    print(format_table(merged))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=1, sort_keys=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,10 @@ Layer map (bottom-up):
   wrappers, channel drop/duplicate/delay, Byzantine corruption, seeded
   fault plans and the fault-injecting scheduler (see docs/fault_model.md);
 * :mod:`repro.analysis` — exploration, Monte-Carlo cross-checks,
-  distinguisher search, reporting.
+  distinguisher search, reporting;
+* :mod:`repro.obs` — observability: span tracing (Chrome-trace output),
+  hot-path metrics, machine-readable run reports (see
+  docs/observability.md).
 
 Quickstart::
 

@@ -18,9 +18,16 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from repro.config.configuration import Configuration
 from repro.core.psioa import PSIOA, PsioaError
 from repro.core.signature import Action
+from repro.obs.metrics import counter as _counter
 from repro.probability.measures import DiscreteMeasure, dirac, product
 
 __all__ = ["preserving_transition", "intrinsic_transition"]
+
+#: PCA transition-expansion instruments: one increment per expansion, plus
+#: the support sizes enumerated while reducing intrinsic outcomes.
+_PRESERVING_CALLS = _counter("pca.transitions.preserving")
+_INTRINSIC_CALLS = _counter("pca.transitions.intrinsic")
+_SUPPORT_ENUMERATED = _counter("pca.support.enumerated")
 
 
 def preserving_transition(configuration: Configuration, action: Action) -> DiscreteMeasure:
@@ -31,6 +38,7 @@ def preserving_transition(configuration: Configuration, action: Action) -> Discr
     measure over joint states is pushed onto configurations over the *same*
     automaton set (first bullet of Definition 2.13).
     """
+    _PRESERVING_CALLS.inc()
     if not configuration.is_compatible():
         raise PsioaError(
             f"preserving transition from incompatible configuration: "
@@ -79,6 +87,7 @@ def intrinsic_transition(
     (``eta_nr``), and each outcome is then reduced, destroyed automata
     dropping out with their mass merged (last bullet of Definition 2.14).
     """
+    _INTRINSIC_CALLS.inc()
     if not configuration.is_reduced():
         raise PsioaError(f"intrinsic transition requires a reduced configuration: {configuration!r}")
     phi: Sequence[PSIOA] = tuple(created)
@@ -94,8 +103,11 @@ def intrinsic_transition(
     fresh: List[Tuple[PSIOA, object]] = [(a, a.start) for a in phi]
 
     reduced_weights: Dict[Configuration, object] = {}
+    outcomes_enumerated = 0
     for outcome, weight in eta_p.items():
+        outcomes_enumerated += 1
         non_reduced = outcome.with_members(fresh)  # eta_nr outcome
         reduced = non_reduced.reduce()  # eta_r merges mass over reduce fibres
         reduced_weights[reduced] = reduced_weights.get(reduced, 0) + weight
+    _SUPPORT_ENUMERATED.inc(outcomes_enumerated)
     return DiscreteMeasure(reduced_weights)

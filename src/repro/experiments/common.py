@@ -25,6 +25,10 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.procinfo import peak_rss_bytes as _peak_rss_bytes
+
 __all__ = [
     "ExperimentReport",
     "ExperimentOutcome",
@@ -104,8 +108,11 @@ def run_experiment(experiment_id: str, *, fast: bool = True) -> ExperimentReport
     """
     module_name, _claim = ALL_EXPERIMENTS[experiment_id]
     qualified = module_name if "." in module_name else f"repro.experiments.{module_name}"
-    module = importlib.import_module(qualified)
-    return module.run(fast=fast)
+    with _trace.span("experiment", id=experiment_id, fast=fast):
+        with _trace.span("experiment.import", module=qualified):
+            module = importlib.import_module(qualified)
+        with _trace.span("experiment.run", id=experiment_id):
+            return module.run(fast=fast)
 
 
 # -- the hardened (crash-isolated, timeout-guarded) runner ---------------------
@@ -119,6 +126,13 @@ class ExperimentOutcome:
     is set) or ``"error"`` / ``"timeout"`` (it did not finish; ``error``
     carries the traceback or diagnosis).  ``attempts`` counts runs
     including retries; ``seed`` is the seed of the *last* attempt.
+
+    The observability fields describe the last attempt as well:
+    ``metrics`` is the child's :func:`repro.obs.metrics.snapshot` (marshalled
+    across the fork boundary; partial metrics survive a crashing child, a
+    hard-killed/timed-out child yields ``None``), ``peak_rss_bytes`` its
+    :func:`repro.obs.procinfo.peak_rss_bytes`, and ``trace_path`` the file
+    the child saved its Chrome trace to (when tracing was requested).
     """
 
     experiment: str
@@ -128,6 +142,9 @@ class ExperimentOutcome:
     attempts: int = 1
     elapsed: float = 0.0
     seed: Optional[int] = None
+    metrics: Optional[Dict[str, Any]] = None
+    peak_rss_bytes: Optional[int] = None
+    trace_path: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -143,34 +160,73 @@ class ExperimentOutcome:
         return f"[{self.status.upper()}] {self.experiment} — {claim}\n{detail}"
 
 
-def _guarded_child(conn, experiment_id: str, fast: bool, seed: Optional[int]) -> None:
-    """Child-process entry point: run one experiment, ship the result back."""
+def _observability_extras(trace_path: Optional[str]) -> Dict[str, Any]:
+    """The per-attempt observability payload (metrics, RSS, saved trace)."""
+    extras: Dict[str, Any] = {
+        "metrics": _metrics.snapshot(),
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "trace_path": None,
+    }
+    if trace_path is not None:
+        try:
+            _trace.TRACER.save(trace_path)
+            extras["trace_path"] = str(trace_path)
+        except OSError:
+            pass
+    return extras
+
+
+def _guarded_child(
+    conn, experiment_id: str, fast: bool, seed: Optional[int], trace_path: Optional[str]
+) -> None:
+    """Child-process entry point: run one experiment, ship the result back.
+
+    The child starts from a clean observability slate (with the ``fork``
+    start method it inherits the parent's registry and trace buffer) and
+    always ships its metrics snapshot — a crashing experiment still reports
+    the counters it accumulated before dying.
+    """
+    _metrics.reset()
+    _trace.TRACER.clear()
+    if trace_path is not None:
+        _trace.enable()
     try:
         set_experiment_seed(seed)
         report = run_experiment(experiment_id, fast=fast)
         payload: Tuple[str, Any] = ("report", report)
     except BaseException:  # noqa: BLE001 - the boundary exists to catch everything
         payload = ("error", traceback.format_exc())
+    extras = _observability_extras(trace_path)
     try:
-        conn.send(payload)
+        conn.send(payload + (extras,))
     except Exception as exc:  # the report itself may be untransferable
         try:
-            conn.send(("error", f"experiment result could not be transferred: {exc!r}"))
+            conn.send(
+                ("error", f"experiment result could not be transferred: {exc!r}", extras)
+            )
         except Exception:
             pass
     finally:
         conn.close()
 
 
+#: (status, report, error, observability extras) of one attempt.
+_Attempt = Tuple[str, Optional[ExperimentReport], Optional[str], Optional[Dict[str, Any]]]
+
+
 def _attempt_isolated(
-    experiment_id: str, fast: bool, timeout: Optional[float], seed: Optional[int]
-) -> Tuple[str, Optional[ExperimentReport], Optional[str]]:
+    experiment_id: str,
+    fast: bool,
+    timeout: Optional[float],
+    seed: Optional[int],
+    trace_path: Optional[str],
+) -> _Attempt:
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     process = ctx.Process(
         target=_guarded_child,
-        args=(child_conn, experiment_id, fast, seed),
+        args=(child_conn, experiment_id, fast, seed, trace_path),
         daemon=True,
     )
     process.start()
@@ -182,21 +238,27 @@ def _attempt_isolated(
             if process.is_alive():
                 process.kill()
                 process.join(5)
-            return "timeout", None, f"no result within {timeout}s (process terminated)"
+            return (
+                "timeout",
+                None,
+                f"no result within {timeout}s (process terminated)",
+                None,
+            )
         try:
-            kind, value = parent_conn.recv()
+            kind, value, extras = parent_conn.recv()
         except EOFError:
             process.join(5)
             return (
                 "error",
                 None,
                 f"experiment process died without a report (exit code {process.exitcode})",
+                None,
             )
         process.join(5)
         if kind == "report":
             report: ExperimentReport = value
-            return ("pass" if report.passed else "fail"), report, None
-        return "error", None, str(value)
+            return ("pass" if report.passed else "fail"), report, None, extras
+        return "error", None, str(value), extras
     finally:
         parent_conn.close()
         if process.is_alive():
@@ -205,17 +267,31 @@ def _attempt_isolated(
 
 
 def _attempt_inline(
-    experiment_id: str, fast: bool, seed: Optional[int]
-) -> Tuple[str, Optional[ExperimentReport], Optional[str]]:
+    experiment_id: str, fast: bool, seed: Optional[int], trace_path: Optional[str]
+) -> _Attempt:
     previous = _EXPERIMENT_SEED
+    # Inline attempts share the process-global registry with the caller, so
+    # per-experiment counters are a before/after diff, not a reset.
+    before = _metrics.snapshot(include_zero=True)["counters"]
+    tracing_was_enabled = _trace.is_enabled()
+    if trace_path is not None:
+        _trace.TRACER.clear()
+        _trace.enable()
     try:
         set_experiment_seed(seed)
         report = run_experiment(experiment_id, fast=fast)
-        return ("pass" if report.passed else "fail"), report, None
+        status, error = ("pass" if report.passed else "fail"), None
     except Exception:
-        return "error", None, traceback.format_exc()
+        report, status, error = None, "error", traceback.format_exc()
     finally:
         set_experiment_seed(previous)
+    extras = _observability_extras(trace_path)
+    extras["metrics"]["counters"] = _metrics.subtract_counters(
+        _metrics.snapshot(include_zero=True)["counters"], before
+    )
+    if trace_path is not None and not tracing_was_enabled:
+        _trace.disable()
+    return status, report, error, extras
 
 
 def run_experiment_guarded(
@@ -226,6 +302,7 @@ def run_experiment_guarded(
     retries: int = 0,
     seed: Optional[int] = None,
     isolated: bool = True,
+    trace_path: Optional[str] = None,
 ) -> ExperimentOutcome:
     """Run one experiment behind the isolation boundary.
 
@@ -245,24 +322,32 @@ def run_experiment_guarded(
     isolated:
         Run in a subprocess (default).  ``False`` runs inline — exceptions
         are still captured but hangs and hard crashes are not survivable.
+    trace_path:
+        When set, tracing is enabled for the attempt and the Chrome-trace
+        JSON is written there (each retry overwrites — the saved trace and
+        the reported metrics describe the *last* attempt).
     """
     start = time.perf_counter()
     attempts = 0
     status: str = "error"
     report: Optional[ExperimentReport] = None
     error: Optional[str] = None
+    extras: Optional[Dict[str, Any]] = None
     attempt_seed: Optional[int] = None
     for attempt in range(max(0, retries) + 1):
         attempts = attempt + 1
         attempt_seed = None if seed is None else seed + attempt
         if isolated:
-            status, report, error = _attempt_isolated(
-                experiment_id, fast, timeout, attempt_seed
+            status, report, error, extras = _attempt_isolated(
+                experiment_id, fast, timeout, attempt_seed, trace_path
             )
         else:
-            status, report, error = _attempt_inline(experiment_id, fast, attempt_seed)
+            status, report, error, extras = _attempt_inline(
+                experiment_id, fast, attempt_seed, trace_path
+            )
         if status == "pass":
             break
+    extras = extras or {}
     return ExperimentOutcome(
         experiment=experiment_id,
         status=status,
@@ -271,6 +356,9 @@ def run_experiment_guarded(
         attempts=attempts,
         elapsed=time.perf_counter() - start,
         seed=attempt_seed,
+        metrics=extras.get("metrics"),
+        peak_rss_bytes=extras.get("peak_rss_bytes"),
+        trace_path=extras.get("trace_path"),
     )
 
 

@@ -9,20 +9,65 @@ Usage::
     python -m repro.experiments.runner --retries 2     # retry flaky runs (seed rotates)
     python -m repro.experiments.runner --fail-fast     # stop at the first failure
 
+Observability (see ``docs/observability.md``)::
+
+    python -m repro.experiments.runner --metrics-out report.json
+    python -m repro.experiments.runner --trace-dir traces/
+    python -m repro.experiments.runner --report report.json   # summarize, don't run
+
+``--metrics-out`` writes a schema-valid machine-readable run report (per
+experiment: outcome, wall time, attempts, seeds — including sampled
+fault-plan seeds — peak RSS and the hot-path counters, marshalled out of
+the crash-isolated child even when it died mid-run).  ``--trace-dir``
+saves one Chrome-trace JSON per experiment, loadable in
+``chrome://tracing`` / Perfetto.  ``--report`` validates an existing
+report file and prints its summary table without running anything.
+
 Every experiment runs in its own subprocess (see
 :func:`repro.experiments.common.run_experiment_guarded`): an experiment that
 raises, segfaults or hangs is reported as ``[ERROR]`` / ``[TIMEOUT]`` with
 its traceback, and the suite keeps going (``--keep-going`` is the default;
-``--fail-fast`` flips it).  The exit code is 1 as soon as any experiment
-did not pass, 2 for unknown experiment ids, 0 otherwise.
+``--fail-fast`` flips it).  All human output is rendered from the same
+per-experiment records the JSON report contains
+(:mod:`repro.obs.report`), so the two cannot drift.  The exit code is 1 as
+soon as any experiment did not pass, 2 for unknown experiment ids or an
+invalid ``--report`` file, 0 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 
-from repro.experiments.common import ALL_EXPERIMENTS, run_experiment_guarded
+from repro.experiments.common import (
+    ALL_EXPERIMENTS,
+    DEFAULT_SEED,
+    run_experiment_guarded,
+)
+from repro.obs.report import (
+    ReportSchemaError,
+    build_report,
+    format_record,
+    format_suite_summary,
+    format_summary_table,
+    outcome_record,
+    validate_report,
+)
+
+
+def _summarize_existing_report(path: str) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        validate_report(payload)
+    except (OSError, json.JSONDecodeError, ReportSchemaError) as exc:
+        print(f"invalid report {path}: {exc}")
+        return 2
+    print(format_summary_table(payload))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -71,6 +116,22 @@ def main(argv=None) -> int:
         help="run experiments inline (no subprocess; timeouts not enforced)",
     )
     parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="save one Chrome-trace JSON per experiment into this directory",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the machine-readable run report (JSON) to this path",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="validate an existing --metrics-out file, print its summary table, exit",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list known experiments and exit"
     )
     args = parser.parse_args(argv)
@@ -79,6 +140,9 @@ def main(argv=None) -> int:
         for experiment_id, (_module, claim) in ALL_EXPERIMENTS.items():
             print(f"{experiment_id:4s} {claim}")
         return 0
+
+    if args.report is not None:
+        return _summarize_existing_report(args.report)
 
     selected = args.experiments or list(ALL_EXPERIMENTS)
     unknown = [e for e in selected if e not in ALL_EXPERIMENTS]
@@ -90,8 +154,14 @@ def main(argv=None) -> int:
         return 2
 
     timeout = args.timeout if args.timeout and args.timeout > 0 else None
-    outcomes = []
+    suite_start = time.perf_counter()
+    records = []
     for experiment_id in selected:
+        trace_path = (
+            os.path.join(args.trace_dir, f"{experiment_id}.trace.json")
+            if args.trace_dir
+            else None
+        )
         outcome = run_experiment_guarded(
             experiment_id,
             fast=not args.full,
@@ -99,21 +169,37 @@ def main(argv=None) -> int:
             retries=args.retries,
             seed=args.seed,
             isolated=args.isolated,
+            trace_path=trace_path,
         )
-        outcomes.append(outcome)
-        print(outcome)
-        retry_note = f", {outcome.attempts} attempts" if outcome.attempts > 1 else ""
-        print(f"   ({outcome.elapsed:.2f}s{retry_note})\n")
+        record = outcome_record(
+            outcome,
+            ALL_EXPERIMENTS[experiment_id][1],
+            default_seed=DEFAULT_SEED,
+            trace_file=outcome.trace_path,
+        )
+        records.append(record)
+        print(format_record(record))
+        print()
         if not outcome.ok and not args.keep_going:
             break
 
-    failures = [o for o in outcomes if not o.ok]
-    if failures:
-        summary = ", ".join(f"{o.experiment} [{o.status.upper()}]" for o in failures)
-        print(f"FAILED ({len(failures)}/{len(outcomes)} run): {summary}")
-        return 1
-    print(f"all {len(outcomes)} experiments passed")
-    return 0
+    print(format_suite_summary(records))
+
+    if args.metrics_out:
+        payload = build_report(
+            records,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            fast=not args.full,
+            wall_time_s=time.perf_counter() - suite_start,
+        )
+        parent = os.path.dirname(args.metrics_out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, default=repr)
+        print(f"metrics report written to {args.metrics_out}")
+
+    return 1 if any(not r["ok"] for r in records) else 0
 
 
 if __name__ == "__main__":

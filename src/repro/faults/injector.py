@@ -28,11 +28,19 @@ from typing import Hashable, Iterable, Optional, Sequence, Tuple
 from repro.core.executions import Fragment
 from repro.core.psioa import PSIOA
 from repro.core.signature import Action
+from repro.obs.metrics import counter as _counter, histogram as _histogram
+from repro.obs.trace import TRACER as _TRACER
 from repro.probability.measures import SubDiscreteMeasure
 from repro.semantics.schema import SchedulerSchema
 from repro.semantics.scheduler import Scheduler
 
 __all__ = ["FaultEvent", "FaultPlan", "FaultyScheduler", "faulty_schema"]
+
+#: Fault instruments: injections actually fired, plans sampled, and the
+#: seeds of the sampled plans (the run report records them for replay).
+_FAULTS_INJECTED = _counter("faults.injected")
+_PLANS_SAMPLED = _counter("faults.plans.sampled")
+_PLAN_SEEDS = _histogram("faults.plan.seed")
 
 
 @dataclass(frozen=True)
@@ -114,6 +122,8 @@ class FaultPlan:
         for step in range(horizon):
             if rng.random() < rate:
                 events.append(FaultEvent(step, actions[rng.randrange(len(actions))]))
+        _PLANS_SAMPLED.inc()
+        _PLAN_SEEDS.observe(seed)
         return FaultPlan(tuple(events), seed=seed)
 
     # -- queries ---------------------------------------------------------------
@@ -194,6 +204,11 @@ class FaultyScheduler(Scheduler):
         if injected is not None:
             enabled = automaton.signature(fragment.lstate).all_actions
             if injected in enabled:
+                _FAULTS_INJECTED.inc()
+                if _TRACER.enabled:  # don't evaluate repr() on the disabled path
+                    _TRACER.instant(
+                        "fault.injected", step=len(fragment), action=repr(injected)
+                    )
                 return SubDiscreteMeasure({injected: 1})
         return self.base.decide(automaton, _strip_faults(fragment, self._alphabet))
 

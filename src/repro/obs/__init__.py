@@ -1,0 +1,94 @@
+"""Observability substrate: execution tracing, hot-path metrics, run reports.
+
+The reproduction's constructions — Task-PIOA scheduling, dynamic PSIOA
+execution, exact measure unfolding — are deep recursive computations whose
+cost is otherwise invisible.  This package is the measurement substrate the
+ROADMAP's performance work builds on:
+
+* :mod:`repro.obs.trace` — a zero-dependency span tracer (context-manager
+  and decorator API, monotonic clocks, nestable spans, off by default with
+  near-zero disabled overhead) emitting Chrome-trace-format JSON that loads
+  in ``chrome://tracing`` or Perfetto;
+* :mod:`repro.obs.metrics` — process-local counters / gauges / histograms
+  behind a global registry with a :func:`~repro.obs.metrics.snapshot`
+  export (always on: a counter bump is one attribute increment);
+* :mod:`repro.obs.report` — the machine-readable run-report schema the
+  experiment runner emits (``--metrics-out``), its validator, and the
+  formatting helpers all human runner output flows through;
+* :mod:`repro.obs.procinfo` — process introspection (peak RSS via
+  ``resource.getrusage``).
+
+Nothing in this package imports from the rest of :mod:`repro`, so every
+layer — including :mod:`repro.probability.measures` at the very bottom —
+can be instrumented without import cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+    reset,
+    snapshot,
+    subtract_counters,
+)
+from repro.obs.procinfo import peak_rss_bytes
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    ReportSchemaError,
+    build_report,
+    format_record,
+    format_suite_summary,
+    format_summary_table,
+    outcome_record,
+    validate_report,
+)
+from repro.obs.trace import (
+    TRACER,
+    Tracer,
+    disable,
+    enable,
+    instant,
+    is_enabled,
+    span,
+    traced,
+)
+
+__all__ = [
+    # trace
+    "Tracer",
+    "TRACER",
+    "span",
+    "traced",
+    "instant",
+    "enable",
+    "disable",
+    "is_enabled",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset",
+    "subtract_counters",
+    # report
+    "REPORT_SCHEMA",
+    "ReportSchemaError",
+    "outcome_record",
+    "build_report",
+    "validate_report",
+    "format_record",
+    "format_suite_summary",
+    "format_summary_table",
+    # procinfo
+    "peak_rss_bytes",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.obs <report.json> [--summary]`` — validate a run report."""
+
+import sys
+
+from repro.obs.report import main
+
+sys.exit(main())

@@ -1,0 +1,222 @@
+"""Process-local metrics: counters, gauges, histograms, one global registry.
+
+Counters are the hot-path primitive: instrumented modules bind the counter
+object once at import time and each event costs one attribute increment —
+
+::
+
+    from repro.obs.metrics import counter
+
+    _STEPS = counter("scheduler.steps")   # bound once, module level
+
+    def decide_checked(...):
+        _STEPS.inc()
+
+:func:`reset` zeroes every instrument **in place** (object identity is
+preserved), so module-level bindings survive registry resets — this is what
+lets the experiment runner's forked children and the test suite each start
+from a clean slate without re-importing anything.
+
+:func:`snapshot` exports the registry as plain JSON-serializable dicts; the
+run-report layer (:mod:`repro.obs.report`) ships these across the fork
+boundary of the guarded experiment runner.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset",
+    "subtract_counters",
+]
+
+#: Histograms keep at most this many raw observations (the first ones seen
+#: since the last reset) — enough to recover e.g. every sampled fault-plan
+#: seed of an experiment without unbounded growth.
+HISTOGRAM_SAMPLE_CAP = 64
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A last-value-wins instrument (``None`` until first set)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Any = None
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = None
+
+
+class Histogram:
+    """Streaming count/sum/min/max plus a capped raw-sample prefix."""
+
+    __slots__ = ("name", "count", "sum", "min", "max", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum: Any = 0
+        self.min: Optional[Any] = None
+        self.max: Optional[Any] = None
+        self.samples: List[Any] = []
+
+    def observe(self, value: Any) -> None:
+        self.count += 1
+        self.sum = self.sum + value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self.samples) < HISTOGRAM_SAMPLE_CAP:
+            self.samples.append(value)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+        self.samples = []
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self.samples),
+        }
+
+
+class MetricsRegistry:
+    """Name-indexed instruments with in-place reset and dict export."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self, *, include_zero: bool = False) -> Dict[str, Any]:
+        """Plain-dict export: ``{"counters": ..., "gauges": ..., "histograms": ...}``.
+
+        Zero counters, unset gauges and empty histograms are omitted unless
+        ``include_zero`` is true (registration is an import-time side
+        effect, so untouched instruments carry no information).
+        """
+        return {
+            "counters": {
+                name: c.value
+                for name, c in sorted(self._counters.items())
+                if include_zero or c.value
+            },
+            "gauges": {
+                name: g.value
+                for name, g in sorted(self._gauges.items())
+                if include_zero or g.value is not None
+            },
+            "histograms": {
+                name: h.as_dict()
+                for name, h in sorted(self._histograms.items())
+                if include_zero or h.count
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument in place (bindings stay valid)."""
+        for instrument in self._counters.values():
+            instrument.reset()
+        for instrument in self._gauges.values():
+            instrument.reset()
+        for instrument in self._histograms.values():
+            instrument.reset()
+
+
+#: The process-global registry every instrumentation point binds against.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter on the global registry."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get-or-create a gauge on the global registry."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Get-or-create a histogram on the global registry."""
+    return REGISTRY.histogram(name)
+
+
+def snapshot(*, include_zero: bool = False) -> Dict[str, Any]:
+    """Snapshot of the global registry (see :meth:`MetricsRegistry.snapshot`)."""
+    return REGISTRY.snapshot(include_zero=include_zero)
+
+
+def reset() -> None:
+    """Reset the global registry in place."""
+    REGISTRY.reset()
+
+
+def subtract_counters(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    """Counter delta ``after - before`` (non-positive entries dropped).
+
+    Used by the runner's *inline* (non-isolated) mode, where one process
+    accumulates metrics across experiments and per-experiment attribution
+    needs a before/after diff instead of a registry reset.
+    """
+    return {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if value - before.get(name, 0) > 0
+    }

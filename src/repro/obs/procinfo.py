@@ -1,0 +1,25 @@
+"""Process introspection helpers (stdlib only, degrade to ``None``)."""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+__all__ = ["peak_rss_bytes"]
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, in bytes.
+
+    Uses ``resource.getrusage(RUSAGE_SELF).ru_maxrss``; the unit is
+    kibibytes on Linux and bytes on macOS.  Returns ``None`` on platforms
+    without the ``resource`` module (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024

@@ -1,0 +1,318 @@
+"""Machine-readable run reports for the experiment runner.
+
+One :func:`outcome_record` dict per experiment outcome is the single source
+of truth: the runner's human-readable output is rendered *from the record*
+(:func:`format_record`, :func:`format_suite_summary`) and the
+``--metrics-out`` JSON report is the same records wrapped by
+:func:`build_report` — the two cannot drift.
+
+The report schema (``repro.obs.run-report/1``)::
+
+    {
+      "schema": "repro.obs.run-report/1",
+      "created_unix": 1754500000.0,
+      "argv": ["E1", "--timeout", "60"],     # or null
+      "fast": true,
+      "experiments": [
+        {
+          "experiment": "E1",
+          "claim": "...",
+          "status": "pass" | "fail" | "error" | "timeout",
+          "ok": true,
+          "elapsed_s": 0.52,
+          "attempts": 1,
+          "seed": null,                       # last attempt's explicit seed
+          "default_seed": 20260806,           # seed in force when "seed" is null
+          "fault_seeds": [7, 8],              # seeds of sampled fault plans
+          "peak_rss_bytes": 61210624,         # child getrusage, null if unknown
+          "counters": {"scheduler.steps": 1234, ...},
+          "table": "...",                     # null for error/timeout
+          "error": null,                      # traceback / diagnosis otherwise
+          "trace_file": "traces/E1.trace.json"  # null without --trace-dir
+        }, ...
+      ],
+      "summary": {
+        "total": 15, "passed": 15,
+        "failures": [{"experiment": "E3", "status": "timeout"}, ...],
+        "wall_time_s": 42.0
+      }
+    }
+
+ERROR/TIMEOUT outcomes are reproducible from the report alone: re-run the
+experiment with ``--seed <seed>`` (or no flag when ``seed`` is null — the
+recorded ``default_seed`` is what the experiment used), and any sampled
+fault plans are pinned by ``fault_seeds``.
+
+Validate a report file from the command line (CI does)::
+
+    python -m repro.obs.report metrics_report.json            # schema check
+    python -m repro.obs.report metrics_report.json --summary  # + table
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "ReportSchemaError",
+    "outcome_record",
+    "build_report",
+    "validate_report",
+    "format_record",
+    "format_suite_summary",
+    "format_summary_table",
+]
+
+REPORT_SCHEMA = "repro.obs.run-report/1"
+
+_STATUSES = ("pass", "fail", "error", "timeout")
+
+
+class ReportSchemaError(ValueError):
+    """The payload does not conform to ``repro.obs.run-report/1``."""
+
+
+def outcome_record(
+    outcome,
+    claim: str,
+    *,
+    default_seed: Optional[int] = None,
+    trace_file: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The canonical per-experiment record for an ``ExperimentOutcome``.
+
+    ``outcome`` is duck-typed (this module must not import the experiment
+    layer): it needs ``experiment``, ``status``, ``ok``, ``elapsed``,
+    ``attempts``, ``seed``, ``report``, ``error`` and the observability
+    fields ``metrics`` / ``peak_rss_bytes`` added by the guarded runner.
+    """
+    metrics = getattr(outcome, "metrics", None) or {}
+    histograms = metrics.get("histograms", {})
+    fault_seeds = list(histograms.get("faults.plan.seed", {}).get("samples", []))
+    report = getattr(outcome, "report", None)
+    return {
+        "experiment": outcome.experiment,
+        "claim": claim,
+        "status": outcome.status,
+        "ok": bool(outcome.ok),
+        "elapsed_s": float(outcome.elapsed),
+        "attempts": int(outcome.attempts),
+        "seed": outcome.seed,
+        "default_seed": default_seed,
+        "fault_seeds": fault_seeds,
+        "peak_rss_bytes": getattr(outcome, "peak_rss_bytes", None),
+        "counters": dict(metrics.get("counters", {})),
+        "table": None if report is None else report.table,
+        "error": getattr(outcome, "error", None),
+        "trace_file": trace_file,
+    }
+
+
+def build_report(
+    records: Sequence[Dict[str, Any]],
+    *,
+    argv: Optional[Sequence[str]] = None,
+    fast: bool = True,
+    wall_time_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Wrap per-experiment records into a schema-valid run report."""
+    failures = [
+        {"experiment": r["experiment"], "status": r["status"]}
+        for r in records
+        if not r["ok"]
+    ]
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "created_unix": time.time(),
+        "argv": list(argv) if argv is not None else None,
+        "fast": bool(fast),
+        "experiments": list(records),
+        "summary": {
+            "total": len(records),
+            "passed": sum(1 for r in records if r["ok"]),
+            "failures": failures,
+            "wall_time_s": (
+                float(wall_time_s)
+                if wall_time_s is not None
+                else sum(r["elapsed_s"] for r in records)
+            ),
+        },
+    }
+    validate_report(payload)
+    return payload
+
+
+# -- validation ----------------------------------------------------------------
+
+_RECORD_FIELDS = {
+    "experiment": (str,),
+    "claim": (str,),
+    "status": (str,),
+    "ok": (bool,),
+    "elapsed_s": (int, float),
+    "attempts": (int,),
+    "seed": (int, type(None)),
+    "default_seed": (int, type(None)),
+    "fault_seeds": (list,),
+    "peak_rss_bytes": (int, type(None)),
+    "counters": (dict,),
+    "table": (str, type(None)),
+    "error": (str, type(None)),
+    "trace_file": (str, type(None)),
+}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ReportSchemaError(message)
+
+
+def validate_report(payload: Any) -> None:
+    """Raise :class:`ReportSchemaError` unless ``payload`` is a valid report."""
+    _require(isinstance(payload, dict), "report must be a JSON object")
+    _require(payload.get("schema") == REPORT_SCHEMA,
+             f"schema must be {REPORT_SCHEMA!r}, got {payload.get('schema')!r}")
+    _require(isinstance(payload.get("created_unix"), (int, float)),
+             "created_unix must be a number")
+    _require(payload.get("argv") is None or isinstance(payload["argv"], list),
+             "argv must be a list or null")
+    _require(isinstance(payload.get("fast"), bool), "fast must be a boolean")
+    experiments = payload.get("experiments")
+    _require(isinstance(experiments, list), "experiments must be a list")
+    for index, record in enumerate(experiments):
+        where = f"experiments[{index}]"
+        _require(isinstance(record, dict), f"{where} must be an object")
+        for name, types in _RECORD_FIELDS.items():
+            _require(name in record, f"{where} missing field {name!r}")
+            _require(
+                isinstance(record[name], types)
+                and not (bool not in types and isinstance(record[name], bool)),
+                f"{where}.{name} has type {type(record[name]).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}",
+            )
+        _require(record["status"] in _STATUSES,
+                 f"{where}.status {record['status']!r} not in {_STATUSES}")
+        _require(record["ok"] == (record["status"] == "pass"),
+                 f"{where}.ok inconsistent with status {record['status']!r}")
+        for key, value in record["counters"].items():
+            _require(isinstance(key, str) and isinstance(value, int),
+                     f"{where}.counters must map str -> int")
+    summary = payload.get("summary")
+    _require(isinstance(summary, dict), "summary must be an object")
+    _require(summary.get("total") == len(experiments),
+             "summary.total does not match len(experiments)")
+    _require(summary.get("passed") == sum(1 for r in experiments if r["ok"]),
+             "summary.passed does not match the records")
+    _require(isinstance(summary.get("failures"), list), "summary.failures must be a list")
+    _require(isinstance(summary.get("wall_time_s"), (int, float)),
+             "summary.wall_time_s must be a number")
+
+
+# -- human rendering (the runner's only output path) ----------------------------
+
+
+def format_record(record: Dict[str, Any]) -> str:
+    """The human block for one experiment, rendered from its record."""
+    status = record["status"].upper()
+    header = f"[{status}] {record['experiment']} — {record['claim']}"
+    if record["table"] is not None:
+        body = record["table"]
+    else:
+        detail = record["error"] or "no detail"
+        body = "\n".join(f"   {line}" for line in detail.rstrip().splitlines())
+    notes = [f"{record['elapsed_s']:.2f}s"]
+    if record["attempts"] > 1:
+        notes.append(f"{record['attempts']} attempts")
+    if record["seed"] is not None:
+        notes.append(f"seed {record['seed']}")
+    return f"{header}\n{body}\n   ({', '.join(notes)})"
+
+
+def format_suite_summary(records: Sequence[Dict[str, Any]]) -> str:
+    """The suite's closing line, rendered from the records."""
+    failures = [r for r in records if not r["ok"]]
+    if failures:
+        detail = ", ".join(f"{r['experiment']} [{r['status'].upper()}]" for r in failures)
+        return f"FAILED ({len(failures)}/{len(records)} run): {detail}"
+    return f"all {len(records)} experiments passed"
+
+
+_TABLE_COUNTERS = (
+    ("steps", "scheduler.steps"),
+    ("compose", "measure.compose.calls"),
+    ("faults", "faults.injected"),
+)
+
+
+def format_summary_table(payload: Dict[str, Any]) -> str:
+    """An aligned per-experiment summary table for a full report."""
+    headers = ["experiment", "status", "time(s)", "att", "seed", "rss(MB)"] + [
+        label for label, _ in _TABLE_COUNTERS
+    ]
+    rows: List[List[str]] = []
+    for record in payload["experiments"]:
+        rss = record["peak_rss_bytes"]
+        seed = record["seed"] if record["seed"] is not None else record["default_seed"]
+        rows.append(
+            [
+                record["experiment"],
+                record["status"],
+                f"{record['elapsed_s']:.2f}",
+                str(record["attempts"]),
+                "-" if seed is None else str(seed),
+                "-" if rss is None else f"{rss / (1024 * 1024):.1f}",
+            ]
+            + [str(record["counters"].get(key, 0)) for _, key in _TABLE_COUNTERS]
+        )
+    summary = payload["summary"]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+              for i in range(len(headers))]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    lines.append(
+        f"{summary['passed']}/{summary['total']} passed, "
+        f"wall time {summary['wall_time_s']:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: validate a report file (exit 1 on schema violation)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Validate (and optionally summarize) a repro run report."
+    )
+    parser.add_argument("report", help="path to a --metrics-out JSON file")
+    parser.add_argument(
+        "--summary", action="store_true", help="print the per-experiment table"
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        validate_report(payload)
+    except (OSError, json.JSONDecodeError, ReportSchemaError) as exc:
+        print(f"invalid report {args.report}: {exc}")
+        return 1
+    summary = payload["summary"]
+    print(
+        f"report OK: {summary['total']} experiments, {summary['passed']} passed, "
+        f"{len(summary['failures'])} failures"
+    )
+    if args.summary:
+        print(format_summary_table(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

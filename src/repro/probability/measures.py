@@ -25,6 +25,13 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, Mapping, Tuple
 
+from repro.obs.metrics import counter as _counter
+
+#: Hot-path instruments (bound once; an event is one attribute increment).
+_COMPOSE_CALLS = _counter("measure.compose.calls")
+_CONVEX_CALLS = _counter("measure.convex.calls")
+_CORRESPONDENCE_CHECKS = _counter("measure.correspondence.checks")
+
 __all__ = [
     "DiscreteMeasure",
     "SubDiscreteMeasure",
@@ -282,6 +289,7 @@ def product(*measures: DiscreteMeasure) -> DiscreteMeasure:
 
     The outcome space is the Cartesian product; outcomes are tuples.
     """
+    _COMPOSE_CALLS.inc()
     if not measures:
         return dirac(())
     weights: Dict[Outcome, Any] = {(): 1}
@@ -303,6 +311,7 @@ def convex_combination(
     every component is a probability measure; otherwise a sub-probability
     measure is returned.
     """
+    _CONVEX_CALLS.inc()
     weights: Dict[Outcome, Any] = {}
     coefficient_total: Any = 0
     probability = True
@@ -368,6 +377,7 @@ def correspondence_bijection(
       onto ``supp(theta)``;
     * for every ``q in supp(eta)``: ``eta(q) == theta(function(q))``.
     """
+    _CORRESPONDENCE_CHECKS.inc()
     mapping: Dict[Outcome, Outcome] = {}
     images = set()
     for outcome in eta.support():

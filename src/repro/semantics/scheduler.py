@@ -28,7 +28,12 @@ from typing import Callable, Hashable, Optional, Sequence, Tuple
 from repro.core.executions import Fragment
 from repro.core.psioa import PSIOA
 from repro.core.signature import Action
+from repro.obs.metrics import counter as _counter
 from repro.probability.measures import SubDiscreteMeasure, convex_combination
+
+#: One increment per checked scheduling decision — the step count every
+#: execution-measure unfolding and implementation check is made of.
+_SCHEDULER_STEPS = _counter("scheduler.steps")
 
 __all__ = [
     "Scheduler",
@@ -57,6 +62,7 @@ class Scheduler:
         raise NotImplementedError
 
     def decide_checked(self, automaton: PSIOA, fragment: Fragment) -> SubDiscreteMeasure:
+        _SCHEDULER_STEPS.inc()
         decision = self.decide(automaton, fragment)
         enabled = automaton.signature(fragment.lstate).all_actions
         stray = decision.support() - enabled

@@ -34,9 +34,13 @@ from typing import Callable, FrozenSet, Hashable, Iterator, List, Optional, Sequ
 from repro.core.executions import Fragment
 from repro.core.psioa import PSIOA, PsioaError, reachable_states
 from repro.core.signature import Action
+from repro.obs.metrics import counter as _counter
 from repro.probability.measures import SubDiscreteMeasure
 from repro.semantics.schema import SchedulerSchema
 from repro.semantics.scheduler import Scheduler
+
+#: One increment per task consumed while replaying a task schedule.
+_TASKS_APPLIED = _counter("tasks.applied")
 
 __all__ = [
     "Task",
@@ -103,6 +107,7 @@ class TaskScheduleScheduler(Scheduler):
     def decide(self, automaton: PSIOA, fragment: Fragment) -> SubDiscreteMeasure:
         position = 0
         for task in self.tasks:
+            _TASKS_APPLIED.inc()
             state = fragment.states[position]
             enabled = sorted(
                 automaton.signature(state).locally_controlled() & task, key=repr

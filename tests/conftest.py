@@ -1,0 +1,19 @@
+"""Suite-wide fixtures.
+
+The observability registry is process-global; resetting it before every
+test keeps per-test counter assertions independent of execution order
+(instrument objects are zeroed in place, so module-level bindings stay
+valid — see :mod:`repro.obs.metrics`).
+"""
+
+import pytest
+
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    metrics.reset()
+    trace.disable()
+    trace.TRACER.clear()
+    yield

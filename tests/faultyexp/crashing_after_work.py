@@ -1,0 +1,15 @@
+"""An experiment that does real, metered work and then crashes — exercises
+the guarded runner's partial-metrics capture across the fork boundary."""
+
+from fractions import Fraction
+
+from repro.semantics.measure import execution_measure
+from repro.semantics.scheduler import ActionSequenceScheduler
+from repro.systems.coin import coin
+
+
+def run(*, fast: bool = True):
+    automaton = coin("doomed", Fraction(1, 2))
+    scheduler = ActionSequenceScheduler(("toss", "head"), local_only=True)
+    execution_measure(automaton, scheduler)  # bumps the unfolding counters
+    raise RuntimeError("deliberate crash after metered work")

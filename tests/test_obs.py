@@ -1,0 +1,346 @@
+"""Unit tests for the observability substrate (:mod:`repro.obs`).
+
+Covers the tentpole API surface: span nesting and timing monotonicity,
+disabled-mode no-op behaviour, in-place registry reset (test isolation is
+provided by the suite-wide autouse fixture in ``tests/conftest.py``), the
+run-report schema round-trip, and the benchmark trajectory merger.
+"""
+
+import importlib.util
+import json
+import pathlib
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import metrics, trace
+from repro.obs.procinfo import peak_rss_bytes
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    ReportSchemaError,
+    build_report,
+    format_record,
+    format_suite_summary,
+    format_summary_table,
+    outcome_record,
+    validate_report,
+)
+from repro.obs.trace import Tracer, span, traced
+
+
+class TestTracer:
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work", kind="unit"):
+            time.sleep(0.001)
+        (event,) = tracer.events()
+        assert event["name"] == "work"
+        assert event["ph"] == "X"
+        assert event["args"]["kind"] == "unit"
+        assert event["dur"] >= 1000.0  # microseconds
+        assert event["ts"] >= 0
+
+    def test_nesting_depth_and_containment(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        child, parent = tracer.events()  # children close (and record) first
+        assert child["name"] == "child" and parent["name"] == "parent"
+        assert child["args"]["depth"] == parent["args"]["depth"] + 1
+        # The child's interval lies within the parent's.
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_sequential_spans_have_monotonic_timestamps(self):
+        tracer = Tracer()
+        tracer.enable()
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        events = tracer.events()
+        starts = [e["ts"] for e in events]
+        assert starts == sorted(starts)
+        assert all(e["dur"] >= 0 for e in events)
+
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        first = tracer.span("a")
+        second = tracer.span("b")
+        assert first is second  # the shared null span: no allocation
+        with first:
+            pass
+        assert tracer.events() == []
+        # Module-level shorthand honours the global switch the same way.
+        assert trace.is_enabled() is False
+        assert span("x") is span("y")
+
+    def test_traced_decorator_disabled_passthrough_and_enabled_event(self):
+        calls = []
+
+        @traced("my.op")
+        def operation(value):
+            calls.append(value)
+            return value * 2
+
+        assert operation(21) == 42  # disabled: plain call, no event
+        assert trace.TRACER.events() == []
+        trace.enable()
+        try:
+            assert operation(2) == 4
+        finally:
+            trace.disable()
+        (event,) = trace.TRACER.events()
+        assert event["name"] == "my.op"
+        assert calls == [21, 2]
+
+    def test_span_annotates_exceptions(self):
+        tracer = Tracer()
+        tracer.enable()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (event,) = tracer.events()
+        assert event["args"]["exception"] == "ValueError"
+
+    def test_instant_events_and_save(self, tmp_path):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.instant("mark", step=3)
+        with tracer.span("w"):
+            pass
+        target = tmp_path / "nested" / "out.trace.json"
+        tracer.save(target)
+        payload = json.loads(target.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        phases = sorted(e["ph"] for e in payload["traceEvents"])
+        assert phases == ["X", "i"]
+
+    def test_clear_discards_events(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("w"):
+            pass
+        tracer.clear()
+        assert tracer.events() == []
+
+
+class TestMetrics:
+    def test_counter_binding_survives_reset(self):
+        bound = metrics.counter("test.bound")
+        bound.inc(3)
+        metrics.reset()
+        assert bound.value == 0
+        assert metrics.counter("test.bound") is bound  # identity preserved
+        bound.inc()
+        assert metrics.snapshot()["counters"]["test.bound"] == 1
+
+    def test_snapshot_omits_untouched_instruments(self):
+        metrics.counter("test.zero")
+        metrics.counter("test.hot").inc(5)
+        snap = metrics.snapshot()
+        assert "test.zero" not in snap["counters"]
+        assert snap["counters"]["test.hot"] == 5
+        full = metrics.snapshot(include_zero=True)
+        assert full["counters"]["test.zero"] == 0
+
+    def test_gauge_and_histogram(self):
+        metrics.gauge("test.g").set(7)
+        hist = metrics.histogram("test.h")
+        for value in (3, 1, 2):
+            hist.observe(value)
+        snap = metrics.snapshot()
+        assert snap["gauges"]["test.g"] == 7
+        stats = snap["histograms"]["test.h"]
+        assert stats == {"count": 3, "sum": 6, "min": 1, "max": 3, "samples": [3, 1, 2]}
+
+    def test_histogram_sample_cap(self):
+        hist = metrics.histogram("test.capped")
+        for value in range(200):
+            hist.observe(value)
+        assert hist.count == 200
+        assert len(hist.samples) == metrics.HISTOGRAM_SAMPLE_CAP
+        assert hist.samples == list(range(metrics.HISTOGRAM_SAMPLE_CAP))
+
+    def test_subtract_counters(self):
+        after = {"a": 5, "b": 2, "c": 1}
+        before = {"a": 3, "b": 2}
+        assert metrics.subtract_counters(after, before) == {"a": 2, "c": 1}
+
+    # The two tests below verify the suite-wide autouse reset fixture: the
+    # first leaks a counter bump on purpose, the second (running later in
+    # file order) must start from a clean registry regardless.
+    def test_registry_isolation_leak(self):
+        assert metrics.snapshot().get("counters", {}).get("test.leak") is None
+        metrics.counter("test.leak").inc(99)
+
+    def test_registry_isolation_clean_slate(self):
+        assert "test.leak" not in metrics.snapshot()["counters"]
+
+
+class TestProcinfo:
+    def test_peak_rss_is_positive_on_posix(self):
+        peak = peak_rss_bytes()
+        assert peak is None or peak > 1024 * 1024  # >1MB for any live python
+
+
+def _outcome(**overrides):
+    base = dict(
+        experiment="E1",
+        status="pass",
+        ok=True,
+        elapsed=0.25,
+        attempts=1,
+        seed=None,
+        report=SimpleNamespace(table="col a  col b\n1      2"),
+        error=None,
+        metrics={
+            "counters": {"scheduler.steps": 42, "measure.compose.calls": 7},
+            "gauges": {},
+            "histograms": {
+                "faults.plan.seed": {"count": 1, "sum": 9, "min": 9, "max": 9, "samples": [9]}
+            },
+        },
+        peak_rss_bytes=48 * 1024 * 1024,
+        trace_path=None,
+    )
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+class TestReportSchema:
+    def test_round_trip_and_validation(self):
+        records = [
+            outcome_record(_outcome(), "claim one", default_seed=123),
+            outcome_record(
+                _outcome(
+                    experiment="E2",
+                    status="error",
+                    ok=False,
+                    report=None,
+                    error="Traceback: boom",
+                    seed=5,
+                ),
+                "claim two",
+                default_seed=123,
+                trace_file="traces/E2.trace.json",
+            ),
+        ]
+        payload = build_report(records, argv=["E1", "E2"], fast=True, wall_time_s=1.5)
+        restored = json.loads(json.dumps(payload))
+        validate_report(restored)  # raises on violation
+        assert restored["summary"] == {
+            "total": 2,
+            "passed": 1,
+            "failures": [{"experiment": "E2", "status": "error"}],
+            "wall_time_s": 1.5,
+        }
+        assert restored["experiments"][0]["fault_seeds"] == [9]
+        assert restored["experiments"][1]["seed"] == 5
+        assert restored["experiments"][1]["default_seed"] == 123
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.update(schema="wrong/schema"),
+            lambda p: p["experiments"][0].pop("counters"),
+            lambda p: p["experiments"][0].update(status="exploded"),
+            lambda p: p["experiments"][0].update(ok=False),  # inconsistent with pass
+            lambda p: p["summary"].update(total=99),
+            lambda p: p["experiments"][0]["counters"].update({"bad": "str"}),
+        ],
+    )
+    def test_validation_rejects_corruption(self, mutate):
+        payload = build_report(
+            [outcome_record(_outcome(), "claim", default_seed=1)], fast=True
+        )
+        corrupted = json.loads(json.dumps(payload))
+        mutate(corrupted)
+        with pytest.raises(ReportSchemaError):
+            validate_report(corrupted)
+
+    def test_schema_constant_is_versioned(self):
+        assert REPORT_SCHEMA.endswith("/1")
+
+
+class TestReportFormatting:
+    def test_format_record_pass_renders_table_and_timing(self):
+        record = outcome_record(_outcome(), "the claim", default_seed=1)
+        text = format_record(record)
+        assert text.startswith("[PASS] E1 — the claim")
+        assert "col a  col b" in text
+        assert "(0.25s)" in text
+
+    def test_format_record_error_renders_detail_attempts_seed(self):
+        record = outcome_record(
+            _outcome(
+                status="error", ok=False, report=None, error="boom\nline2",
+                attempts=3, seed=7,
+            ),
+            "the claim",
+        )
+        text = format_record(record)
+        assert text.startswith("[ERROR] E1 — the claim")
+        assert "   boom\n   line2" in text
+        assert "3 attempts" in text and "seed 7" in text
+
+    def test_suite_summary_lines(self):
+        passing = outcome_record(_outcome(), "c", default_seed=1)
+        failing = outcome_record(
+            _outcome(experiment="E9", status="timeout", ok=False, report=None,
+                     error="slow"),
+            "c",
+        )
+        assert format_suite_summary([passing]) == "all 1 experiments passed"
+        summary = format_suite_summary([passing, failing])
+        assert summary.startswith("FAILED (1/2 run)") and "E9 [TIMEOUT]" in summary
+
+    def test_summary_table_has_counter_columns(self):
+        payload = build_report(
+            [outcome_record(_outcome(), "c", default_seed=1)], fast=True
+        )
+        table = format_summary_table(payload)
+        assert "steps" in table and "42" in table
+        assert "1/1 passed" in table
+
+
+def _load_trajectory_tool():
+    path = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "report_trajectory.py"
+    spec = importlib.util.spec_from_file_location("report_trajectory", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchTrajectory:
+    def test_merge_and_format(self, tmp_path):
+        tool = _load_trajectory_tool()
+        for index, steps in enumerate((100, 80)):
+            payload = {
+                "schema": tool.TRAJECTORY_SCHEMA,
+                "created_unix": 0.0,
+                "runs": {
+                    "bench::test_a": {
+                        "elapsed_s": 0.5,
+                        "counters": {"scheduler.steps": steps},
+                    }
+                },
+            }
+            (tmp_path / f"run{index}.json").write_text(json.dumps(payload))
+        merged = tool.merge(
+            [str(tmp_path / "run0.json"), str(tmp_path / "run1.json")],
+            "scheduler.steps",
+        )
+        assert merged["rows"]["bench::test_a"] == [100, 80]
+        table = tool.format_table(merged)
+        assert "bench::test_a" in table and "100" in table and "80" in table
+
+    def test_rejects_foreign_schema(self, tmp_path):
+        tool = _load_trajectory_tool()
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something-else", "runs": {}}))
+        with pytest.raises(ValueError):
+            tool.load_trajectory(str(bad))

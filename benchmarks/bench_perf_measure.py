@@ -2,14 +2,22 @@
 
 The unfolding engine is the inner loop of every f-dist and every
 implementation check; this bench tracks its scaling with scheduler depth
-and with probabilistic branching.
+and with probabilistic branching — plus the ``repro.perf`` cache's effect
+on repeated unfoldings (recorded into ``BENCH_perf.json`` and gated
+against the committed baseline, see ``conftest.py``).
 """
 
+import time
 from fractions import Fraction
 
 import pytest
 
 from repro.core.composition import compose
+from repro.core.psioa import TablePSIOA
+from repro.core.signature import Signature
+from repro.obs import metrics
+from repro.perf import cache as perf_cache
+from repro.probability.measures import DiscreteMeasure, dirac
 from repro.semantics.insight import accept_insight, f_dist
 from repro.semantics.measure import execution_measure
 from repro.semantics.scheduler import ActionSequenceScheduler, PriorityScheduler
@@ -22,13 +30,8 @@ from repro.secure.emulation import hidden_world
 from repro.systems.coin import coin, coin_observer
 
 
-@pytest.mark.parametrize("depth", [2, 4, 8])
-def test_unfold_branching_chain(benchmark, depth):
-    """A chain of coins: the execution tree doubles per toss."""
-    from repro.core.psioa import TablePSIOA
-    from repro.core.signature import Signature
-    from repro.probability.measures import DiscreteMeasure, dirac
-
+def _branching_chain(depth):
+    """The doubling coin chain used by the throughput workloads."""
     signatures = {}
     transitions = {}
     for i in range(depth):
@@ -40,11 +43,80 @@ def test_unfold_branching_chain(benchmark, depth):
         transitions[((i, "dead"), ("stuck", i))] = dirac((i, "gone"))
         signatures[(i, "gone")] = Signature()
     signatures[depth] = Signature()
-    chain = TablePSIOA("chain", 0, signatures, transitions)
+    return TablePSIOA("chain", 0, signatures, transitions)
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_unfold_branching_chain(benchmark, depth):
+    """A chain of coins: the execution tree doubles per toss."""
+    chain = _branching_chain(depth)
     sched = PriorityScheduler([lambda a: True], depth * 2)
 
     measure = benchmark(execution_measure, chain, sched)
     assert measure.total_mass == 1
+
+
+def test_unfold_throughput_point(perf_point):
+    """The gated engine-throughput figure: raw unfoldings/s, cache off.
+
+    Cache disabled so the point measures the unfolding engine itself —
+    cached repeats would only measure memo-lookup speed."""
+    perf_cache.configure(enabled=False)
+    chain = _branching_chain(6)
+    sched = PriorityScheduler([lambda a: True], 12)
+    execution_measure(chain, sched)  # warm import paths / allocators
+    rounds = 60
+    start = time.perf_counter()
+    for _ in range(rounds):
+        measure = execution_measure(chain, sched)
+    elapsed = time.perf_counter() - start
+    assert measure.total_mass == 1
+    perf_point(
+        "measure.unfold.throughput",
+        ops_s=rounds / elapsed,
+        rounds=rounds,
+        depth=6,
+    )
+
+
+def test_repeated_unfold_cache_speedup(perf_point):
+    """Repeated unfoldings of the same (automaton, scheduler) pair must be
+    >= 2x faster with the cache on — the tentpole's headline claim.
+
+    Records the first cached-vs-uncached trajectory point, with the cache
+    hit/miss counters attached."""
+    chain = _branching_chain(7)
+    sched = PriorityScheduler([lambda a: True], 14)
+    rounds = 25
+
+    perf_cache.configure(enabled=False)
+    perf_cache.clear()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        uncached = execution_measure(chain, sched)
+    uncached_s = time.perf_counter() - start
+
+    perf_cache.configure(enabled=True)
+    perf_cache.clear()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        cached = execution_measure(chain, sched)
+    cached_s = time.perf_counter() - start
+
+    assert dict(cached.items()) == dict(uncached.items())
+    hits = metrics.counter("perf.cache.measure.hits").value
+    misses = metrics.counter("perf.cache.measure.misses").value
+    assert hits == rounds - 1 and misses >= 1
+    speedup = uncached_s / cached_s if cached_s > 0 else float("inf")
+    perf_point(
+        "measure.unfold.cached_vs_uncached",
+        ops_s=rounds / cached_s if cached_s > 0 else float("inf"),
+        speedup=speedup,
+        uncached_ops_s=rounds / uncached_s,
+        cache_hits=hits,
+        cache_misses=misses,
+    )
+    assert speedup >= 2.0, f"cache speedup {speedup:.2f}x < 2x"
 
 
 @pytest.mark.parametrize("script_len", [3, 6, 12])

@@ -14,6 +14,16 @@ runs with ``benchmarks/report_trajectory.py``).  Counter values are raw
 totals over however many rounds pytest-benchmark ran, so within-run
 comparisons are exact for the pedantic experiment benches and indicative
 for the calibrated perf benches.
+
+Perf regression gate: tests record named throughput points through the
+``perf_point`` fixture; at session end they are written to
+``BENCH_perf.json`` (``repro.perf.bench/1``, path overridable via
+``REPRO_BENCH_PERF``) *normalized by a host-speed calibration loop*, and
+compared against the committed ``benchmarks/BENCH_perf_baseline.json``.  A
+normalized ``measure.unfold.throughput`` drop of more than
+``REPRO_PERF_GATE_TOLERANCE`` (default 25%) fails the session.  Set
+``REPRO_PERF_GATE=off`` to record without gating (e.g. when refreshing the
+baseline).
 """
 
 import json
@@ -23,18 +33,47 @@ import time
 import pytest
 
 from repro.obs import metrics
+from repro.perf import cache as perf_cache
 
 TRAJECTORY_SCHEMA = "repro.obs.bench-trajectory/1"
+PERF_SCHEMA = "repro.perf.bench/1"
+
+#: The throughput points the gate enforces (name -> allowed fractional drop).
+GATED_POINTS = {"measure.unfold.throughput": 0.25}
 
 _RUNS = {}
+_PERF_POINTS = {}
+_CALIBRATION = None
+
+
+def _calibration_ops_s():
+    """Host-speed yardstick: pure-Python ops/s of a fixed arithmetic loop.
+
+    Dividing measured throughput by this number gives a machine-portable
+    figure, so the committed baseline gates relative engine speed rather
+    than absolute host speed."""
+    global _CALIBRATION
+    if _CALIBRATION is None:
+        ops = 300_000
+        acc = 0
+        start = time.perf_counter()
+        for i in range(ops):
+            acc += i * 3 + (i & 7)
+        elapsed = time.perf_counter() - start
+        _CALIBRATION = ops / elapsed if elapsed > 0 else float("inf")
+    return _CALIBRATION
 
 
 @pytest.fixture(autouse=True)
 def _obs_capture(request):
-    """Reset the metrics registry per test; collect its counters after."""
+    """Reset metrics and the perf cache per test; collect counters after."""
     metrics.reset()
+    perf_cache.clear()
+    perf_cache.configure(enabled=None)
     start = time.perf_counter()
     yield
+    perf_cache.clear()
+    perf_cache.configure(enabled=None)
     snapshot = metrics.snapshot()
     if snapshot["counters"] or snapshot["histograms"]:
         _RUNS[request.node.nodeid] = {
@@ -43,7 +82,83 @@ def _obs_capture(request):
         }
 
 
+@pytest.fixture
+def perf_point():
+    """Record a named throughput point for ``BENCH_perf.json``.
+
+    ``perf_point(name, ops_s, **extra)`` — ``ops_s`` is raw operations per
+    second; the session hook adds the calibration-normalized figure."""
+
+    def record(name, ops_s, **extra):
+        _PERF_POINTS[name] = {"ops_s": float(ops_s), **extra}
+
+    return record
+
+
+def _baseline_path():
+    return os.path.join(os.path.dirname(__file__), "BENCH_perf_baseline.json")
+
+
+def _gate_enabled():
+    return os.environ.get("REPRO_PERF_GATE", "on").strip().lower() not in (
+        "off",
+        "0",
+        "false",
+        "no",
+    )
+
+
+def _finish_perf(session):
+    calibration = _calibration_ops_s()
+    for point in _PERF_POINTS.values():
+        point["normalized"] = point["ops_s"] / calibration
+    payload = {
+        "schema": PERF_SCHEMA,
+        "created_unix": time.time(),
+        "calibration_ops_s": calibration,
+        "points": _PERF_POINTS,
+    }
+    path = os.environ.get("REPRO_BENCH_PERF", "BENCH_perf.json")
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+    except OSError:
+        pass
+
+    if not _gate_enabled():
+        return
+    try:
+        with open(_baseline_path(), "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return  # no baseline committed yet: record only
+    tolerance_override = os.environ.get("REPRO_PERF_GATE_TOLERANCE")
+    regressions = []
+    for name, default_tolerance in GATED_POINTS.items():
+        base = baseline.get("points", {}).get(name, {}).get("normalized")
+        new = _PERF_POINTS.get(name, {}).get("normalized")
+        if base is None or new is None:
+            continue
+        tolerance = (
+            float(tolerance_override) if tolerance_override else default_tolerance
+        )
+        if new < base * (1.0 - tolerance):
+            regressions.append(
+                f"{name}: normalized throughput {new:.4f} is "
+                f"{(1 - new / base) * 100:.1f}% below baseline {base:.4f} "
+                f"(tolerance {tolerance * 100:.0f}%)"
+            )
+    if regressions:
+        for line in regressions:
+            print(f"\nPERF REGRESSION: {line}")
+        print("(refresh benchmarks/BENCH_perf_baseline.json if intentional;"
+              " set REPRO_PERF_GATE=off to bypass)")
+        session.exitstatus = 1
+
+
 def pytest_sessionfinish(session, exitstatus):
+    if _PERF_POINTS:
+        _finish_perf(session)
     if not _RUNS:
         return
     path = os.environ.get("REPRO_BENCH_OBS", "BENCH_obs.json")

@@ -84,6 +84,7 @@ def best_distinguisher(
     environments: Sequence[PSIOA],
     bound: int,
     paired: bool = True,
+    workers: Optional[int] = None,
 ) -> DistinguisherResult:
     """Search for ``max_{E, sigma} TV(f-dist(E,A,sigma), f-dist(E,B,sigma))``.
 
@@ -92,30 +93,45 @@ def best_distinguisher(
     the same action alphabet); with ``paired=False`` the second world is
     driven by its own schema enumeration and the *minimum* over it is taken
     (the implementation-relation reading).
-    """
-    best: Optional[DistinguisherResult] = None
-    for env in environments:
-        from repro.semantics.insight import compose_world
 
+    The (environment, scheduler) grid is fanned across
+    :func:`repro.perf.parallel.parallel_map` workers (``workers`` argument,
+    else ``REPRO_PARALLEL``, else serial).  The winner is reduced **in
+    enumeration order** with a strictly-greater comparison, so the result —
+    advantage, witnessing environment and scheduler — is identical at every
+    worker count.
+    """
+    from repro.perf.parallel import parallel_map
+    from repro.semantics.insight import compose_world
+
+    jobs = []
+    for env in environments:
         world_first = compose_world(env, first)
         for scheduler in schema(world_first, bound):
-            dist_first = f_dist(insight, env, first, scheduler, world=world_first)
-            if paired:
-                dist_second = f_dist(insight, env, second, scheduler)
-                advantage = total_variation(dist_first, dist_second)
-            else:
-                world_second = compose_world(env, second)
-                candidates = list(schema(world_second, bound))
-                advantage = min(
-                    total_variation(
-                        dist_first, f_dist(insight, env, second, c, world=world_second)
-                    )
-                    for c in candidates
-                )
-            if best is None or advantage > best.advantage:
-                best = DistinguisherResult(
-                    advantage, env.name, getattr(scheduler, "name", scheduler)
-                )
-    if best is None:
+            jobs.append((env, world_first, scheduler))
+    if not jobs:
         raise ValueError("empty environment universe")
+
+    def evaluate(job):
+        env, world_first, scheduler = job
+        dist_first = f_dist(insight, env, first, scheduler, world=world_first)
+        if paired:
+            dist_second = f_dist(insight, env, second, scheduler)
+            advantage = total_variation(dist_first, dist_second)
+        else:
+            world_second = compose_world(env, second)
+            candidates = list(schema(world_second, bound))
+            advantage = min(
+                total_variation(
+                    dist_first, f_dist(insight, env, second, c, world=world_second)
+                )
+                for c in candidates
+            )
+        # Only picklable data crosses the fork boundary back to the parent.
+        return (advantage, env.name, getattr(scheduler, "name", repr(scheduler)))
+
+    best: Optional[DistinguisherResult] = None
+    for advantage, env_name, scheduler_name in parallel_map(evaluate, jobs, workers=workers):
+        if best is None or advantage > best.advantage:
+            best = DistinguisherResult(advantage, env_name, scheduler_name)
     return best

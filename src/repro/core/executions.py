@@ -49,6 +49,25 @@ class Fragment:
                 f"fragment shape mismatch: {len(self.states)} states vs "
                 f"{len(self.actions)} actions"
             )
+        # Fragments spend their lives as dict keys in the unfolding engine
+        # and the perf-layer caches; the generated dataclass hash re-walks
+        # both tuples on every lookup, which is O(|alpha|) per probe.  Every
+        # fragment is hashed at least once (frontier insertion), so compute
+        # it eagerly and serve it in O(1).
+        object.__setattr__(self, "_cached_hash", hash((self.states, self.actions)))
+
+    def __hash__(self) -> int:
+        return self._cached_hash
+
+    # Tuple hashes are salted per interpreter (PYTHONHASHSEED), so a cached
+    # hash must never survive a pickle round-trip into another process.
+    def __getstate__(self):
+        return (self.states, self.actions)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "states", state[0])
+        object.__setattr__(self, "actions", state[1])
+        object.__setattr__(self, "_cached_hash", hash((state[0], state[1])))
 
     # -- paper accessors --------------------------------------------------------
 

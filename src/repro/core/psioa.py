@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.signature import Action, Signature
+from repro.perf import cache as _perf_cache
 from repro.probability.measures import DiscreteMeasure
 
 __all__ = ["PSIOA", "TablePSIOA", "validate_psioa", "reachable_states", "PsioaError"]
@@ -75,7 +76,15 @@ class PSIOA:
         return self._signature(state)
 
     def transition(self, state: State, action: Action) -> DiscreteMeasure:
-        """``eta_(A, q, a)`` — the unique transition measure (Definition 2.1)."""
+        """``eta_(A, q, a)`` — the unique transition measure (Definition 2.1).
+
+        Transition determinism makes this a pure function of ``(q, a)``, so
+        the perf layer may serve it from an identity-keyed cache (see
+        :mod:`repro.perf.cache`; in-place automaton mutation requires
+        :func:`repro.perf.cache.invalidate`).
+        """
+        if _perf_cache.CACHE.enabled:
+            return _perf_cache.cached_transition(self, state, action)
         return self._transition(state, action)
 
     def enabled(self, state: State) -> frozenset:

@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.obs.procinfo import peak_rss_bytes as _peak_rss_bytes
+from repro.perf import cache as _perf_cache
 
 __all__ = [
     "ExperimentReport",
@@ -188,6 +189,10 @@ def _guarded_child(
     """
     _metrics.reset()
     _trace.TRACER.clear()
+    # A fresh cache per experiment makes hit/miss counters a pure function
+    # of the experiment — independent of what ran before in the parent and
+    # of how many experiments run concurrently.
+    _perf_cache.clear()
     if trace_path is not None:
         _trace.enable()
     try:
@@ -271,7 +276,10 @@ def _attempt_inline(
 ) -> _Attempt:
     previous = _EXPERIMENT_SEED
     # Inline attempts share the process-global registry with the caller, so
-    # per-experiment counters are a before/after diff, not a reset.
+    # per-experiment counters are a before/after diff, not a reset.  The
+    # perf cache *is* cleared (same rationale as the isolated child): cache
+    # warmth must not leak across experiments.
+    _perf_cache.clear()
     before = _metrics.snapshot(include_zero=True)["counters"]
     tracing_was_enabled = _trace.is_enabled()
     if trace_path is not None:

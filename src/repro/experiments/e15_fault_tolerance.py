@@ -39,6 +39,7 @@ from repro.faults.byzantine import byzantine
 from repro.faults.channel_faults import drop
 from repro.faults.crash import crash_action, crash_stop
 from repro.faults.injector import FaultPlan, FaultyScheduler
+from repro.perf.parallel import parallel_map
 from repro.probability.measures import total_variation
 from repro.secure.dummy import hide_adversary_actions
 from repro.secure.implementation import implementation_distance
@@ -114,8 +115,8 @@ def _consensus_rows(plans, bound):
     scheduler = PriorityScheduler(
         [_is_kind("propose"), _is_kind("decide"), lambda a: a == "acc"], 10
     )
-    rows = []
-    for label, plan, insight_label, insight in plans:
+    def evaluate(entry):
+        label, plan, insight_label, insight = entry
         faulty = FaultyScheduler(scheduler, plan)
         eps = total_variation(
             f_dist(insight, env, real, faulty),
@@ -125,8 +126,11 @@ def _consensus_rows(plans, bound):
         # Safety (accept) stays within the bound under every crash plan;
         # the trace distinguisher exceeds it exactly when a crash fires.
         ok = (eps <= bound) if insight_label == "accept" else ((eps > bound) == crashed)
-        rows.append((label, insight_label, eps, bound, ok))
-    return rows
+        return (label, insight_label, eps, bound, ok)
+
+    # Each plan's verdict is independent, so the sweep fans across workers;
+    # results come back in plan order, identical at every worker count.
+    return parallel_map(evaluate, plans)
 
 
 def run(*, fast: bool = True) -> ExperimentReport:
@@ -136,14 +140,19 @@ def run(*, fast: bool = True) -> ExperimentReport:
     drop_ps = [Fraction(0), Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)]
     if not fast:
         drop_ps = sorted(set(drop_ps + [Fraction(1, 8), Fraction(7, 8)]))
+    # The per-rate distances fan across workers; the monotonicity check
+    # (`previous`) chains results and therefore reduces serially afterwards.
+    drop_epsilons = parallel_map(
+        lambda p: _channel_distance(
+            drop(real_channel(("real", _K), _K), p),
+            drop(ideal_channel(("ideal", _K)), p),
+        ),
+        drop_ps,
+    )
     drop_rows = []
     drop_ok = True
     previous = None
-    for p in drop_ps:
-        eps = _channel_distance(
-            drop(real_channel(("real", _K), _K), p),
-            drop(ideal_channel(("ideal", _K)), p),
-        )
+    for p, eps in zip(drop_ps, drop_epsilons):
         expected = (1 - p) * delta
         ok = eps == expected and eps <= delta and (previous is None or eps <= previous)
         previous = eps
@@ -154,10 +163,15 @@ def run(*, fast: bool = True) -> ExperimentReport:
     byz_rates = [Fraction(0), Fraction(1, 8), Fraction(1, 4), Fraction(1)]
     if not fast:
         byz_rates = sorted(set(byz_rates + [Fraction(1, 2), Fraction(3, 4)]))
+    byz_epsilons = parallel_map(
+        lambda r: _channel_distance(
+            byzantine(real_channel(("real", _K), _K), _reveal, rate=r)
+        ),
+        byz_rates,
+    )
     byz_rows = []
     byz_ok = True
-    for r in byz_rates:
-        eps = _channel_distance(byzantine(real_channel(("real", _K), _K), _reveal, rate=r))
+    for r, eps in zip(byz_rates, byz_epsilons):
         expected = r * Fraction(1, 2) + (1 - r) * delta
         within = eps <= delta
         ok = eps == expected and within == (r == 0)

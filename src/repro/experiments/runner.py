@@ -9,6 +9,20 @@ Usage::
     python -m repro.experiments.runner --retries 2     # retry flaky runs (seed rotates)
     python -m repro.experiments.runner --fail-fast     # stop at the first failure
 
+Performance (see ``docs/performance.md``)::
+
+    python -m repro.experiments.runner --parallel 4    # 4 experiments at a time
+    python -m repro.experiments.runner --cache off     # disable memoization
+    python -m repro.experiments.runner --cache stats   # print cache statistics
+
+``--parallel N`` fans whole experiments across N concurrently-running
+isolated children; records are printed and reported in experiment order,
+so the run report is identical at every N (modulo wall-clock fields).
+``--cache`` controls the ``repro.perf`` memoization layer for the run
+(children inherit the setting through ``REPRO_CACHE``); ``stats``
+additionally aggregates the per-experiment cache counters into the
+summary.
+
 Observability (see ``docs/observability.md``)::
 
     python -m repro.experiments.runner --metrics-out report.json
@@ -50,12 +64,14 @@ from repro.experiments.common import (
 from repro.obs.report import (
     ReportSchemaError,
     build_report,
+    cache_summary,
     format_record,
     format_suite_summary,
     format_summary_table,
     outcome_record,
     validate_report,
 )
+from repro.perf import cache as perf_cache
 
 
 def _summarize_existing_report(path: str) -> int:
@@ -116,6 +132,19 @@ def main(argv=None) -> int:
         help="run experiments inline (no subprocess; timeouts not enforced)",
     )
     parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N experiments concurrently (requires isolation)",
+    )
+    parser.add_argument(
+        "--cache",
+        choices=("on", "off", "stats"),
+        default="on",
+        help="memoization layer: on, off, or on + aggregated statistics",
+    )
+    parser.add_argument(
         "--trace-dir",
         default=None,
         help="save one Chrome-trace JSON per experiment into this directory",
@@ -153,24 +182,40 @@ def main(argv=None) -> int:
         )
         return 2
 
+    parallel = max(1, args.parallel)
+    if parallel > 1 and not args.isolated:
+        print("--parallel requires isolation; drop --no-isolation")
+        return 2
+
+    # Children inherit the cache mode through the environment (they fork
+    # from this process); the parent cache mirrors it so inline runs and
+    # the "stats" aggregation agree with what the children did.
+    cache_enabled = args.cache != "off"
+    os.environ["REPRO_CACHE"] = "on" if cache_enabled else "off"
+    perf_cache.configure(enabled=cache_enabled)
+
     timeout = args.timeout if args.timeout and args.timeout > 0 else None
     suite_start = time.perf_counter()
-    records = []
-    for experiment_id in selected:
-        trace_path = (
-            os.path.join(args.trace_dir, f"{experiment_id}.trace.json")
-            if args.trace_dir
-            else None
-        )
-        outcome = run_experiment_guarded(
+
+    def trace_path_for(experiment_id):
+        if not args.trace_dir:
+            return None
+        return os.path.join(args.trace_dir, f"{experiment_id}.trace.json")
+
+    def run_one(experiment_id):
+        return run_experiment_guarded(
             experiment_id,
             fast=not args.full,
             timeout=timeout,
             retries=args.retries,
             seed=args.seed,
             isolated=args.isolated,
-            trace_path=trace_path,
+            trace_path=trace_path_for(experiment_id),
         )
+
+    records = []
+
+    def record_outcome(experiment_id, outcome):
         record = outcome_record(
             outcome,
             ALL_EXPERIMENTS[experiment_id][1],
@@ -180,10 +225,52 @@ def main(argv=None) -> int:
         records.append(record)
         print(format_record(record))
         print()
-        if not outcome.ok and not args.keep_going:
-            break
+        return outcome.ok
+
+    if parallel > 1:
+        # Pre-import every selected experiment module, so forked children
+        # never race the import machinery from worker threads.
+        import importlib
+
+        for experiment_id in selected:
+            module_name, _claim = ALL_EXPERIMENTS[experiment_id]
+            if "." not in module_name:
+                module_name = f"repro.experiments.{module_name}"
+            try:
+                importlib.import_module(module_name)
+            except Exception:  # noqa: BLE001 - the guarded child reports it
+                pass
+        from concurrent.futures import ThreadPoolExecutor
+
+        # Each worker thread just babysits an isolated child process, so
+        # threads-per-experiment is cheap.  Futures are *consumed in
+        # experiment order*: output and the report are identical at every
+        # worker count (only wall-clock fields differ).
+        with ThreadPoolExecutor(max_workers=parallel) as pool:
+            futures = [(e, pool.submit(run_one, e)) for e in selected]
+            for experiment_id, future in futures:
+                ok = record_outcome(experiment_id, future.result())
+                if not ok and not args.keep_going:
+                    for _e, pending in futures:
+                        pending.cancel()
+                    break
+    else:
+        for experiment_id in selected:
+            ok = record_outcome(experiment_id, run_one(experiment_id))
+            if not ok and not args.keep_going:
+                break
 
     print(format_suite_summary(records))
+
+    cache_block = cache_summary(records, enabled=cache_enabled)
+    if args.cache == "stats":
+        counters = cache_block["counters"]
+        hits = sum(v for k, v in counters.items() if k.endswith(".hits"))
+        misses = sum(v for k, v in counters.items() if k.endswith(".misses"))
+        print(
+            f"cache: enabled={cache_enabled} hits={hits} misses={misses} "
+            f"({len(counters)} perf counters; see summary.cache in --metrics-out)"
+        )
 
     if args.metrics_out:
         payload = build_report(
@@ -191,6 +278,7 @@ def main(argv=None) -> int:
             argv=list(argv) if argv is not None else sys.argv[1:],
             fast=not args.full,
             wall_time_s=time.perf_counter() - suite_start,
+            cache=cache_block,
         )
         parent = os.path.dirname(args.metrics_out)
         if parent:

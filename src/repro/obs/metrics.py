@@ -38,6 +38,7 @@ __all__ = [
     "snapshot",
     "reset",
     "subtract_counters",
+    "merge_snapshot",
 ]
 
 #: Histograms keep at most this many raw observations (the first ones seen
@@ -107,6 +108,22 @@ class Histogram:
         self.min = None
         self.max = None
         self.samples = []
+
+    def merge(self, other: Dict[str, Any]) -> None:
+        """Fold another histogram's exported dict into this instrument."""
+        self.count += other.get("count", 0)
+        self.sum = self.sum + other.get("sum", 0)
+        for bound in ("min", "max"):
+            value = other.get(bound)
+            if value is None:
+                continue
+            current = getattr(self, bound)
+            if current is None or (value < current if bound == "min" else value > current):
+                setattr(self, bound, value)
+        for sample in other.get("samples", []):
+            if len(self.samples) >= HISTOGRAM_SAMPLE_CAP:
+                break
+            self.samples.append(sample)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -220,3 +237,22 @@ def subtract_counters(after: Dict[str, int], before: Dict[str, int]) -> Dict[str
         for name, value in after.items()
         if value - before.get(name, 0) > 0
     }
+
+
+def merge_snapshot(snap: Dict[str, Any]) -> None:
+    """Fold a :func:`snapshot` export into the global registry.
+
+    The fork-boundary merge used by :func:`repro.perf.parallel.parallel_map`:
+    worker processes snapshot their (freshly reset) registries and the
+    parent adds the deltas here, so counters accumulated inside workers
+    appear in the parent's per-experiment totals.  Counters add, histograms
+    fold (sample prefixes concatenate up to the cap), gauges are
+    last-writer-wins in worker order.
+    """
+    for name, value in snap.get("counters", {}).items():
+        REGISTRY.counter(name).inc(value)
+    for name, value in snap.get("gauges", {}).items():
+        if value is not None:
+            REGISTRY.gauge(name).set(value)
+    for name, exported in snap.get("histograms", {}).items():
+        REGISTRY.histogram(name).merge(exported)

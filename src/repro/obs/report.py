@@ -60,6 +60,7 @@ __all__ = [
     "ReportSchemaError",
     "outcome_record",
     "build_report",
+    "cache_summary",
     "validate_report",
     "format_record",
     "format_suite_summary",
@@ -117,32 +118,55 @@ def build_report(
     argv: Optional[Sequence[str]] = None,
     fast: bool = True,
     wall_time_s: Optional[float] = None,
+    cache: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Wrap per-experiment records into a schema-valid run report."""
+    """Wrap per-experiment records into a schema-valid run report.
+
+    ``cache`` is the optional perf-cache summary block
+    (``{"enabled": bool, "counters": {str: int}}``, see
+    :func:`cache_summary`); when given it lands in ``summary.cache``.
+    """
     failures = [
         {"experiment": r["experiment"], "status": r["status"]}
         for r in records
         if not r["ok"]
     ]
+    summary: Dict[str, Any] = {
+        "total": len(records),
+        "passed": sum(1 for r in records if r["ok"]),
+        "failures": failures,
+        "wall_time_s": (
+            float(wall_time_s)
+            if wall_time_s is not None
+            else sum(r["elapsed_s"] for r in records)
+        ),
+    }
+    if cache is not None:
+        summary["cache"] = cache
     payload = {
         "schema": REPORT_SCHEMA,
         "created_unix": time.time(),
         "argv": list(argv) if argv is not None else None,
         "fast": bool(fast),
         "experiments": list(records),
-        "summary": {
-            "total": len(records),
-            "passed": sum(1 for r in records if r["ok"]),
-            "failures": failures,
-            "wall_time_s": (
-                float(wall_time_s)
-                if wall_time_s is not None
-                else sum(r["elapsed_s"] for r in records)
-            ),
-        },
+        "summary": summary,
     }
     validate_report(payload)
     return payload
+
+
+def cache_summary(records: Sequence[Dict[str, Any]], *, enabled: bool) -> Dict[str, Any]:
+    """Aggregate the perf-layer counters across per-experiment records.
+
+    Sums every ``perf.cache.*`` / ``perf.intern.*`` / ``perf.parallel.*``
+    counter (each experiment starts from a cleared cache, so the sums are
+    deterministic and independent of runner parallelism)."""
+    totals: Dict[str, int] = {}
+    for record in records:
+        for name, value in record.get("counters", {}).items():
+            if name.startswith(("perf.cache.", "perf.intern.", "perf.parallel.")):
+                totals[name] = totals.get(name, 0) + value
+    return {"enabled": bool(enabled), "counters": dict(sorted(totals.items()))}
 
 
 # -- validation ----------------------------------------------------------------
@@ -209,6 +233,16 @@ def validate_report(payload: Any) -> None:
     _require(isinstance(summary.get("failures"), list), "summary.failures must be a list")
     _require(isinstance(summary.get("wall_time_s"), (int, float)),
              "summary.wall_time_s must be a number")
+    if "cache" in summary:
+        cache = summary["cache"]
+        _require(isinstance(cache, dict), "summary.cache must be an object")
+        _require(isinstance(cache.get("enabled"), bool),
+                 "summary.cache.enabled must be a boolean")
+        _require(isinstance(cache.get("counters"), dict),
+                 "summary.cache.counters must be an object")
+        for key, value in cache["counters"].items():
+            _require(isinstance(key, str) and isinstance(value, int),
+                     "summary.cache.counters must map str -> int")
 
 
 # -- human rendering (the runner's only output path) ----------------------------

@@ -1,0 +1,52 @@
+"""``repro.perf`` — the performance layer: memoization + parallel sweeps.
+
+Two orthogonal tools, both contract-bound to change *nothing* about
+results (the differential suite ``tests/test_perf_differential.py`` is the
+enforcement arm):
+
+* :mod:`repro.perf.cache` — transparent, identity-keyed memoization of
+  transitions, scheduler decisions and whole unfoldings, plus hash-consing
+  (interning) of :class:`~repro.core.executions.Fragment` and exact
+  :class:`~repro.probability.measures.DiscreteMeasure` objects.  Gated by
+  ``REPRO_CACHE`` (default on).
+* :mod:`repro.perf.parallel` — fork-based :func:`parallel_map` with
+  seed-stable partitioning and fork-boundary metrics merging.  Worker
+  count from ``REPRO_PARALLEL`` (default 1, i.e. serial).
+
+See ``docs/performance.md`` for the cache semantics, invalidation rules
+and the parallel determinism contract.
+"""
+
+from repro.perf.cache import (
+    CACHE,
+    cache_enabled,
+    cached_derived,
+    clear as clear_caches,
+    configure as configure_cache,
+    intern_fragment,
+    intern_measure,
+    invalidate,
+    stats as cache_stats,
+)
+from repro.perf.parallel import (
+    ParallelWorkerError,
+    configure_workers,
+    default_workers,
+    parallel_map,
+)
+
+__all__ = [
+    "CACHE",
+    "cache_enabled",
+    "cached_derived",
+    "clear_caches",
+    "configure_cache",
+    "intern_fragment",
+    "intern_measure",
+    "invalidate",
+    "cache_stats",
+    "ParallelWorkerError",
+    "configure_workers",
+    "default_workers",
+    "parallel_map",
+]

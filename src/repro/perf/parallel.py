@@ -1,0 +1,203 @@
+"""Fork-based ``parallel_map`` for experiment sweeps.
+
+Fans a list of independent work items across worker processes created with
+raw ``os.fork`` — the same isolation primitive the guarded experiment
+runner builds on — and reassembles results **in input order**, so callers
+observe exactly the semantics of ``[fn(x) for x in items]``:
+
+* **Deterministic partitioning** — worker ``w`` of ``n`` gets items
+  ``w, w+n, w+2n, ...`` (round-robin by index).  The partition is a pure
+  function of ``(len(items), n)``, never of timing, and each item's result
+  depends only on the item itself, so any seeds baked into the items are
+  honoured identically at every worker count (*seed-stable*: the same item
+  computes under the same seed whether ``n`` is 1 or 16).
+* **Exactness** — results cross the fork boundary by pickling; ``Fraction``
+  weights round-trip losslessly, so parallel sweeps are bit-identical to
+  serial ones.
+* **Fork-boundary metrics merging** — each worker starts from a zeroed
+  :mod:`repro.obs.metrics` registry and ships its snapshot back with the
+  results; the parent folds every worker's counters, gauges and histograms
+  into its own registry, so per-experiment counters survive the fan-out.
+* **Degradation, not failure** — with ``workers <= 1``, a single item, or
+  no ``fork`` support (non-POSIX platforms), the map runs serially in the
+  caller.  A worker that dies without reporting (hard crash) has its chunk
+  re-run serially in the parent, preserving results at the cost of the
+  speedup.  An exception raised by ``fn`` in a worker is re-raised in the
+  parent as :class:`ParallelWorkerError` carrying the child traceback.
+
+The worker count resolves, in order: the ``workers`` argument, the value
+set via :func:`configure_workers`, the ``REPRO_PARALLEL`` environment
+variable, then 1 (serial).  The experiment runner's ``--parallel`` flag
+deliberately does *not* set ``REPRO_PARALLEL``: runner parallelism fans
+whole experiments, and nesting both layers would oversubscribe the host
+(see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import traceback
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import counter as _counter
+
+__all__ = ["ParallelWorkerError", "parallel_map", "configure_workers", "default_workers"]
+
+_MAPS = _counter("perf.parallel.maps")
+_FORKS = _counter("perf.parallel.forks")
+_ITEMS = _counter("perf.parallel.items")
+_FALLBACKS = _counter("perf.parallel.chunk_fallbacks")
+
+_CONFIGURED_WORKERS: Optional[int] = None
+
+_LEN = struct.Struct(">Q")
+
+
+class ParallelWorkerError(RuntimeError):
+    """``fn`` raised inside a worker; carries the child's traceback text."""
+
+    def __init__(self, index: int, child_traceback: str) -> None:
+        super().__init__(
+            f"parallel_map item {index} raised in worker:\n{child_traceback.rstrip()}"
+        )
+        self.index = index
+        self.child_traceback = child_traceback
+
+
+def configure_workers(workers: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` re-reads the env)."""
+    global _CONFIGURED_WORKERS
+    _CONFIGURED_WORKERS = None if workers is None else max(1, int(workers))
+
+
+def default_workers() -> int:
+    """The worker count used when ``parallel_map`` is called without one."""
+    if _CONFIGURED_WORKERS is not None:
+        return _CONFIGURED_WORKERS
+    raw = os.environ.get("REPRO_PARALLEL", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _write_all(fd: int, payload: bytes) -> None:
+    view = memoryview(payload)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+def _read_exact(fd: int, size: int) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = os.read(fd, min(remaining, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _child_main(write_fd: int, fn: Callable[[Any], Any], chunk: Sequence[Tuple[int, Any]]) -> None:
+    """Worker body: compute the chunk, ship ``(results, metrics)`` back.
+
+    Runs under ``os._exit`` discipline — no atexit hooks, no parent test
+    harness teardown.  The inherited metrics registry is zeroed so the
+    shipped snapshot is exactly this worker's contribution.
+    """
+    exit_code = 0
+    try:
+        _metrics.reset()
+        results: List[Tuple[int, Optional[str], Any]] = []
+        for index, item in chunk:
+            try:
+                results.append((index, None, fn(item)))
+            except BaseException:  # noqa: BLE001 - shipped to the parent verbatim
+                results.append((index, traceback.format_exc(), None))
+        payload = pickle.dumps(
+            (results, _metrics.snapshot()), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        _write_all(write_fd, _LEN.pack(len(payload)) + payload)
+    except BaseException:
+        exit_code = 1
+    finally:
+        try:
+            os.close(write_fd)
+        except OSError:
+            pass
+        os._exit(exit_code)
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    workers: Optional[int] = None,
+    merge_metrics: bool = True,
+) -> List[Any]:
+    """``[fn(x) for x in items]`` fanned across forked workers (see module
+    docstring for the determinism contract)."""
+    work = list(items)
+    count = default_workers() if workers is None else max(1, int(workers))
+    count = min(count, len(work))
+    if count <= 1 or not hasattr(os, "fork"):
+        return [fn(item) for item in work]
+
+    _MAPS.inc()
+    _ITEMS.inc(len(work))
+    indexed = list(enumerate(work))
+    chunks = [indexed[w::count] for w in range(count)]
+
+    children: List[Tuple[int, int, Sequence[Tuple[int, Any]]]] = []
+    for chunk in chunks:
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            os.close(read_fd)
+            for other_read, _other_pid, _other_chunk in children:
+                try:
+                    os.close(other_read)
+                except OSError:
+                    pass
+            _child_main(write_fd, fn, chunk)
+            # _child_main never returns
+        _FORKS.inc()
+        os.close(write_fd)
+        children.append((read_fd, pid, chunk))
+
+    results: List[Any] = [None] * len(work)
+    failures: List[Tuple[int, str]] = []
+    for read_fd, pid, chunk in children:
+        payload: Optional[bytes] = None
+        try:
+            header = _read_exact(read_fd, _LEN.size)
+            if header is not None:
+                payload = _read_exact(read_fd, _LEN.unpack(header)[0])
+        finally:
+            os.close(read_fd)
+            os.waitpid(pid, 0)
+        if payload is None:
+            # The worker died without reporting: recompute its chunk here.
+            _FALLBACKS.inc()
+            for index, item in chunk:
+                results[index] = fn(item)
+            continue
+        chunk_results, snapshot = pickle.loads(payload)
+        if merge_metrics:
+            _metrics.merge_snapshot(snapshot)
+        for index, error, value in chunk_results:
+            if error is not None:
+                failures.append((index, error))
+            else:
+                results[index] = value
+    if failures:
+        index, error = min(failures)
+        raise ParallelWorkerError(index, error)
+    return results

@@ -1,14 +1,17 @@
 """Suite-wide fixtures.
 
-The observability registry is process-global; resetting it before every
-test keeps per-test counter assertions independent of execution order
-(instrument objects are zeroed in place, so module-level bindings stay
-valid — see :mod:`repro.obs.metrics`).
+The observability registry and the perf cache are process-global; resetting
+both before every test keeps per-test counter assertions and cache-hit
+behaviour independent of execution order (instrument objects are zeroed in
+place, so module-level bindings stay valid — see :mod:`repro.obs.metrics`).
+The cache's enabled flag is re-read from ``REPRO_CACHE`` so the tier-1
+suite can run under either cache mode (the CI matrix exercises both).
 """
 
 import pytest
 
 from repro.obs import metrics, trace
+from repro.perf import cache as perf_cache
 
 
 @pytest.fixture(autouse=True)
@@ -16,4 +19,6 @@ def _clean_observability():
     metrics.reset()
     trace.disable()
     trace.TRACER.clear()
+    perf_cache.clear()
+    perf_cache.configure(enabled=None)
     yield

@@ -1,0 +1,120 @@
+"""Tests of the fork-based ``parallel_map`` determinism contract.
+
+Order preservation, exactness across the pickle boundary, seed-stable
+partitioning, fork-boundary metrics merging, serial fallback, and error
+propagation with the child traceback attached.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.obs import metrics
+from repro.perf.parallel import (
+    ParallelWorkerError,
+    configure_workers,
+    default_workers,
+    parallel_map,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_workers():
+    configure_workers(None)
+    yield
+    configure_workers(None)
+
+
+class TestOrderAndExactness:
+    def test_results_in_input_order(self):
+        items = list(range(23))
+        assert parallel_map(lambda x: x * x, items, workers=4) == [x * x for x in items]
+
+    def test_fractions_cross_the_boundary_exactly(self):
+        items = [Fraction(1, n) for n in range(1, 17)]
+        result = parallel_map(lambda f: f / 3, items, workers=3)
+        assert result == [f / 3 for f in items]
+        assert all(isinstance(r, Fraction) for r in result)
+
+    def test_single_item_runs_serially(self):
+        forks_before = metrics.counter("perf.parallel.forks").value
+        assert parallel_map(lambda x: x + 1, [41], workers=8) == [42]
+        assert metrics.counter("perf.parallel.forks").value == forks_before
+
+    def test_empty_input(self):
+        assert parallel_map(lambda x: x, [], workers=4) == []
+
+
+class TestSeedStability:
+    def test_same_results_at_every_worker_count(self):
+        # Each item carries its own seed; the round-robin partition must
+        # never change which seed computes which item.
+        def draw(seed):
+            return random.Random(seed).random()
+
+        items = list(range(31))
+        serial = [draw(i) for i in items]
+        for workers in (1, 2, 4, 7):
+            assert parallel_map(draw, items, workers=workers) == serial
+
+
+class TestMetricsMerging:
+    def test_worker_counters_fold_into_parent(self):
+        c = metrics.counter("test.parallel.increments")
+        before = c.value
+
+        def bump(x):
+            c.inc()
+            return x
+
+        parallel_map(bump, list(range(12)), workers=4)
+        assert c.value == before + 12
+
+    def test_merge_can_be_disabled(self):
+        c = metrics.counter("test.parallel.unmerged")
+        before = c.value
+
+        def bump(x):
+            c.inc()
+            return x
+
+        parallel_map(bump, list(range(8)), workers=4, merge_metrics=False)
+        assert c.value == before
+
+
+class TestErrors:
+    def test_worker_exception_propagates_with_traceback(self):
+        def maybe_boom(x):
+            if x == 7:
+                raise ValueError("boom at seven")
+            return x
+
+        with pytest.raises(ParallelWorkerError) as excinfo:
+            parallel_map(maybe_boom, list(range(12)), workers=3)
+        assert excinfo.value.index == 7
+        assert "boom at seven" in str(excinfo.value)
+
+    def test_lowest_failing_index_wins(self):
+        def boom_high(x):
+            if x >= 5:
+                raise RuntimeError(f"fail {x}")
+            return x
+
+        with pytest.raises(ParallelWorkerError) as excinfo:
+            parallel_map(boom_high, list(range(12)), workers=4)
+        assert excinfo.value.index == 5
+
+
+class TestConfiguration:
+    def test_configure_workers_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "6")
+        assert default_workers() == 6
+        configure_workers(3)
+        assert default_workers() == 3
+        configure_workers(None)
+        assert default_workers() == 6
+
+    def test_invalid_env_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "many")
+        assert default_workers() == 1

@@ -95,11 +95,12 @@ def best_distinguisher(
     (the implementation-relation reading).
 
     The (environment, scheduler) grid is fanned across
-    :func:`repro.perf.parallel.parallel_map` workers (``workers`` argument,
-    else ``REPRO_PARALLEL``, else serial).  The winner is reduced **in
-    enumeration order** with a strictly-greater comparison, so the result —
-    advantage, witnessing environment and scheduler — is identical at every
-    worker count.
+    :func:`repro.perf.parallel.parallel_map` (``workers`` argument, else
+    the configured execution backend — ``REPRO_BACKEND``, else serial).
+    The winner is reduced **in enumeration order** with a
+    strictly-greater comparison, so the result — advantage, witnessing
+    environment and scheduler — is identical at every parallelism and on
+    every backend.
     """
     from repro.perf.parallel import parallel_map
     from repro.semantics.insight import compose_world

@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.obs.procinfo import peak_rss_bytes as _peak_rss_bytes
+from repro.perf import backends as _perf_backends
 from repro.perf import cache as _perf_cache
 
 __all__ = [
@@ -193,6 +194,10 @@ def _guarded_child(
     # of the experiment — independent of what ran before in the parent and
     # of how many experiments run concurrently.
     _perf_cache.clear()
+    # An execution backend inherited through the fork may hold the parent's
+    # live worker connections; abandon it (without closing the shared file
+    # descriptors) so this child's sweeps open their own.
+    _perf_backends.abandon_inherited()
     if trace_path is not None:
         _trace.enable()
     try:

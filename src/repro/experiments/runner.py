@@ -14,6 +14,8 @@ Performance (see ``docs/performance.md``)::
     python -m repro.experiments.runner --parallel 4    # 4 experiments at a time
     python -m repro.experiments.runner --cache off     # disable memoization
     python -m repro.experiments.runner --cache stats   # print cache statistics
+    python -m repro.experiments.runner --backend fork:4             # inner sweeps
+    python -m repro.experiments.runner --backend socket:host:9001   # ... on a pool
 
 ``--parallel N`` fans whole experiments across N concurrently-running
 isolated children; records are printed and reported in experiment order,
@@ -21,7 +23,11 @@ so the run report is identical at every N (modulo wall-clock fields).
 ``--cache`` controls the ``repro.perf`` memoization layer for the run
 (children inherit the setting through ``REPRO_CACHE``); ``stats``
 additionally aggregates the per-experiment cache counters into the
-summary.
+summary.  ``--backend SPEC`` selects the execution backend experiment
+*sweeps* run on (``serial``, ``fork:N``, or ``socket:host:port,...`` — see
+``repro.perf.backends``); children inherit it through ``REPRO_BACKEND``,
+the resolved backend is recorded in the report's ``summary.backend``
+block, and results are byte-identical on every backend.
 
 Observability (see ``docs/observability.md``)::
 
@@ -71,6 +77,7 @@ from repro.obs.report import (
     outcome_record,
     validate_report,
 )
+from repro.perf import backends as perf_backends
 from repro.perf import cache as perf_cache
 
 
@@ -145,6 +152,15 @@ def main(argv=None) -> int:
         help="memoization layer: on, off, or on + aggregated statistics",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "execution backend for experiment sweeps: serial, fork:N, or "
+            "socket:HOST:PORT[,HOST:PORT...] (default: REPRO_BACKEND, else serial)"
+        ),
+    )
+    parser.add_argument(
         "--trace-dir",
         default=None,
         help="save one Chrome-trace JSON per experiment into this directory",
@@ -193,6 +209,22 @@ def main(argv=None) -> int:
     cache_enabled = args.cache != "off"
     os.environ["REPRO_CACHE"] = "on" if cache_enabled else "off"
     perf_cache.configure(enabled=cache_enabled)
+
+    # Same inheritance story for the sweep execution backend: validate the
+    # spec up front (a typo should fail the run before any experiment
+    # does), export it so isolated children resolve the same backend, and
+    # record the resolved description in the report summary.
+    try:
+        if args.backend is not None:
+            backend_spec = perf_backends.normalize_spec(args.backend)
+            os.environ["REPRO_BACKEND"] = backend_spec
+            perf_backends.configure_backend(backend_spec)
+        else:
+            backend_spec = perf_backends.current_spec()
+    except perf_backends.BackendSpecError as exc:
+        print(f"invalid backend spec: {exc}")
+        return 2
+    backend_block = perf_backends.make_backend(backend_spec).describe()
 
     timeout = args.timeout if args.timeout and args.timeout > 0 else None
     suite_start = time.perf_counter()
@@ -279,6 +311,7 @@ def main(argv=None) -> int:
             fast=not args.full,
             wall_time_s=time.perf_counter() - suite_start,
             cache=cache_block,
+            backend=backend_block,
         )
         parent = os.path.dirname(args.metrics_out)
         if parent:

@@ -62,6 +62,15 @@ class Counter:
     def reset(self) -> None:
         self.value = 0
 
+    def __reduce__(self):
+        # Instruments are named handles to the *process-local* registry:
+        # unpickling binds to (get-or-create) the receiving process's
+        # instrument, so a counter captured in a shipped closure counts
+        # into the executing worker's registry — whose snapshot then merges
+        # back across the boundary.  The local value is deliberately not
+        # transferred.
+        return (counter, (self.name,))
+
 
 class Gauge:
     """A last-value-wins instrument (``None`` until first set)."""
@@ -77,6 +86,10 @@ class Gauge:
 
     def reset(self) -> None:
         self.value = None
+
+    def __reduce__(self):
+        # See Counter.__reduce__: a named handle to the local registry.
+        return (gauge, (self.name,))
 
 
 class Histogram:
@@ -133,6 +146,10 @@ class Histogram:
             "max": self.max,
             "samples": list(self.samples),
         }
+
+    def __reduce__(self):
+        # See Counter.__reduce__: a named handle to the local registry.
+        return (histogram, (self.name,))
 
 
 class MetricsRegistry:

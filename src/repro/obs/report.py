@@ -34,7 +34,12 @@ The report schema (``repro.obs.run-report/1``)::
       "summary": {
         "total": 15, "passed": 15,
         "failures": [{"experiment": "E3", "status": "timeout"}, ...],
-        "wall_time_s": 42.0
+        "wall_time_s": 42.0,
+        "cache": {"enabled": true, "counters": {...}},        # optional
+        "backend": {                                           # optional
+          "name": "socket", "spec": "socket:host1:9001,host2:9001",
+          "parallelism": 2
+        }
       }
     }
 
@@ -119,12 +124,16 @@ def build_report(
     fast: bool = True,
     wall_time_s: Optional[float] = None,
     cache: Optional[Dict[str, Any]] = None,
+    backend: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Wrap per-experiment records into a schema-valid run report.
 
     ``cache`` is the optional perf-cache summary block
     (``{"enabled": bool, "counters": {str: int}}``, see
     :func:`cache_summary`); when given it lands in ``summary.cache``.
+    ``backend`` is the optional execution-backend description
+    (``ExecutionBackend.describe()``: at least ``name``, ``spec`` and
+    ``parallelism``); when given it lands in ``summary.backend``.
     """
     failures = [
         {"experiment": r["experiment"], "status": r["status"]}
@@ -143,6 +152,8 @@ def build_report(
     }
     if cache is not None:
         summary["cache"] = cache
+    if backend is not None:
+        summary["backend"] = backend
     payload = {
         "schema": REPORT_SCHEMA,
         "created_unix": time.time(),
@@ -243,6 +254,19 @@ def validate_report(payload: Any) -> None:
         for key, value in cache["counters"].items():
             _require(isinstance(key, str) and isinstance(value, int),
                      "summary.cache.counters must map str -> int")
+    if "backend" in summary:
+        backend = summary["backend"]
+        _require(isinstance(backend, dict), "summary.backend must be an object")
+        _require(isinstance(backend.get("name"), str),
+                 "summary.backend.name must be a string")
+        _require(isinstance(backend.get("spec"), str),
+                 "summary.backend.spec must be a string")
+        _require(
+            isinstance(backend.get("parallelism"), int)
+            and not isinstance(backend["parallelism"], bool)
+            and backend["parallelism"] >= 1,
+            "summary.backend.parallelism must be an integer >= 1",
+        )
 
 
 # -- human rendering (the runner's only output path) ----------------------------

@@ -9,14 +9,37 @@ enforcement arm):
   (interning) of :class:`~repro.core.executions.Fragment` and exact
   :class:`~repro.probability.measures.DiscreteMeasure` objects.  Gated by
   ``REPRO_CACHE`` (default on).
-* :mod:`repro.perf.parallel` — fork-based :func:`parallel_map` with
-  seed-stable partitioning and fork-boundary metrics merging.  Worker
-  count from ``REPRO_PARALLEL`` (default 1, i.e. serial).
+* :func:`parallel_map` over pluggable **execution backends**
+  (:mod:`repro.perf.backends`): ``serial`` (in-process), ``fork:N``
+  (forked children on this host) and ``socket:host:port,...`` (a TCP
+  worker pool started with ``python -m repro.perf.worker``).  The sweep
+  contract — seed-stable partitioning, in-order reassembly, boundary
+  metrics merging, lowest-index error propagation — is identical on every
+  backend, so results are byte-for-byte backend-independent.
 
-See ``docs/performance.md`` for the cache semantics, invalidation rules
-and the parallel determinism contract.
+The supported public surface of the parallel half is
+
+    ``parallel_map``, ``configure_backend``, ``get_backend``,
+    ``ExecutionBackend``, ``ParallelWorkerError``
+
+(see ``docs/performance.md``); ``configure_workers`` / ``default_workers``
+and bare ``REPRO_PARALLEL`` integers are deprecated shims for one release
+— use ``configure_backend("fork:N")`` / ``REPRO_BACKEND=fork:N``.
 """
 
+from repro.perf.backends import (
+    BackendSpecError,
+    ChunkOutcome,
+    ExecutionBackend,
+    ForkBackend,
+    SerialBackend,
+    SocketBackend,
+    configure_backend,
+    current_spec,
+    get_backend,
+    make_backend,
+    register_backend,
+)
 from repro.perf.cache import (
     CACHE,
     cache_enabled,
@@ -46,7 +69,18 @@ __all__ = [
     "invalidate",
     "cache_stats",
     "ParallelWorkerError",
+    "parallel_map",
+    "configure_backend",
+    "get_backend",
+    "make_backend",
+    "register_backend",
+    "current_spec",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ForkBackend",
+    "SocketBackend",
+    "ChunkOutcome",
+    "BackendSpecError",
     "configure_workers",
     "default_workers",
-    "parallel_map",
 ]

@@ -1,0 +1,272 @@
+"""Pluggable execution backends for ``repro.perf.parallel_map``.
+
+PR 3 established that the sweep contract — deterministic round-robin
+partitioning by item index, in-order reassembly, fork-boundary metrics
+merging, lowest-index error propagation — is independent of *where* the
+chunks actually execute.  This package makes that explicit: transports are
+:class:`ExecutionBackend` implementations behind a registry, and
+``parallel_map`` is a thin front-end that partitions, submits, merges and
+re-raises identically for every backend.  Three transports ship:
+
+* ``serial`` — in-process, no partitioning overhead (the default);
+* ``fork`` — one ``os.fork`` child per chunk on the local host
+  (:class:`~repro.perf.backends.fork.ForkBackend`, PR 3's transport,
+  extracted);
+* ``socket`` — chunks pickled to a TCP worker pool
+  (:class:`~repro.perf.backends.sockets.SocketBackend`; stand workers up
+  with ``python -m repro.perf.worker --listen HOST:PORT``).
+
+Backend specs
+-------------
+A backend is named by a **spec string**::
+
+    serial                                  # in-process
+    fork            # one chunk per CPU     # fork:<os.cpu_count()>
+    fork:4                                  # 4 forked chunks
+    socket:host1:9001,host2:9001            # TCP worker pool, one chunk per worker
+
+Resolution order for the process-wide default:
+:func:`configure_backend` argument, else the ``REPRO_BACKEND`` environment
+variable, else the deprecated ``REPRO_PARALLEL`` integer (mapped to
+``fork:N`` with a :class:`DeprecationWarning`), else ``serial``.
+
+Fork hygiene
+------------
+Backend instances may hold live connections, so they are **per-process**:
+:func:`get_backend` rebuilds the active backend whenever the caller's pid
+differs from the pid that built it (a forked experiment child must open its
+own connections, never reuse the parent's).  The inherited instance is
+abandoned, not closed — its file descriptors are shared with the parent.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "BackendSpecError",
+    "ChunkOutcome",
+    "ExecutionBackend",
+    "configure_backend",
+    "current_spec",
+    "get_backend",
+    "make_backend",
+    "normalize_spec",
+    "register_backend",
+]
+
+#: One work chunk: ``(original item index, item)`` pairs.
+Chunk = Sequence[Tuple[int, Any]]
+
+
+class BackendSpecError(ValueError):
+    """A backend spec string could not be parsed or names no registered backend."""
+
+
+@dataclass
+class ChunkOutcome:
+    """What a backend reports for one submitted chunk.
+
+    ``results`` holds ``(index, error_traceback_or_None, value)`` per item,
+    or ``None`` when the chunk was **lost** (its executor died without
+    reporting) — ``parallel_map`` then recomputes the chunk in the caller.
+    ``metrics`` is the executor's :func:`repro.obs.metrics.snapshot` delta
+    for the chunk (``None`` when the work ran in the caller's own registry,
+    or when the chunk was lost).  Result payloads are atomic: a lost chunk
+    contributed *nothing* — no results and no metrics — so the caller-side
+    recompute can never double-count.
+    """
+
+    results: Optional[List[Tuple[int, Optional[str], Any]]]
+    metrics: Optional[Dict[str, Any]] = None
+    detail: Optional[str] = None
+
+    @property
+    def lost(self) -> bool:
+        return self.results is None
+
+
+class ExecutionBackend(ABC):
+    """Where ``parallel_map`` chunks execute.
+
+    Implementations own only the *transport*; partitioning, in-order
+    reassembly, metrics merging, lost-chunk fallback and error propagation
+    live in :func:`repro.perf.parallel.parallel_map` and are identical for
+    every backend — that is the redesigned contract.
+    """
+
+    #: registry name ("serial", "fork", "socket", ...)
+    name: str = "?"
+
+    #: True when chunks leave the caller's machine/process *by design*
+    #: (``parallel_map`` then ships even a single chunk instead of running
+    #: it in the caller — a one-worker pool still offloads).
+    remote: bool = False
+
+    @property
+    @abstractmethod
+    def spec(self) -> str:
+        """The normalized spec string this backend was built from."""
+
+    @property
+    @abstractmethod
+    def parallelism(self) -> int:
+        """How many chunks a sweep should be partitioned into (>= 1)."""
+
+    @abstractmethod
+    def submit_chunks(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Chunk]
+    ) -> List[ChunkOutcome]:
+        """Execute every chunk; return one :class:`ChunkOutcome` per chunk,
+        aligned with ``chunks``.  Must not raise for per-item ``fn``
+        failures (ship the traceback in the outcome) nor for dead executors
+        (report the chunk as lost)."""
+
+    def close(self) -> None:
+        """Release transport resources (idempotent; default: nothing)."""
+
+    def describe(self) -> Dict[str, Any]:
+        """Static JSON-safe description (lands in run-report summaries)."""
+        return {"name": self.name, "spec": self.spec, "parallelism": self.parallelism}
+
+
+# -- spec parsing and the registry ---------------------------------------------
+
+#: name -> factory(rest-of-spec or None) -> ExecutionBackend
+_FACTORIES: Dict[str, Callable[[Optional[str]], "ExecutionBackend"]] = {}
+
+
+def register_backend(name: str, factory: Callable[[Optional[str]], "ExecutionBackend"]) -> None:
+    """Register ``factory`` under ``name`` (``factory(rest)`` gets the spec
+    text after ``name:``, or ``None`` when the spec is the bare name)."""
+    _FACTORIES[name] = factory
+
+
+def _split_spec(spec: str) -> Tuple[str, Optional[str]]:
+    if not isinstance(spec, str) or not spec.strip():
+        raise BackendSpecError(f"backend spec must be a non-empty string, got {spec!r}")
+    name, sep, rest = spec.strip().partition(":")
+    name = name.strip().lower()
+    if name not in _FACTORIES:
+        raise BackendSpecError(
+            f"unknown backend {name!r} (known: {', '.join(sorted(_FACTORIES))})"
+        )
+    return name, (rest.strip() if sep else None)
+
+
+def make_backend(spec: str) -> "ExecutionBackend":
+    """Build a backend instance from a spec string (raises
+    :class:`BackendSpecError` for malformed or unknown specs)."""
+    name, rest = _split_spec(spec)
+    return _FACTORIES[name](rest)
+
+
+def normalize_spec(spec: str) -> str:
+    """The canonical form of ``spec`` (e.g. ``"fork"`` -> ``"fork:8"``)."""
+    return make_backend(spec).spec
+
+
+# -- the process-wide default backend ------------------------------------------
+
+#: What configure_backend installed: a spec string, a live instance, or None.
+_CONFIGURED: Union[None, str, "ExecutionBackend"] = None
+_CONFIGURED_PID: Optional[int] = None
+
+_ACTIVE: Optional["ExecutionBackend"] = None
+_ACTIVE_KEY: Optional[Tuple[int, str]] = None
+
+
+def configure_backend(spec: Union[None, str, "ExecutionBackend"]) -> None:
+    """Install the process-wide default backend.
+
+    ``spec`` is a spec string (validated immediately), an
+    :class:`ExecutionBackend` instance (used as-is by this process; forked
+    children rebuild from its spec), or ``None`` to drop the explicit
+    configuration and re-read the environment (``REPRO_BACKEND``, then the
+    deprecated ``REPRO_PARALLEL``)."""
+    global _CONFIGURED, _CONFIGURED_PID
+    if isinstance(spec, str):
+        spec = normalize_spec(spec)  # raise now, not at first sweep
+    _CONFIGURED = spec
+    _CONFIGURED_PID = os.getpid()
+
+
+def _spec_from_environment() -> str:
+    env = os.environ.get("REPRO_BACKEND", "").strip()
+    if env:
+        return env
+    legacy = os.environ.get("REPRO_PARALLEL", "").strip()
+    if legacy:
+        warnings.warn(
+            "the bare REPRO_PARALLEL integer is deprecated; "
+            "set REPRO_BACKEND=fork:N instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        try:
+            return f"fork:{max(1, int(legacy))}"
+        except ValueError:
+            return "serial"
+    return "serial"
+
+
+def current_spec() -> str:
+    """The spec the *next* :func:`get_backend` call will resolve to."""
+    if isinstance(_CONFIGURED, ExecutionBackend):
+        return _CONFIGURED.spec
+    if _CONFIGURED is not None:
+        return _CONFIGURED
+    return normalize_spec(_spec_from_environment())
+
+
+def get_backend() -> "ExecutionBackend":
+    """The process-wide backend for the *current* process.
+
+    Lazily built from :func:`current_spec` and cached per ``(pid, spec)``;
+    after a fork the child abandons the inherited instance (shared file
+    descriptors stay untouched) and builds its own."""
+    global _ACTIVE, _ACTIVE_KEY
+    pid = os.getpid()
+    if isinstance(_CONFIGURED, ExecutionBackend) and _CONFIGURED_PID == pid:
+        return _CONFIGURED
+    spec = current_spec()
+    if _ACTIVE is not None and _ACTIVE_KEY == (pid, spec):
+        return _ACTIVE
+    if _ACTIVE is not None and _ACTIVE_KEY is not None and _ACTIVE_KEY[0] == pid:
+        _ACTIVE.close()
+    _ACTIVE = make_backend(spec)
+    _ACTIVE_KEY = (pid, spec)
+    return _ACTIVE
+
+
+def abandon_inherited() -> None:
+    """Drop backend state inherited through a fork without closing it.
+
+    Called by the guarded experiment runner's child bootstrap: the
+    inherited instance's sockets belong to the parent, so the child must
+    forget them (not close them) and rebuild on first use."""
+    global _ACTIVE, _ACTIVE_KEY, _CONFIGURED, _CONFIGURED_PID
+    pid = os.getpid()
+    if _ACTIVE_KEY is not None and _ACTIVE_KEY[0] != pid:
+        _ACTIVE = None
+        _ACTIVE_KEY = None
+    if isinstance(_CONFIGURED, ExecutionBackend) and _CONFIGURED_PID != pid:
+        _CONFIGURED = _CONFIGURED.spec
+        _CONFIGURED_PID = pid
+
+
+# Transports register themselves at import; importing them here makes the
+# registry complete whenever the package is imported.
+from repro.perf.backends import fork as _fork  # noqa: E402  (registration import)
+from repro.perf.backends import serial as _serial  # noqa: E402
+from repro.perf.backends import sockets as _sockets  # noqa: E402
+
+SerialBackend = _serial.SerialBackend
+ForkBackend = _fork.ForkBackend
+SocketBackend = _sockets.SocketBackend
+
+__all__ += ["SerialBackend", "ForkBackend", "SocketBackend", "abandon_inherited"]

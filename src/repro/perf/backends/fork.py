@@ -1,0 +1,189 @@
+"""The single-host fork backend (spec ``fork:N``) — PR 3's transport, extracted.
+
+One raw ``os.fork`` child per chunk, length-prefixed pickles over a pipe.
+Raw fork (not :mod:`multiprocessing`) because sweeps routinely run *inside*
+the crash-isolated experiment children, which are daemonic and cannot have
+``multiprocessing`` children of their own.  Children inherit the mapped
+function and every captured object through copy-on-write memory, so nothing
+but the results ever crosses the pipe.
+
+:func:`run_chunk_in_fork` — fork one child for one chunk and collect its
+``(results, metrics snapshot)`` payload — is also the execution primitive
+of the socket worker (:mod:`repro.perf.worker`): a worker process forks per
+chunk so each chunk gets a zeroed metrics registry and crash isolation for
+free.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import counter as _counter
+from repro.perf.backends import (
+    BackendSpecError,
+    Chunk,
+    ChunkOutcome,
+    ExecutionBackend,
+    register_backend,
+)
+
+__all__ = ["ForkBackend", "run_chunk_in_fork"]
+
+_FORKS = _counter("perf.parallel.forks")
+
+_LEN = struct.Struct(">Q")
+
+
+def _write_all(fd: int, payload: bytes) -> None:
+    view = memoryview(payload)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+def _read_exact(fd: int, size: int) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = os.read(fd, min(remaining, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _chunk_child(write_fd: int, fn: Callable[[Any], Any], chunk: Chunk) -> None:
+    """Child body: compute the chunk, ship ``(results, metrics)`` back.
+
+    Runs under ``os._exit`` discipline — no atexit hooks, no parent test
+    harness teardown.  The inherited metrics registry is zeroed so the
+    shipped snapshot is exactly this child's contribution.
+    """
+    exit_code = 0
+    try:
+        _metrics.reset()
+        results: List[Tuple[int, Optional[str], Any]] = []
+        for index, item in chunk:
+            try:
+                results.append((index, None, fn(item)))
+            except BaseException:  # noqa: BLE001 - shipped to the parent verbatim
+                results.append((index, traceback.format_exc(), None))
+        payload = pickle.dumps(
+            (results, _metrics.snapshot()), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        _write_all(write_fd, _LEN.pack(len(payload)) + payload)
+    except BaseException:
+        exit_code = 1
+    finally:
+        try:
+            os.close(write_fd)
+        except OSError:
+            pass
+        os._exit(exit_code)
+
+
+def _collect(read_fd: int, pid: int):
+    """Read one child's length-prefixed payload; ``None`` if it died silently."""
+    payload: Optional[bytes] = None
+    try:
+        header = _read_exact(read_fd, _LEN.size)
+        if header is not None:
+            payload = _read_exact(read_fd, _LEN.unpack(header)[0])
+    finally:
+        os.close(read_fd)
+        os.waitpid(pid, 0)
+    if payload is None:
+        return None
+    return pickle.loads(payload)
+
+
+def run_chunk_in_fork(
+    fn: Callable[[Any], Any], chunk: Chunk
+) -> Optional[Tuple[List[Tuple[int, Optional[str], Any]], Dict[str, Any]]]:
+    """Execute one chunk in a fresh forked child.
+
+    Returns the child's ``(results, metrics snapshot)``, or ``None`` when
+    the child died without reporting.  Requires ``os.fork``.
+    """
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        os.close(read_fd)
+        _chunk_child(write_fd, fn, chunk)
+        # _chunk_child never returns
+    _FORKS.inc()
+    os.close(write_fd)
+    return _collect(read_fd, pid)
+
+
+class ForkBackend(ExecutionBackend):
+    """One forked child per chunk on the local host."""
+
+    name = "fork"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self._workers = (
+            max(1, int(workers)) if workers is not None else (os.cpu_count() or 1)
+        )
+
+    @property
+    def spec(self) -> str:
+        return f"fork:{self._workers}"
+
+    @property
+    def parallelism(self) -> int:
+        # Without fork support (non-POSIX) the resolved parallelism is 1,
+        # which makes parallel_map run serially in the caller instead.
+        return self._workers if hasattr(os, "fork") else 1
+
+    def submit_chunks(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Chunk]
+    ) -> List[ChunkOutcome]:
+        # Fork every child first (concurrency), then collect in chunk order.
+        children: List[Tuple[int, int]] = []
+        for chunk in chunks:
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                os.close(read_fd)
+                for other_read, _other_pid in children:
+                    try:
+                        os.close(other_read)
+                    except OSError:
+                        pass
+                _chunk_child(write_fd, fn, chunk)
+                # _chunk_child never returns
+            _FORKS.inc()
+            os.close(write_fd)
+            children.append((read_fd, pid))
+
+        outcomes: List[ChunkOutcome] = []
+        for read_fd, pid in children:
+            collected = _collect(read_fd, pid)
+            if collected is None:
+                outcomes.append(
+                    ChunkOutcome(results=None, detail="forked child died without reporting")
+                )
+            else:
+                results, snapshot = collected
+                outcomes.append(ChunkOutcome(results=results, metrics=snapshot))
+        return outcomes
+
+
+def _factory(rest):
+    if rest is None or rest == "":
+        return ForkBackend()
+    try:
+        workers = int(rest)
+    except ValueError:
+        raise BackendSpecError(f"fork worker count must be an integer, got {rest!r}")
+    return ForkBackend(workers)
+
+
+register_backend("fork", _factory)

@@ -1,0 +1,313 @@
+"""The distributed TCP backend (spec ``socket:host:port[,host:port...]``).
+
+Chunks are pickled (closures included, :mod:`repro.perf.pickling`) and
+shipped to a pool of workers started with::
+
+    python -m repro.perf.worker --listen HOST:PORT
+
+one chunk in flight per worker connection, all chunks concurrently across
+the pool.  The wire protocol is deliberately small:
+
+* **framing** — every message is an 8-byte big-endian length followed by a
+  pickle of a tuple; requests are ``("ping",)`` and
+  ``("run", fn_blob, chunk_blob)``, replies are ``("pong", info)``,
+  ``("ok", results, metrics_snapshot)``, ``("lost", detail)`` and
+  ``("fatal", traceback)``;
+* **handshake** — on connect the client pings and verifies the worker's
+  protocol version and Python ``major.minor`` (marshal'd code objects are
+  not portable across interpreter versions; a mismatched pool fails loudly
+  at connect, never with a corrupt sweep);
+* **retry on another worker** — a connection that dies mid-chunk (send or
+  receive fails) is marked dead and the chunk is resubmitted to the next
+  live worker; chunk results depend only on the items, so retries cannot
+  change the sweep outcome.  With no live workers left the chunk is
+  reported lost and ``parallel_map`` recomputes it in the caller;
+* **atomic payloads** — a worker ships results and its per-chunk metrics
+  snapshot in one frame, so a dead worker contributed nothing and the
+  retry/fallback path can never double-count metrics.
+
+Workers execute each chunk in a forked child
+(:func:`repro.perf.backends.fork.run_chunk_in_fork`), giving every chunk a
+zeroed metrics registry, a cold cache, and crash isolation — exactly the
+fork backend's semantics, one network hop away.
+
+Security: frames are pickles — run workers only on hosts and networks you
+trust, and bind them to loopback or private interfaces.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import sys
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import counter as _counter
+from repro.perf import pickling
+from repro.perf.backends import (
+    BackendSpecError,
+    Chunk,
+    ChunkOutcome,
+    ExecutionBackend,
+    register_backend,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "BackendProtocolError",
+    "SocketBackend",
+    "parse_addresses",
+    "recv_frame",
+    "send_frame",
+    "worker_info",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Seconds allowed for connect + handshake (chunk execution is unbounded).
+CONNECT_TIMEOUT = 10.0
+
+_CHUNKS = _counter("perf.parallel.socket.chunks")
+_RETRIES = _counter("perf.parallel.socket.retries")
+_DEAD = _counter("perf.parallel.socket.dead_workers")
+
+_LEN = struct.Struct(">Q")
+
+
+class BackendProtocolError(RuntimeError):
+    """A worker speaks a different protocol or interpreter version."""
+
+
+def worker_info() -> Dict[str, Any]:
+    """The handshake payload both sides compare."""
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "python": "{}.{}".format(*sys.version_info[:2]),
+    }
+
+
+def send_frame(sock: socket.socket, message: Tuple[Any, ...]) -> None:
+    """Ship one length-prefixed message (closure-capable pickling)."""
+    payload = pickling.dumps(message)
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks: List[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise EOFError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[Any, ...]:
+    """Read one length-prefixed message (raises ``EOFError`` on a closed peer)."""
+    header = _recv_exact(sock, _LEN.size)
+    return pickle.loads(_recv_exact(sock, _LEN.unpack(header)[0]))
+
+
+def parse_addresses(rest: Optional[str]) -> List[Tuple[str, int]]:
+    """Parse ``host:port[,host:port...]`` (the text after ``socket:``)."""
+    if not rest:
+        raise BackendSpecError(
+            "socket spec needs at least one host:port, e.g. socket:127.0.0.1:9001"
+        )
+    addresses: List[Tuple[str, int]] = []
+    for entry in rest.split(","):
+        entry = entry.strip()
+        host, sep, port_text = entry.rpartition(":")
+        if not sep or not host:
+            raise BackendSpecError(f"socket address {entry!r} is not host:port")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise BackendSpecError(f"socket port in {entry!r} is not an integer")
+        addresses.append((host, port))
+    return addresses
+
+
+class _WorkerConnection:
+    """One worker endpoint: its address, live socket (if any), and a lock
+    serializing the send/receive round-trip of a chunk."""
+
+    __slots__ = ("address", "sock", "alive", "attempted", "lock")
+
+    def __init__(self, address: Tuple[str, int]) -> None:
+        self.address = address
+        self.sock: Optional[socket.socket] = None
+        self.alive = False
+        self.attempted = False
+        self.lock = threading.Lock()
+
+
+class SocketBackend(ExecutionBackend):
+    """Fan chunks over a TCP worker pool."""
+
+    name = "socket"
+    remote = True  # a one-worker pool still offloads (don't run in-caller)
+
+    def __init__(self, addresses: Sequence[Tuple[str, int]]) -> None:
+        if not addresses:
+            raise BackendSpecError("socket backend needs at least one worker address")
+        self._connections = [_WorkerConnection(tuple(a)) for a in addresses]
+        self._pool_lock = threading.Lock()
+
+    @property
+    def spec(self) -> str:
+        return "socket:" + ",".join(f"{h}:{p}" for h, p in self.addresses)
+
+    @property
+    def addresses(self) -> List[Tuple[str, int]]:
+        return [c.address for c in self._connections]
+
+    @property
+    def parallelism(self) -> int:
+        return len(self._connections)
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info["addresses"] = [f"{h}:{p}" for h, p in self.addresses]
+        return info
+
+    # -- connection management -------------------------------------------------
+
+    def _connect_one(self, conn: _WorkerConnection) -> None:
+        conn.attempted = True
+        try:
+            sock = socket.create_connection(conn.address, timeout=CONNECT_TIMEOUT)
+        except OSError:
+            _DEAD.inc()
+            return
+        try:
+            send_frame(sock, ("ping",))
+            reply = recv_frame(sock)
+        except (OSError, EOFError):
+            sock.close()
+            _DEAD.inc()
+            return
+        if not (isinstance(reply, tuple) and reply and reply[0] == "pong"):
+            sock.close()
+            raise BackendProtocolError(
+                f"worker {conn.address} sent {reply!r} instead of a pong"
+            )
+        info = reply[1] if len(reply) > 1 else {}
+        mine = worker_info()
+        if info.get("protocol") != mine["protocol"] or info.get("python") != mine["python"]:
+            sock.close()
+            raise BackendProtocolError(
+                f"worker {conn.address} is incompatible: it runs "
+                f"protocol {info.get('protocol')!r} on Python {info.get('python')!r}, "
+                f"this client runs protocol {mine['protocol']!r} on Python {mine['python']!r}"
+            )
+        sock.settimeout(None)
+        conn.sock = sock
+        conn.alive = True
+
+    def _ensure_connected(self) -> None:
+        with self._pool_lock:
+            for conn in self._connections:
+                if not conn.attempted:
+                    self._connect_one(conn)
+
+    def _mark_dead(self, conn: _WorkerConnection) -> None:
+        with self._pool_lock:
+            if conn.alive:
+                conn.alive = False
+                _DEAD.inc()
+            if conn.sock is not None:
+                try:
+                    conn.sock.close()
+                except OSError:
+                    pass
+                conn.sock = None
+
+    def _pick(self, chunk_index: int) -> Optional[_WorkerConnection]:
+        with self._pool_lock:
+            live = [c for c in self._connections if c.alive]
+            if not live:
+                return None
+            return live[chunk_index % len(live)]
+
+    # -- the submission path ---------------------------------------------------
+
+    def _run_chunk(
+        self,
+        fn_blob: bytes,
+        chunk: Chunk,
+        chunk_index: int,
+        outcomes: List[Optional[ChunkOutcome]],
+    ) -> None:
+        _CHUNKS.inc()
+        chunk_blob = pickling.dumps(list(chunk))
+        while True:
+            conn = self._pick(chunk_index)
+            if conn is None:
+                outcomes[chunk_index] = ChunkOutcome(
+                    results=None, detail="no live socket workers"
+                )
+                return
+            try:
+                with conn.lock:
+                    send_frame(conn.sock, ("run", fn_blob, chunk_blob))
+                    reply = recv_frame(conn.sock)
+            except (OSError, EOFError):
+                # Dead connection: retry the whole chunk on another worker.
+                # Results depend only on the items, so this cannot change
+                # the sweep outcome; the dead worker's payload never
+                # arrived, so nothing can be double-counted.
+                self._mark_dead(conn)
+                _RETRIES.inc()
+                continue
+            kind = reply[0]
+            if kind == "ok":
+                outcomes[chunk_index] = ChunkOutcome(results=reply[1], metrics=reply[2])
+            else:  # "lost" (worker's chunk child died) or "fatal" (bad payload)
+                outcomes[chunk_index] = ChunkOutcome(results=None, detail=str(reply[1]))
+            return
+
+    def submit_chunks(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Chunk]
+    ) -> List[ChunkOutcome]:
+        self._ensure_connected()
+        fn_blob = pickling.dumps(fn)
+        outcomes: List[Optional[ChunkOutcome]] = [None] * len(chunks)
+        threads = [
+            threading.Thread(
+                target=self._run_chunk, args=(fn_blob, chunk, index, outcomes), daemon=True
+            )
+            for index, chunk in enumerate(chunks)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return [
+            outcome
+            if outcome is not None
+            else ChunkOutcome(results=None, detail="chunk thread died")
+            for outcome in outcomes
+        ]
+
+    def close(self) -> None:
+        with self._pool_lock:
+            for conn in self._connections:
+                if conn.sock is not None:
+                    try:
+                        conn.sock.close()
+                    except OSError:
+                        pass
+                    conn.sock = None
+                conn.alive = False
+
+
+def _factory(rest):
+    return SocketBackend(parse_addresses(rest))
+
+
+register_backend("socket", _factory)

@@ -1,63 +1,75 @@
-"""Fork-based ``parallel_map`` for experiment sweeps.
+"""``parallel_map`` — one sweep contract over pluggable execution backends.
 
-Fans a list of independent work items across worker processes created with
-raw ``os.fork`` — the same isolation primitive the guarded experiment
-runner builds on — and reassembles results **in input order**, so callers
-observe exactly the semantics of ``[fn(x) for x in items]``:
+Fans a list of independent work items across an execution backend
+(:mod:`repro.perf.backends`) and reassembles results **in input order**, so
+callers observe exactly the semantics of ``[fn(x) for x in items]``
+regardless of whether chunks ran in-process, in forked children, or on a
+TCP worker pool:
 
-* **Deterministic partitioning** — worker ``w`` of ``n`` gets items
+* **Deterministic partitioning** — chunk ``w`` of ``n`` gets items
   ``w, w+n, w+2n, ...`` (round-robin by index).  The partition is a pure
   function of ``(len(items), n)``, never of timing, and each item's result
   depends only on the item itself, so any seeds baked into the items are
-  honoured identically at every worker count (*seed-stable*: the same item
-  computes under the same seed whether ``n`` is 1 or 16).
-* **Exactness** — results cross the fork boundary by pickling; ``Fraction``
-  weights round-trip losslessly, so parallel sweeps are bit-identical to
-  serial ones.
-* **Fork-boundary metrics merging** — each worker starts from a zeroed
-  :mod:`repro.obs.metrics` registry and ships its snapshot back with the
-  results; the parent folds every worker's counters, gauges and histograms
-  into its own registry, so per-experiment counters survive the fan-out.
-* **Degradation, not failure** — with ``workers <= 1``, a single item, or
-  no ``fork`` support (non-POSIX platforms), the map runs serially in the
-  caller.  A worker that dies without reporting (hard crash) has its chunk
-  re-run serially in the parent, preserving results at the cost of the
-  speedup.  An exception raised by ``fn`` in a worker is re-raised in the
-  parent as :class:`ParallelWorkerError` carrying the child traceback.
+  honoured identically at every parallelism (*seed-stable*).
+* **Exactness** — results cross process boundaries by pickling;
+  ``Fraction`` weights round-trip losslessly, so fanned sweeps are
+  bit-identical to serial ones on every backend.
+* **Boundary metrics merging** — remote executors start from a zeroed
+  :mod:`repro.obs.metrics` registry and ship per-chunk snapshots back with
+  the results; the parent folds them in, in chunk order, so per-experiment
+  counters survive the fan-out.
+* **Degradation, not failure** — a resolved parallelism of 1 (serial spec,
+  single item, no ``fork`` support) runs the plain comprehension in the
+  caller.  A chunk whose executor died without reporting (hard crash, dead
+  worker pool) is re-run serially in the caller — counted in
+  ``perf.parallel.chunk_fallbacks`` — and because result payloads are
+  atomic, the lost executor contributed neither results nor metrics, so
+  nothing is ever double-counted.  An exception raised by ``fn`` remotely
+  is re-raised here as :class:`ParallelWorkerError` carrying the executor's
+  traceback; when several items fail, the **lowest item index** wins.
 
-The worker count resolves, in order: the ``workers`` argument, the value
-set via :func:`configure_workers`, the ``REPRO_PARALLEL`` environment
-variable, then 1 (serial).  The experiment runner's ``--parallel`` flag
-deliberately does *not* set ``REPRO_PARALLEL``: runner parallelism fans
-whole experiments, and nesting both layers would oversubscribe the host
-(see ``docs/performance.md``).
+Backend resolution, in order: the ``backend`` argument (an
+:class:`~repro.perf.backends.ExecutionBackend` instance or a spec string),
+the deprecated ``workers`` argument (mapped to ``fork:N``), then the
+process-wide default (:func:`repro.perf.backends.configure_backend`, else
+``REPRO_BACKEND``, else the deprecated ``REPRO_PARALLEL`` integer, else
+serial).  The experiment runner's ``--parallel`` flag deliberately does
+*not* configure a backend: runner parallelism fans whole experiments, and
+nesting both layers oversubscribes the host (see ``docs/performance.md``).
+
+Deprecated (one release, shims below): :func:`configure_workers` /
+:func:`default_workers` and bare ``REPRO_PARALLEL`` integers — use
+:func:`~repro.perf.backends.configure_backend` with ``fork:N`` specs.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
-import struct
-import traceback
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.obs import metrics as _metrics
 from repro.obs.metrics import counter as _counter
+from repro.perf.backends import (
+    ExecutionBackend,
+    configure_backend,
+    get_backend,
+    make_backend,
+)
 
-__all__ = ["ParallelWorkerError", "parallel_map", "configure_workers", "default_workers"]
+__all__ = [
+    "ParallelWorkerError",
+    "parallel_map",
+    "configure_workers",
+    "default_workers",
+]
 
 _MAPS = _counter("perf.parallel.maps")
-_FORKS = _counter("perf.parallel.forks")
 _ITEMS = _counter("perf.parallel.items")
 _FALLBACKS = _counter("perf.parallel.chunk_fallbacks")
 
-_CONFIGURED_WORKERS: Optional[int] = None
-
-_LEN = struct.Struct(">Q")
-
 
 class ParallelWorkerError(RuntimeError):
-    """``fn`` raised inside a worker; carries the child's traceback text."""
+    """``fn`` raised inside an executor; carries the remote traceback text."""
 
     def __init__(self, index: int, child_traceback: str) -> None:
         super().__init__(
@@ -67,132 +79,63 @@ class ParallelWorkerError(RuntimeError):
         self.child_traceback = child_traceback
 
 
-def configure_workers(workers: Optional[int]) -> None:
-    """Set the process-wide default worker count (``None`` re-reads the env)."""
-    global _CONFIGURED_WORKERS
-    _CONFIGURED_WORKERS = None if workers is None else max(1, int(workers))
-
-
-def default_workers() -> int:
-    """The worker count used when ``parallel_map`` is called without one."""
-    if _CONFIGURED_WORKERS is not None:
-        return _CONFIGURED_WORKERS
-    raw = os.environ.get("REPRO_PARALLEL", "").strip()
-    if not raw:
-        return 1
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        return 1
-
-
-def _write_all(fd: int, payload: bytes) -> None:
-    view = memoryview(payload)
-    while view:
-        written = os.write(fd, view)
-        view = view[written:]
-
-
-def _read_exact(fd: int, size: int) -> Optional[bytes]:
-    chunks: List[bytes] = []
-    remaining = size
-    while remaining:
-        chunk = os.read(fd, min(remaining, 1 << 20))
-        if not chunk:
-            return None
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def _child_main(write_fd: int, fn: Callable[[Any], Any], chunk: Sequence[Tuple[int, Any]]) -> None:
-    """Worker body: compute the chunk, ship ``(results, metrics)`` back.
-
-    Runs under ``os._exit`` discipline — no atexit hooks, no parent test
-    harness teardown.  The inherited metrics registry is zeroed so the
-    shipped snapshot is exactly this worker's contribution.
-    """
-    exit_code = 0
-    try:
-        _metrics.reset()
-        results: List[Tuple[int, Optional[str], Any]] = []
-        for index, item in chunk:
-            try:
-                results.append((index, None, fn(item)))
-            except BaseException:  # noqa: BLE001 - shipped to the parent verbatim
-                results.append((index, traceback.format_exc(), None))
-        payload = pickle.dumps(
-            (results, _metrics.snapshot()), protocol=pickle.HIGHEST_PROTOCOL
-        )
-        _write_all(write_fd, _LEN.pack(len(payload)) + payload)
-    except BaseException:
-        exit_code = 1
-    finally:
-        try:
-            os.close(write_fd)
-        except OSError:
-            pass
-        os._exit(exit_code)
-
-
 def parallel_map(
     fn: Callable[[Any], Any],
     items: Iterable[Any],
     *,
     workers: Optional[int] = None,
     merge_metrics: bool = True,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> List[Any]:
-    """``[fn(x) for x in items]`` fanned across forked workers (see module
-    docstring for the determinism contract)."""
+    """``[fn(x) for x in items]`` fanned across an execution backend (see
+    module docstring for the determinism contract)."""
     work = list(items)
-    count = default_workers() if workers is None else max(1, int(workers))
-    count = min(count, len(work))
-    if count <= 1 or not hasattr(os, "fork"):
-        return [fn(item) for item in work]
+    owned = False
+    if backend is not None:
+        resolved = backend if isinstance(backend, ExecutionBackend) else make_backend(backend)
+        owned = not isinstance(backend, ExecutionBackend)
+    elif workers is not None:
+        count = max(1, int(workers))
+        if count <= 1:
+            return [fn(item) for item in work]
+        resolved = make_backend(f"fork:{count}")
+        owned = True
+    else:
+        resolved = get_backend()
 
-    _MAPS.inc()
-    _ITEMS.inc(len(work))
-    indexed = list(enumerate(work))
-    chunks = [indexed[w::count] for w in range(count)]
+    try:
+        count = min(resolved.parallelism, len(work))
+        if not work or (count <= 1 and not resolved.remote):
+            # A single local chunk gains nothing from the transport; a
+            # single *remote* chunk still offloads (that's the point of
+            # pointing a weak host at a one-worker pool).
+            return [fn(item) for item in work]
+        count = max(1, count)
 
-    children: List[Tuple[int, int, Sequence[Tuple[int, Any]]]] = []
-    for chunk in chunks:
-        read_fd, write_fd = os.pipe()
-        pid = os.fork()
-        if pid == 0:
-            os.close(read_fd)
-            for other_read, _other_pid, _other_chunk in children:
-                try:
-                    os.close(other_read)
-                except OSError:
-                    pass
-            _child_main(write_fd, fn, chunk)
-            # _child_main never returns
-        _FORKS.inc()
-        os.close(write_fd)
-        children.append((read_fd, pid, chunk))
+        _MAPS.inc()
+        _ITEMS.inc(len(work))
+        indexed = list(enumerate(work))
+        chunks = [indexed[w::count] for w in range(count)]
+        outcomes = resolved.submit_chunks(fn, chunks)
+    finally:
+        if owned:
+            resolved.close()
 
     results: List[Any] = [None] * len(work)
     failures: List[Tuple[int, str]] = []
-    for read_fd, pid, chunk in children:
-        payload: Optional[bytes] = None
-        try:
-            header = _read_exact(read_fd, _LEN.size)
-            if header is not None:
-                payload = _read_exact(read_fd, _LEN.unpack(header)[0])
-        finally:
-            os.close(read_fd)
-            os.waitpid(pid, 0)
-        if payload is None:
-            # The worker died without reporting: recompute its chunk here.
+    for chunk, outcome in zip(chunks, outcomes):
+        if outcome is None or outcome.lost:
+            # The executor died without reporting: recompute the chunk here.
+            # Its payload (results + metrics) is atomic and never arrived,
+            # so merging nothing and recomputing counts each item's work
+            # exactly once.
             _FALLBACKS.inc()
             for index, item in chunk:
                 results[index] = fn(item)
             continue
-        chunk_results, snapshot = pickle.loads(payload)
-        if merge_metrics:
-            _metrics.merge_snapshot(snapshot)
-        for index, error, value in chunk_results:
+        if merge_metrics and outcome.metrics is not None:
+            _metrics.merge_snapshot(outcome.metrics)
+        for index, error, value in outcome.results:
             if error is not None:
                 failures.append((index, error))
             else:
@@ -201,3 +144,34 @@ def parallel_map(
         index, error = min(failures)
         raise ParallelWorkerError(index, error)
     return results
+
+
+# -- deprecated shims (kept for one release) -----------------------------------
+
+
+def configure_workers(workers: Optional[int]) -> None:
+    """Deprecated: use ``configure_backend("fork:N")`` (or ``None``).
+
+    ``configure_workers(n)`` maps to ``configure_backend(f"fork:{n}")``;
+    ``configure_workers(None)`` drops the explicit configuration so the
+    environment is re-read, exactly like ``configure_backend(None)``.
+    """
+    warnings.warn(
+        "configure_workers is deprecated; use "
+        "repro.perf.configure_backend('fork:N') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    configure_backend(None if workers is None else f"fork:{max(1, int(workers))}")
+
+
+def default_workers() -> int:
+    """Deprecated: the resolved default backend's parallelism
+    (use ``get_backend().parallelism``)."""
+    warnings.warn(
+        "default_workers is deprecated; use "
+        "repro.perf.get_backend().parallelism instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return get_backend().parallelism

@@ -1,0 +1,154 @@
+"""TCP worker for the socket execution backend.
+
+Stand one up per core (or per machine) and point ``REPRO_BACKEND`` / the
+runner's ``--backend`` at the pool::
+
+    python -m repro.perf.worker --listen 127.0.0.1:9001
+    python -m repro.perf.worker --listen 0.0.0.0:9001      # other hosts may connect
+
+    REPRO_BACKEND=socket:host1:9001,host2:9001 \\
+        python -m repro.experiments.runner E12 E15
+
+The worker prints ``repro-perf-worker listening on HOST:PORT`` once bound
+(``--listen HOST:0`` picks a free port — parse the line to learn it), then
+serves forever: one thread per client connection, and **one forked child
+per chunk** (:func:`repro.perf.backends.fork.run_chunk_in_fork`), so every
+chunk runs with a zeroed metrics registry, a cold cache, and crash
+isolation — a chunk that segfaults kills its child, and the worker reports
+the chunk as lost instead of dying.  Multiple clients (e.g. several
+crash-isolated experiment children of one ``--parallel`` runner) are served
+concurrently.
+
+The worker forces ``REPRO_BACKEND=serial`` for its own process tree: a
+sweep nested inside a shipped chunk must never dial back into the pool the
+chunk came from.
+
+Per-connection request log lines go to stderr (CI captures them as
+artifacts).  POSIX only (``os.fork``); frames are pickles, so bind only to
+interfaces you trust.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import Optional, Sequence, Tuple
+
+from repro.perf import pickling
+from repro.perf.backends.fork import run_chunk_in_fork
+from repro.perf.backends.sockets import recv_frame, send_frame, worker_info
+
+__all__ = ["main", "serve"]
+
+
+def _log(message: str) -> None:
+    print(f"repro-perf-worker[{os.getpid()}] {message}", file=sys.stderr, flush=True)
+
+
+def _handle_run(conn: socket.socket, fn_blob: bytes, chunk_blob: bytes) -> str:
+    try:
+        fn = pickling.loads(fn_blob)
+        chunk = pickling.loads(chunk_blob)
+    except BaseException:  # noqa: BLE001 - diagnosis belongs to the client
+        send_frame(conn, ("fatal", f"worker could not unpickle the chunk:\n{traceback.format_exc()}"))
+        return "fatal: unpicklable chunk"
+    started = time.perf_counter()
+    collected = run_chunk_in_fork(fn, chunk)
+    elapsed = time.perf_counter() - started
+    if collected is None:
+        send_frame(conn, ("lost", "worker's chunk subprocess died without reporting"))
+        return f"lost ({len(chunk)} items, {elapsed:.2f}s)"
+    results, snapshot = collected
+    send_frame(conn, ("ok", results, snapshot))
+    failed = sum(1 for _index, error, _value in results if error is not None)
+    status = "ok" if not failed else f"ok with {failed} item error(s)"
+    return f"{status} ({len(chunk)} items, {elapsed:.2f}s)"
+
+
+def _serve_connection(conn: socket.socket, peer: Tuple[str, int]) -> None:
+    _log(f"client {peer[0]}:{peer[1]} connected")
+    try:
+        while True:
+            try:
+                message = recv_frame(conn)
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "ping":
+                send_frame(conn, ("pong", worker_info()))
+            elif kind == "run":
+                outcome = _handle_run(conn, message[1], message[2])
+                _log(f"client {peer[0]}:{peer[1]} chunk -> {outcome}")
+            elif kind == "shutdown":
+                _log(f"client {peer[0]}:{peer[1]} requested shutdown")
+                try:
+                    send_frame(conn, ("bye",))
+                finally:
+                    os._exit(0)
+            else:
+                send_frame(conn, ("fatal", f"unknown request {kind!r}"))
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        _log(f"client {peer[0]}:{peer[1]} disconnected")
+
+
+def serve(host: str, port: int, *, ready: Optional[threading.Event] = None) -> None:
+    """Bind, announce, and serve forever (thread per connection)."""
+    server = socket.create_server((host, port))
+    bound_host, bound_port = server.getsockname()[:2]
+    print(f"repro-perf-worker listening on {bound_host}:{bound_port}", flush=True)
+    _log(f"serving on {bound_host}:{bound_port} (python {worker_info()['python']})")
+    if ready is not None:
+        ready.set()
+    while True:
+        conn, peer = server.accept()
+        thread = threading.Thread(target=_serve_connection, args=(conn, peer), daemon=True)
+        thread.start()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="TCP worker for the repro.perf socket execution backend.",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="interface and port to bind (port 0 picks a free one)",
+    )
+    args = parser.parse_args(argv)
+
+    if not hasattr(os, "fork"):
+        print("repro-perf-worker requires a POSIX host (os.fork)", file=sys.stderr)
+        return 2
+    host, sep, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+        if not sep or not host:
+            raise ValueError
+    except ValueError:
+        print(f"--listen must be HOST:PORT, got {args.listen!r}", file=sys.stderr)
+        return 2
+
+    # A sweep nested inside a chunk must run serially, never dial back into
+    # the pool this worker belongs to (that would deadlock the pool).
+    os.environ["REPRO_BACKEND"] = "serial"
+
+    try:
+        serve(host, port)
+    except KeyboardInterrupt:
+        _log("interrupted, exiting")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ suite can run under either cache mode (the CI matrix exercises both).
 import pytest
 
 from repro.obs import metrics, trace
+from repro.perf import backends as perf_backends
 from repro.perf import cache as perf_cache
 
 
@@ -21,4 +22,7 @@ def _clean_observability():
     trace.TRACER.clear()
     perf_cache.clear()
     perf_cache.configure(enabled=None)
+    # Drop any explicitly configured execution backend so each test resolves
+    # from the environment (REPRO_BACKEND — the CI matrix exercises specs).
+    perf_backends.configure_backend(None)
     yield

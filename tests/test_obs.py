@@ -265,6 +265,40 @@ class TestReportSchema:
     def test_schema_constant_is_versioned(self):
         assert REPORT_SCHEMA.endswith("/1")
 
+    def test_backend_block_round_trips(self):
+        payload = build_report(
+            [outcome_record(_outcome(), "claim", default_seed=1)],
+            fast=True,
+            backend={"name": "fork", "spec": "fork:4", "parallelism": 4},
+        )
+        restored = json.loads(json.dumps(payload))
+        validate_report(restored)
+        assert restored["summary"]["backend"] == {
+            "name": "fork",
+            "spec": "fork:4",
+            "parallelism": 4,
+        }
+
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            "fork:4",  # not an object
+            {"name": "fork", "spec": "fork:4"},  # parallelism missing
+            {"name": "fork", "spec": "fork:4", "parallelism": 0},
+            {"name": "fork", "spec": "fork:4", "parallelism": True},
+            {"name": 7, "spec": "fork:4", "parallelism": 4},
+            {"name": "fork", "spec": None, "parallelism": 4},
+        ],
+    )
+    def test_validation_rejects_bad_backend_block(self, backend):
+        payload = build_report(
+            [outcome_record(_outcome(), "claim", default_seed=1)], fast=True
+        )
+        corrupted = json.loads(json.dumps(payload, default=repr))
+        corrupted["summary"]["backend"] = backend
+        with pytest.raises(ReportSchemaError):
+            validate_report(corrupted)
+
 
 class TestReportFormatting:
     def test_format_record_pass_renders_table_and_timing(self):

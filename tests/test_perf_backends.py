@@ -1,0 +1,420 @@
+"""The execution-backend registry, the socket transport, and the runner glue.
+
+Covers spec parsing and normalization, default-backend resolution order,
+the ``repro.perf`` public surface, per-backend ``submit_chunks`` semantics,
+and — against two real loopback workers — the socket backend end to end:
+result equality with serial, boundary metrics merging, remote error
+propagation, retry on a dead worker, caller fallback when the whole pool is
+gone, and the acceptance bar itself: E12/E15 runner reports byte-identical
+across ``serial``, ``fork:4`` and ``socket:`` (modulo wall-clock fields and
+cache-warmth-dependent counters), including with a worker killed mid-sweep.
+"""
+
+import json
+import os
+import random
+import signal
+import socket as socket_module
+import subprocess
+import sys
+import threading
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro import perf
+from repro.obs import metrics
+from repro.perf.backends import (
+    BackendSpecError,
+    ChunkOutcome,
+    ExecutionBackend,
+    ForkBackend,
+    SerialBackend,
+    SocketBackend,
+    configure_backend,
+    current_spec,
+    get_backend,
+    make_backend,
+    normalize_spec,
+    register_backend,
+)
+from repro.perf.backends.sockets import (
+    BackendProtocolError,
+    parse_addresses,
+    recv_frame,
+    send_frame,
+)
+from repro.perf.parallel import ParallelWorkerError, parallel_map
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+# -- spec parsing and the registry ---------------------------------------------
+
+
+class TestSpecs:
+    def test_normalization(self):
+        assert normalize_spec("serial") == "serial"
+        assert normalize_spec("fork:3") == "fork:3"
+        assert normalize_spec("fork") == f"fork:{os.cpu_count() or 1}"
+        assert normalize_spec(" Fork:3 ") == "fork:3"
+        assert (
+            normalize_spec("socket:127.0.0.1:9001,10.0.0.2:9001")
+            == "socket:127.0.0.1:9001,10.0.0.2:9001"
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "bogus", "serial:2", "fork:x", "fork:0x4", "socket:", "socket:hostonly", "socket:h:12x"],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(BackendSpecError):
+            normalize_spec(bad)
+
+    def test_parse_addresses(self):
+        assert parse_addresses("h1:1, h2:2") == [("h1", 1), ("h2", 2)]
+        with pytest.raises(BackendSpecError):
+            parse_addresses(None)
+
+    def test_custom_backend_registration(self):
+        class EchoBackend(ExecutionBackend):
+            name = "test-echo"
+
+            @property
+            def spec(self):
+                return "test-echo"
+
+            @property
+            def parallelism(self):
+                return 1
+
+            def submit_chunks(self, fn, chunks):
+                return [
+                    ChunkOutcome(results=[(i, None, fn(x)) for i, x in chunk])
+                    for chunk in chunks
+                ]
+
+        register_backend("test-echo", lambda rest: EchoBackend())
+        assert isinstance(make_backend("test-echo"), EchoBackend)
+
+
+class TestResolution:
+    def test_configure_spec_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fork:7")
+        configure_backend("fork:3")
+        assert current_spec() == "fork:3"
+        assert get_backend().parallelism == 3
+        configure_backend(None)
+        assert current_spec() == "fork:7"
+        assert get_backend().parallelism == 7
+
+    def test_configure_instance_used_directly(self):
+        instance = SerialBackend()
+        configure_backend(instance)
+        assert get_backend() is instance
+
+    def test_invalid_spec_rejected_at_configure_time(self):
+        with pytest.raises(BackendSpecError):
+            configure_backend("warp:9")
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert current_spec() == "serial"
+
+    def test_describe_shape(self):
+        info = make_backend("fork:2").describe()
+        assert info == {"name": "fork", "spec": "fork:2", "parallelism": 2}
+        info = make_backend("socket:127.0.0.1:9001").describe()
+        assert info["addresses"] == ["127.0.0.1:9001"]
+
+
+class TestPublicSurface:
+    def test_stable_api_reexported_from_repro_perf(self):
+        for name in (
+            "parallel_map",
+            "configure_backend",
+            "get_backend",
+            "make_backend",
+            "register_backend",
+            "current_spec",
+            "ExecutionBackend",
+            "SerialBackend",
+            "ForkBackend",
+            "SocketBackend",
+            "ParallelWorkerError",
+            "BackendSpecError",
+            "configure_workers",  # deprecated shim, still one release away
+        ):
+            assert hasattr(perf, name), name
+
+
+# -- per-backend submit_chunks semantics ---------------------------------------
+
+
+class TestSerialBackend:
+    def test_runs_in_process_with_caller_metrics(self):
+        backend = SerialBackend()
+        c = metrics.counter("test.backends.serial")
+
+        def bump(x):
+            c.inc()
+            return x * 2
+
+        outcomes = backend.submit_chunks(bump, [[(0, 1), (2, 3)], [(1, 2)]])
+        assert [o.results for o in outcomes] == [[(0, None, 2), (2, None, 6)], [(1, None, 4)]]
+        # Work already ran in the caller's registry: no snapshot to merge.
+        assert all(o.metrics is None for o in outcomes)
+        assert c.value == 3
+
+    def test_item_error_carries_traceback(self):
+        def boom(x):
+            raise ValueError("serial boom")
+
+        (outcome,) = SerialBackend().submit_chunks(boom, [[(0, 1)]])
+        index, error, _value = outcome.results[0]
+        assert index == 0 and "serial boom" in error
+
+
+class TestForkBackend:
+    def test_chunks_run_in_children(self):
+        parent = os.getpid()
+        outcomes = ForkBackend(workers=2).submit_chunks(
+            lambda x: (x, os.getpid()), [[(0, "a")], [(1, "b")]]
+        )
+        pids = {outcome.results[0][2][1] for outcome in outcomes}
+        assert parent not in pids and len(pids) == 2
+        assert all(outcome.metrics is not None for outcome in outcomes)
+
+    def test_hard_death_reports_lost_chunk(self):
+        (outcome,) = ForkBackend(workers=1).submit_chunks(
+            lambda x: os._exit(3), [[(0, None)]]
+        )
+        assert outcome.lost
+
+
+# -- the socket transport, against real loopback workers -----------------------
+
+
+@pytest.fixture
+def spawn_worker():
+    procs = []
+
+    def spawn():
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.perf.worker", "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        banner = proc.stdout.readline()
+        assert "listening on" in banner, banner
+        port = int(banner.strip().rsplit(":", 1)[1])
+        procs.append(proc)
+        return proc, port
+
+    yield spawn
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+
+
+class TestSocketBackend:
+    def test_sweep_matches_serial_exactly(self, spawn_worker):
+        _, p1 = spawn_worker()
+        _, p2 = spawn_worker()
+        backend = f"socket:127.0.0.1:{p1},127.0.0.1:{p2}"
+
+        def draw(seed):
+            return (random.Random(seed).random(), Fraction(seed, 7))
+
+        items = list(range(19))
+        assert parallel_map(draw, items, backend=backend) == [draw(i) for i in items]
+
+    def test_worker_counters_merge_back(self, spawn_worker):
+        _, port = spawn_worker()
+        c = metrics.counter("test.backends.socket_increments")
+        before = c.value
+
+        def bump(x):
+            c.inc()
+            return x
+
+        parallel_map(bump, list(range(9)), backend=f"socket:127.0.0.1:{port}")
+        assert c.value == before + 9
+
+    def test_remote_error_propagates_with_traceback(self, spawn_worker):
+        _, port = spawn_worker()
+
+        def maybe_boom(x):
+            if x == 3:
+                raise ValueError("socket boom")
+            return x
+
+        with pytest.raises(ParallelWorkerError) as excinfo:
+            parallel_map(maybe_boom, list(range(6)), backend=f"socket:127.0.0.1:{port}")
+        assert excinfo.value.index == 3
+        assert "socket boom" in str(excinfo.value)
+
+    def test_dead_worker_chunk_retries_on_survivor(self, spawn_worker):
+        _, p1 = spawn_worker()
+        victim, p2 = spawn_worker()
+        backend = make_backend(f"socket:127.0.0.1:{p1},127.0.0.1:{p2}")
+        backend._ensure_connected()
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        retries = metrics.counter("perf.parallel.socket.retries")
+        fallbacks = metrics.counter("perf.parallel.chunk_fallbacks")
+        retries_before, fallbacks_before = retries.value, fallbacks.value
+        try:
+            items = list(range(8))
+            assert parallel_map(lambda x: x * x, items, backend=backend) == [
+                x * x for x in items
+            ]
+        finally:
+            backend.close()
+        assert retries.value > retries_before
+        assert fallbacks.value == fallbacks_before
+
+    def test_whole_pool_dead_falls_back_to_caller(self, spawn_worker):
+        w1, p1 = spawn_worker()
+        w2, p2 = spawn_worker()
+        backend = make_backend(f"socket:127.0.0.1:{p1},127.0.0.1:{p2}")
+        backend._ensure_connected()
+        for worker in (w1, w2):
+            worker.send_signal(signal.SIGKILL)
+            worker.wait()
+        fallbacks = metrics.counter("perf.parallel.chunk_fallbacks")
+        before = fallbacks.value
+        try:
+            items = list(range(8))
+            assert parallel_map(lambda x: x + 1, items, backend=backend) == [
+                x + 1 for x in items
+            ]
+        finally:
+            backend.close()
+        assert fallbacks.value == before + 2  # both chunks recomputed here
+
+    def test_incompatible_worker_fails_loudly(self):
+        server = socket_module.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+
+        def impostor():
+            conn, _peer = server.accept()
+            recv_frame(conn)  # the ping
+            send_frame(conn, ("pong", {"protocol": 999, "python": "0.0"}))
+            conn.close()
+
+        threading.Thread(target=impostor, daemon=True).start()
+        backend = make_backend(f"socket:127.0.0.1:{port}")
+        try:
+            with pytest.raises(BackendProtocolError, match="protocol 999"):
+                backend.submit_chunks(lambda x: x, [[(0, 1)]])
+        finally:
+            backend.close()
+            server.close()
+
+    def test_shutdown_request_stops_worker(self, spawn_worker):
+        proc, port = spawn_worker()
+        sock = socket_module.create_connection(("127.0.0.1", port), timeout=10)
+        send_frame(sock, ("shutdown",))
+        assert recv_frame(sock)[0] == "bye"
+        sock.close()
+        assert proc.wait(timeout=10) == 0
+
+
+class TestWorkerCLI:
+    @pytest.mark.parametrize("listen", ["nonsense", ":9001", "127.0.0.1:"])
+    def test_bad_listen_exits_2(self, listen):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.perf.worker", "--listen", listen],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 2
+        assert "HOST:PORT" in proc.stderr
+
+
+# -- the acceptance bar: runner reports identical across backends --------------
+
+#: Fields that legitimately differ between backends/runs: timing, process
+#: identity, file paths, the backend/cache description itself, and the
+#: counters (per-chunk-process cache warmth changes hit/miss tallies, and
+#: transport counters differ across backends by construction).
+_VOLATILE_REPORT = {"created_unix", "argv"}
+_VOLATILE_SUMMARY = {"wall_time_s", "cache", "backend"}
+_VOLATILE_RECORD = {"elapsed_s", "peak_rss_bytes", "trace_file", "counters"}
+
+
+def _scrub_cross_backend(payload):
+    payload = {k: v for k, v in payload.items() if k not in _VOLATILE_REPORT}
+    payload["summary"] = {
+        k: v for k, v in payload["summary"].items() if k not in _VOLATILE_SUMMARY
+    }
+    payload["experiments"] = [
+        {k: v for k, v in record.items() if k not in _VOLATILE_RECORD}
+        for record in payload["experiments"]
+    ]
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestRunnerAcceptance:
+    def _run(self, runner, tmp_path, label, backend_spec):
+        out = tmp_path / f"report-{label}.json"
+        code = runner.main(
+            ["E12", "E15", "--backend", backend_spec, "--metrics-out", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["backend"]["spec"] == backend_spec
+        return _scrub_cross_backend(payload)
+
+    def test_reports_identical_across_backends(
+        self, tmp_path, monkeypatch, spawn_worker
+    ):
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        from repro.experiments import runner
+
+        _, p1 = spawn_worker()
+        _, p2 = spawn_worker()
+        socket_spec = f"socket:127.0.0.1:{p1},127.0.0.1:{p2}"
+        reports = {
+            label: self._run(runner, tmp_path, label, spec)
+            for label, spec in (
+                ("serial", "serial"),
+                ("fork", "fork:4"),
+                ("socket", socket_spec),
+            )
+        }
+        assert reports["serial"] == reports["fork"] == reports["socket"]
+
+    def test_report_identical_with_worker_killed_mid_sweep(
+        self, tmp_path, monkeypatch, spawn_worker
+    ):
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        from repro.experiments import runner
+
+        serial = self._run(runner, tmp_path, "serial-ref", "serial")
+        _, p1 = spawn_worker()
+        victim, p2 = spawn_worker()
+        killer = threading.Timer(
+            0.3, lambda: (victim.send_signal(signal.SIGKILL), victim.wait())
+        )
+        killer.start()
+        try:
+            survived = self._run(
+                runner, tmp_path, "socket-kill", f"socket:127.0.0.1:{p1},127.0.0.1:{p2}"
+            )
+        finally:
+            killer.cancel()
+        assert survived == serial

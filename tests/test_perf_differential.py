@@ -6,8 +6,8 @@ The memoization and parallelism machinery must be *invisible* in results:
   cache on and off (exact equality; all arithmetic is rational);
 * the runner's machine-readable report is byte-identical at every
   ``--parallel N`` modulo wall-clock/pid-flavoured fields;
-* inner sweep parallelism (``REPRO_PARALLEL``) does not change experiment
-  results either;
+* inner sweep parallelism (the ``REPRO_BACKEND`` execution backend) does
+  not change experiment results either;
 * the unfolding engine decides every fragment exactly once (the historical
   double-decide of depth-bound fragments in ``execution_measure`` stays
   fixed), pinned by counting scheduler invocations.
@@ -22,8 +22,8 @@ from repro.core.psioa import TablePSIOA
 from repro.core.signature import Signature
 from repro.experiments.common import ALL_EXPERIMENTS, run_experiment, set_experiment_seed
 from repro.obs import metrics
+from repro.perf import backends as perf_backends
 from repro.perf import cache as perf_cache
-from repro.perf import parallel as perf_parallel
 from repro.probability.measures import DiscreteMeasure, dirac
 from repro.semantics.measure import execution_measure
 from repro.semantics.scheduler import ActionSequenceScheduler, Scheduler
@@ -121,14 +121,14 @@ class TestInnerSweepParallelism:
         set_experiment_seed(None)
         perf_cache.configure(enabled=True)
         perf_cache.clear()
-        perf_parallel.configure_workers(1)
+        perf_backends.configure_backend("serial")
         serial = run_experiment(experiment_id)
         perf_cache.clear()
-        perf_parallel.configure_workers(2)
+        perf_backends.configure_backend("fork:2")
         try:
             fanned = run_experiment(experiment_id)
         finally:
-            perf_parallel.configure_workers(None)
+            perf_backends.configure_backend(None)
         assert _normalized(serial) == _normalized(fanned)
 
 

@@ -1,29 +1,27 @@
-"""Tests of the fork-based ``parallel_map`` determinism contract.
+"""Tests of the ``parallel_map`` determinism contract over backends.
 
 Order preservation, exactness across the pickle boundary, seed-stable
-partitioning, fork-boundary metrics merging, serial fallback, and error
-propagation with the child traceback attached.
+partitioning, boundary metrics merging, lost-chunk fallback without
+double-counting, and error propagation with the remote traceback attached.
+The contract is backend-independent; these tests exercise it through the
+fork transport (the serial and socket transports are covered in
+``test_perf_backends.py``, against the same assertions).
 """
 
+import os
 import random
 from fractions import Fraction
 
 import pytest
 
 from repro.obs import metrics
+from repro.perf.backends import configure_backend
 from repro.perf.parallel import (
     ParallelWorkerError,
     configure_workers,
     default_workers,
     parallel_map,
 )
-
-
-@pytest.fixture(autouse=True)
-def _reset_workers():
-    configure_workers(None)
-    yield
-    configure_workers(None)
 
 
 class TestOrderAndExactness:
@@ -83,6 +81,31 @@ class TestMetricsMerging:
         assert c.value == before
 
 
+class TestLostChunkFallback:
+    def test_dead_chunk_is_recomputed_without_double_counting(self):
+        # One forked chunk dies hard (os._exit — no results, no snapshot).
+        # The fallback recomputes exactly that chunk in the parent; because
+        # chunk payloads are atomic the dead child's partial counter
+        # increments never merge, so every item is counted exactly once.
+        c = metrics.counter("test.parallel.fallback_work")
+        before = c.value
+        fallbacks = metrics.counter("perf.parallel.chunk_fallbacks")
+        fallbacks_before = fallbacks.value
+        parent_pid = os.getpid()
+
+        def work(x):
+            c.inc()
+            if x == 1 and os.getpid() != parent_pid:
+                os._exit(1)  # dies *after* counting: a real double-count risk
+            return x * 10
+
+        items = list(range(9))
+        # workers=3 puts items {1, 4, 7} alone in chunk 1 (round-robin).
+        assert parallel_map(work, items, workers=3) == [x * 10 for x in items]
+        assert fallbacks.value == fallbacks_before + 1
+        assert c.value == before + len(items)
+
+
 class TestErrors:
     def test_worker_exception_propagates_with_traceback(self):
         def maybe_boom(x):
@@ -106,15 +129,45 @@ class TestErrors:
         assert excinfo.value.index == 5
 
 
-class TestConfiguration:
-    def test_configure_workers_overrides_env(self, monkeypatch):
-        monkeypatch.setenv("REPRO_PARALLEL", "6")
-        assert default_workers() == 6
-        configure_workers(3)
-        assert default_workers() == 3
-        configure_workers(None)
-        assert default_workers() == 6
+class TestDeprecatedShims:
+    def test_configure_workers_maps_to_fork_backend(self):
+        with pytest.warns(DeprecationWarning, match="configure_workers"):
+            configure_workers(3)
+        with pytest.warns(DeprecationWarning, match="default_workers"):
+            assert default_workers() == 3
 
-    def test_invalid_env_falls_back_to_serial(self, monkeypatch):
+    def test_configure_workers_matches_configure_backend(self):
+        items = list(range(17))
+
+        def draw(seed):
+            return random.Random(seed).random()
+
+        configure_backend("fork:2")
+        via_backend = parallel_map(draw, items)
+        with pytest.warns(DeprecationWarning):
+            configure_workers(2)
+        assert parallel_map(draw, items) == via_backend
+
+    def test_configure_workers_none_rereads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fork:6")
+        with pytest.warns(DeprecationWarning):
+            configure_workers(3)
+        with pytest.warns(DeprecationWarning):
+            assert default_workers() == 3
+        with pytest.warns(DeprecationWarning):
+            configure_workers(None)
+        with pytest.warns(DeprecationWarning):
+            assert default_workers() == 6
+
+    def test_legacy_repro_parallel_env_still_works(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_PARALLEL", "6")
+        with pytest.warns(DeprecationWarning) as records:
+            assert default_workers() == 6
+        assert any("REPRO_PARALLEL" in str(r.message) for r in records)
+
+    def test_invalid_legacy_env_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         monkeypatch.setenv("REPRO_PARALLEL", "many")
-        assert default_workers() == 1
+        with pytest.warns(DeprecationWarning):
+            assert default_workers() == 1

@@ -138,3 +138,29 @@ class TestRunnerCliReports:
         (record,) = payload["experiments"]
         assert record["counters"].get("faults.injected", 0) > 0
         assert record["fault_seeds"], "sampled fault-plan seeds must be recorded"
+
+    def test_backend_flag_lands_in_summary(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        out_path = tmp_path / "report.json"
+        assert main(["E4", "--backend", "fork:2", "--metrics-out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        validate_report(payload)
+        assert payload["summary"]["backend"] == {
+            "name": "fork",
+            "spec": "fork:2",
+            "parallelism": 2,
+        }
+
+    def test_backend_defaults_to_environment(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fork:3")
+        out_path = tmp_path / "report.json"
+        assert main(["E4", "--metrics-out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["summary"]["backend"]["spec"] == "fork:3"
+
+    def test_invalid_backend_spec_exits_2_before_running(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        assert main(["E4", "--backend", "warp:9"]) == 2
+        out = capsys.readouterr().out
+        assert "invalid backend spec" in out
+        assert "PASS" not in out  # nothing ran

@@ -19,9 +19,14 @@ Perf regression gate: tests record named throughput points through the
 ``perf_point`` fixture; at session end they are written to
 ``BENCH_perf.json`` (``repro.perf.bench/1``, path overridable via
 ``REPRO_BENCH_PERF``) *normalized by a host-speed calibration loop*, and
-compared against the committed ``benchmarks/BENCH_perf_baseline.json``.  A
-normalized ``measure.unfold.throughput`` drop of more than
-``REPRO_PERF_GATE_TOLERANCE`` (default 25%) fails the session.  Set
+checked against the rules in ``GATED_POINTS``.  Two rule kinds: a *drop*
+rule compares a point's field against the committed
+``benchmarks/BENCH_perf_baseline.json`` and fails on a fractional drop
+beyond the tolerance (``REPRO_PERF_GATE_TOLERANCE`` overrides it, default
+25% for ``measure.unfold.throughput``); a *floor* rule fails when the field
+falls below an absolute minimum regardless of baseline — used for
+host-independent ratios like the cached-vs-uncached unfold speedup
+(conservative floor 2x; the baseline records ~9.5x).  Set
 ``REPRO_PERF_GATE=off`` to record without gating (e.g. when refreshing the
 baseline).
 """
@@ -38,8 +43,14 @@ from repro.perf import cache as perf_cache
 TRAJECTORY_SCHEMA = "repro.obs.bench-trajectory/1"
 PERF_SCHEMA = "repro.perf.bench/1"
 
-#: The throughput points the gate enforces (name -> allowed fractional drop).
-GATED_POINTS = {"measure.unfold.throughput": 0.25}
+#: The points the gate enforces: name -> ("drop", field, tolerance) fails
+#: when the field falls more than the fractional tolerance below the
+#: committed baseline; ("floor", field, minimum) fails when the field is
+#: below an absolute minimum, baseline or not.
+GATED_POINTS = {
+    "measure.unfold.throughput": ("drop", "normalized", 0.25),
+    "measure.unfold.cached_vs_uncached": ("floor", "speedup", 2.0),
+}
 
 _RUNS = {}
 _PERF_POINTS = {}
@@ -131,20 +142,29 @@ def _finish_perf(session):
         with open(_baseline_path(), "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
     except (OSError, json.JSONDecodeError):
-        return  # no baseline committed yet: record only
+        baseline = None  # no baseline committed yet: floor rules still apply
     tolerance_override = os.environ.get("REPRO_PERF_GATE_TOLERANCE")
     regressions = []
-    for name, default_tolerance in GATED_POINTS.items():
-        base = baseline.get("points", {}).get(name, {}).get("normalized")
-        new = _PERF_POINTS.get(name, {}).get("normalized")
-        if base is None or new is None:
+    for name, (kind, field, limit) in GATED_POINTS.items():
+        new = _PERF_POINTS.get(name, {}).get(field)
+        if new is None:
             continue
-        tolerance = (
-            float(tolerance_override) if tolerance_override else default_tolerance
-        )
+        if kind == "floor":
+            if new < limit:
+                regressions.append(
+                    f"{name}: {field} {new:.4f} is below the absolute "
+                    f"floor {limit:.1f}"
+                )
+            continue
+        if baseline is None:
+            continue
+        base = baseline.get("points", {}).get(name, {}).get(field)
+        if base is None:
+            continue
+        tolerance = float(tolerance_override) if tolerance_override else limit
         if new < base * (1.0 - tolerance):
             regressions.append(
-                f"{name}: normalized throughput {new:.4f} is "
+                f"{name}: {field} {new:.4f} is "
                 f"{(1 - new / base) * 100:.1f}% below baseline {base:.4f} "
                 f"(tolerance {tolerance * 100:.0f}%)"
             )

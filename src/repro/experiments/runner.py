@@ -33,15 +33,22 @@ Observability (see ``docs/observability.md``)::
 
     python -m repro.experiments.runner --metrics-out report.json
     python -m repro.experiments.runner --trace-dir traces/
+    python -m repro.experiments.runner --progress
     python -m repro.experiments.runner --report report.json   # summarize, don't run
 
 ``--metrics-out`` writes a schema-valid machine-readable run report (per
 experiment: outcome, wall time, attempts, seeds — including sampled
-fault-plan seeds — peak RSS and the hot-path counters, marshalled out of
-the crash-isolated child even when it died mid-run).  ``--trace-dir``
-saves one Chrome-trace JSON per experiment, loadable in
-``chrome://tracing`` / Perfetto.  ``--report`` validates an existing
-report file and prints its summary table without running anything.
+fault-plan seeds — peak RSS, the hot-path counters and histogram
+summaries, marshalled out of the crash-isolated child even when it died
+mid-run).  ``--trace-dir`` saves one Chrome-trace JSON per experiment —
+including clock-aligned spans collected from fork/socket sweep executors
+(:mod:`repro.obs.distributed`) — loadable in ``chrome://tracing`` /
+Perfetto, and summarized in the report's ``summary.trace`` block; merge
+the saved files with ``python -m repro.obs trace traces/*.json``.
+``--progress`` renders a live stderr status line (experiments done/total,
+rate, ETA; sweep chunks inside inline runs) and exports ``REPRO_PROGRESS``
+to children.  ``--report`` validates an existing report file and prints
+its summary table without running anything.
 
 Every experiment runs in its own subprocess (see
 :func:`repro.experiments.common.run_experiment_guarded`): an experiment that
@@ -67,6 +74,8 @@ from repro.experiments.common import (
     DEFAULT_SEED,
     run_experiment_guarded,
 )
+from repro.obs import distributed as obs_distributed
+from repro.obs import progress as obs_progress
 from repro.obs.report import (
     ReportSchemaError,
     build_report,
@@ -166,6 +175,11 @@ def main(argv=None) -> int:
         help="save one Chrome-trace JSON per experiment into this directory",
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress line on stderr (heartbeats per experiment)",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         help="write the machine-readable run report (JSON) to this path",
@@ -209,6 +223,13 @@ def main(argv=None) -> int:
     cache_enabled = args.cache != "off"
     os.environ["REPRO_CACHE"] = "on" if cache_enabled else "off"
     perf_cache.configure(enabled=cache_enabled)
+
+    if args.progress:
+        # Children inherit the live switch through fork memory; the env
+        # export additionally covers any process that re-imports from
+        # scratch (parity with REPRO_CACHE / REPRO_BACKEND / REPRO_TRACE).
+        os.environ["REPRO_PROGRESS"] = "on"
+        obs_progress.enable()
 
     # Same inheritance story for the sweep execution backend: validate the
     # spec up front (a typo should fail the run before any experiment
@@ -257,7 +278,10 @@ def main(argv=None) -> int:
         records.append(record)
         print(format_record(record))
         print()
+        obs_progress.advance()
         return outcome.ok
+
+    obs_progress.begin("experiments", len(selected), "experiments")
 
     if parallel > 1:
         # Pre-import every selected experiment module, so forked children
@@ -292,6 +316,7 @@ def main(argv=None) -> int:
             if not ok and not args.keep_going:
                 break
 
+    obs_progress.finish()
     print(format_suite_summary(records))
 
     cache_block = cache_summary(records, enabled=cache_enabled)
@@ -304,6 +329,22 @@ def main(argv=None) -> int:
             f"({len(counters)} perf counters; see summary.cache in --metrics-out)"
         )
 
+    # The trace summary exists only when tracing actually produced files,
+    # so untraced runs emit reports byte-identical to pre-tracing ones.
+    trace_block = None
+    trace_files = [
+        r["trace_file"]
+        for r in records
+        if r.get("trace_file") and os.path.exists(r["trace_file"])
+    ]
+    if trace_files:
+        try:
+            merged = obs_distributed.merge_trace_files(trace_files)
+            trace_block = obs_distributed.summarize_events(merged["traceEvents"])
+            trace_block["files"] = list(trace_files)
+        except (OSError, ValueError, json.JSONDecodeError):
+            trace_block = None  # a corrupt trace must not fail the run
+
     if args.metrics_out:
         payload = build_report(
             records,
@@ -312,6 +353,7 @@ def main(argv=None) -> int:
             wall_time_s=time.perf_counter() - suite_start,
             cache=cache_block,
             backend=backend_block,
+            trace=trace_block,
         )
         parent = os.path.dirname(args.metrics_out)
         if parent:

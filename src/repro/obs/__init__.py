@@ -12,6 +12,13 @@ ROADMAP's performance work builds on:
 * :mod:`repro.obs.metrics` — process-local counters / gauges / histograms
   behind a global registry with a :func:`~repro.obs.metrics.snapshot`
   export (always on: a counter bump is one attribute increment);
+* :mod:`repro.obs.distributed` — cross-process trace collection: executors
+  ship buffered spans back with their results, the caller clock-aligns
+  them into one merged Chrome trace with a named lane per worker (plus the
+  ``python -m repro.obs trace`` merge/summarize/check CLI);
+* :mod:`repro.obs.progress` — live chunk/experiment heartbeats rendered as
+  a ``\\r``-rewritten stderr status line (off by default, ``REPRO_PROGRESS``
+  or the runner's ``--progress``);
 * :mod:`repro.obs.report` — the machine-readable run-report schema the
   experiment runner emits (``--metrics-out``), its validator, and the
   formatting helpers all human runner output flows through;
@@ -36,8 +43,16 @@ from repro.obs.metrics import (
     snapshot,
     subtract_counters,
 )
+from repro.obs.distributed import (
+    absorb_chunk_trace,
+    check_trace,
+    chunk_payload,
+    merge_trace_files,
+    summarize_events,
+)
 from repro.obs.procinfo import peak_rss_bytes
 from repro.obs.report import (
+    LEGACY_SCHEMAS,
     REPORT_SCHEMA,
     ReportSchemaError,
     build_report,
@@ -57,6 +72,7 @@ from repro.obs.trace import (
     span,
     traced,
 )
+from repro.obs import progress
 
 __all__ = [
     # trace
@@ -68,6 +84,14 @@ __all__ = [
     "enable",
     "disable",
     "is_enabled",
+    # distributed
+    "chunk_payload",
+    "absorb_chunk_trace",
+    "merge_trace_files",
+    "summarize_events",
+    "check_trace",
+    # progress
+    "progress",
     # metrics
     "Counter",
     "Gauge",
@@ -82,6 +106,7 @@ __all__ = [
     "subtract_counters",
     # report
     "REPORT_SCHEMA",
+    "LEGACY_SCHEMAS",
     "ReportSchemaError",
     "outcome_record",
     "build_report",

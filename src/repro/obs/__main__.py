@@ -1,7 +1,30 @@
-"""``python -m repro.obs <report.json> [--summary]`` — validate a run report."""
+"""``python -m repro.obs`` — observability command line.
+
+Two subcommands::
+
+    python -m repro.obs report <report.json> [--summary]   # validate a run report
+    python -m repro.obs trace <t1.json> [t2.json ...]      # merge/summarize traces
+        [--out merged.json] [--summary] [--check --min-lanes N]
+
+For backward compatibility a bare report path (no subcommand) still
+validates it, exactly like the original ``python -m repro.obs`` CLI.
+"""
 
 import sys
 
-from repro.obs.report import main
 
-sys.exit(main())
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "trace":
+        from repro.obs.distributed import main as trace_main
+
+        return trace_main(args[1:])
+    if args and args[0] == "report":
+        args = args[1:]
+    from repro.obs.report import main as report_main
+
+    return report_main(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

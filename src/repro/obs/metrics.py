@@ -24,6 +24,7 @@ boundary of the guarded experiment runner.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Optional
 
 __all__ = [
@@ -92,8 +93,20 @@ class Gauge:
         return (gauge, (self.name,))
 
 
+def _percentile(ordered: List[Any], q: float) -> Any:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
 class Histogram:
-    """Streaming count/sum/min/max plus a capped raw-sample prefix."""
+    """Streaming count/sum/min/max plus a capped raw-sample prefix.
+
+    :meth:`as_dict` also exports nearest-rank ``p50``/``p90`` percentiles
+    computed over the captured sample prefix (the first
+    ``HISTOGRAM_SAMPLE_CAP`` observations since the last reset), so they are
+    exact for small populations and approximate beyond the cap; ``max`` is
+    always exact."""
 
     __slots__ = ("name", "count", "sum", "min", "max", "samples")
 
@@ -139,11 +152,21 @@ class Histogram:
             self.samples.append(sample)
 
     def as_dict(self) -> Dict[str, Any]:
+        if self.samples:
+            try:
+                ordered = sorted(self.samples)
+                p50, p90 = _percentile(ordered, 0.5), _percentile(ordered, 0.9)
+            except TypeError:  # mutually unorderable sample types
+                p50 = p90 = None
+        else:
+            p50 = p90 = None
         return {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
+            "p50": p50,
+            "p90": p90,
             "samples": list(self.samples),
         }
 

@@ -1,0 +1,182 @@
+"""Live progress heartbeats for long-running sweeps and experiment runs.
+
+A *progress phase* is a counted unit of work (``total`` chunks, experiments,
+...) advanced as pieces complete.  While a phase is active, every advance
+redraws a single ``\\r``-rewritten stderr status line::
+
+    [repro] E15 sweep: 5/8 chunks (62%) 1.3/s eta 2s
+
+Like the tracer (:mod:`repro.obs.trace`), the facility is **off by
+default** and the disabled path is near-free: ``advance`` is a single flag
+test, and backends/``parallel_map`` call these hooks unconditionally.
+Enable per process via :func:`enable` or the ``REPRO_PROGRESS`` environment
+variable (``on``/``off``), which the runner exports to experiment children
+when invoked with ``--progress``.
+
+Heartbeats are *caller-side*: backends report a chunk done when its
+results payload lands (serial: after the in-process call; fork: when the
+child's pipe is drained; socket: when the reply frame arrives), so the
+line reflects completed work, not dispatched work.  Phases nest by simple
+replacement — an inner phase (a sweep inside an experiment) takes over the
+line and the outer phase resumes on the next outer advance.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Optional
+
+__all__ = [
+    "Progress",
+    "PROGRESS",
+    "enable",
+    "disable",
+    "is_enabled",
+    "env_enabled",
+    "begin",
+    "advance",
+    "finish",
+]
+
+
+def env_enabled() -> bool:
+    """True when the ``REPRO_PROGRESS`` environment gate asks for heartbeats."""
+    return os.environ.get("REPRO_PROGRESS", "").strip().lower() in ("1", "on", "true", "yes")
+
+
+class Progress:
+    """A stderr progress-line renderer (thread-safe, off by default)."""
+
+    #: Redraws are rate-limited to one per this many seconds (the final
+    #: advance of a phase always draws, so 8/8 is never skipped).
+    MIN_REDRAW_S = 0.1
+
+    def __init__(self, stream=None) -> None:
+        self.enabled = False
+        self._stream = stream
+        self._lock = threading.Lock()
+        self._label: Optional[str] = None
+        self._unit = ""
+        self._total = 0
+        self._done = 0
+        self._started = 0.0
+        self._last_draw = 0.0
+        self._dirty = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- phase protocol ----------------------------------------------------------
+
+    def begin(self, label: str, total: int, unit: str = "items") -> None:
+        """Open a counted phase (replacing any phase already on the line)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._label = label
+            self._unit = unit
+            self._total = max(0, int(total))
+            self._done = 0
+            self._started = time.monotonic()
+            self._last_draw = 0.0
+            self._dirty = True
+            self._draw_locked()
+
+    def advance(self, n: int = 1) -> None:
+        """Mark ``n`` more units done and redraw (rate-limited)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if self._label is None:
+                return
+            self._done += n
+            self._dirty = True
+            now = time.monotonic()
+            if self._done >= self._total or now - self._last_draw >= self.MIN_REDRAW_S:
+                self._draw_locked()
+
+    def finish(self, message: Optional[str] = None) -> None:
+        """Close the phase, clearing the line (or replacing it with ``message``)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if self._label is None:
+                return
+            stream = self._stream if self._stream is not None else sys.stderr
+            try:
+                stream.write("\r\x1b[2K")
+                if message:
+                    stream.write(f"[repro] {message}\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass
+            self._label = None
+            self._dirty = False
+
+    # -- rendering ---------------------------------------------------------------
+
+    def _draw_locked(self) -> None:
+        elapsed = time.monotonic() - self._started
+        rate = self._done / elapsed if elapsed > 0 else 0.0
+        parts = [f"[repro] {self._label}: {self._done}/{self._total} {self._unit}"]
+        if self._total > 0:
+            parts.append(f"({100 * self._done // self._total}%)")
+        if rate > 0:
+            parts.append(f"{rate:.1f}/s")
+            remaining = self._total - self._done
+            if remaining > 0:
+                parts.append(f"eta {remaining / rate:.0f}s")
+        stream = self._stream if self._stream is not None else sys.stderr
+        try:
+            stream.write("\r\x1b[2K" + " ".join(parts))
+            stream.flush()
+        except (OSError, ValueError):
+            pass
+        self._last_draw = time.monotonic()
+        self._dirty = False
+
+
+#: The process-global progress renderer all heartbeat hooks use.
+PROGRESS = Progress()
+
+if env_enabled():
+    PROGRESS.enable()
+
+
+def enable() -> None:
+    """Turn progress heartbeats on for the process (module-level switch)."""
+    PROGRESS.enable()
+
+
+def disable() -> None:
+    PROGRESS.disable()
+
+
+def is_enabled() -> bool:
+    return PROGRESS.enabled
+
+
+def begin(label: str, total: int, unit: str = "items") -> None:
+    """Module-level shorthand for :meth:`Progress.begin` on :data:`PROGRESS`."""
+    if PROGRESS.enabled:
+        PROGRESS.begin(label, total, unit)
+
+
+def advance(n: int = 1) -> None:
+    """Module-level shorthand for :meth:`Progress.advance` on :data:`PROGRESS`."""
+    if PROGRESS.enabled:
+        PROGRESS.advance(n)
+
+
+def finish(message: Optional[str] = None) -> None:
+    """Module-level shorthand for :meth:`Progress.finish` on :data:`PROGRESS`."""
+    if PROGRESS.enabled:
+        PROGRESS.finish(message)

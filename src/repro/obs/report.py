@@ -6,10 +6,11 @@ of truth: the runner's human-readable output is rendered *from the record*
 ``--metrics-out`` JSON report is the same records wrapped by
 :func:`build_report` — the two cannot drift.
 
-The report schema (``repro.obs.run-report/1``)::
+The report schema (``repro.obs.run-report/2``; the validator still accepts
+``/1`` payloads written before records carried ``histograms``)::
 
     {
-      "schema": "repro.obs.run-report/1",
+      "schema": "repro.obs.run-report/2",
       "created_unix": 1754500000.0,
       "argv": ["E1", "--timeout", "60"],     # or null
       "fast": true,
@@ -26,6 +27,10 @@ The report schema (``repro.obs.run-report/1``)::
           "fault_seeds": [7, 8],              # seeds of sampled fault plans
           "peak_rss_bytes": 61210624,         # child getrusage, null if unknown
           "counters": {"scheduler.steps": 1234, ...},
+          "histograms": {                      # full exports incl. p50/p90
+            "faults.plan.seed": {"count": 2, "sum": 15, "min": 7, "max": 8,
+                                  "p50": 7, "p90": 8, "samples": [7, 8]}
+          },
           "table": "...",                     # null for error/timeout
           "error": null,                      # traceback / diagnosis otherwise
           "trace_file": "traces/E1.trace.json"  # null without --trace-dir
@@ -39,9 +44,22 @@ The report schema (``repro.obs.run-report/1``)::
         "backend": {                                           # optional
           "name": "socket", "spec": "socket:host1:9001,host2:9001",
           "parallelism": 2
+        },
+        "trace": {                                             # optional:
+          "events": 128,                                       # only when
+          "files": ["traces/E15.trace.json"],                  # tracing ran
+          "processes": [{"pid": 1, "name": "caller (pid 1)", "spans": 9,
+                         "instants": 2, "busy_us": 5000.0, "idle_us": 10.0,
+                         "wall_us": 5010.0}, ...],
+          "slowest_spans": [{"name": "parallel.map", "pid": 1,
+                             "dur_us": 5400.0}, ...]
         }
       }
     }
+
+The ``summary.trace`` block is :func:`repro.obs.distributed.summarize_events`
+output over the run's saved trace files; it appears **only** when tracing
+was on, so disabled-path reports are byte-identical to pre-tracing ones.
 
 ERROR/TIMEOUT outcomes are reproducible from the report alone: re-run the
 experiment with ``--seed <seed>`` (or no flag when ``seed`` is null — the
@@ -72,13 +90,17 @@ __all__ = [
     "format_summary_table",
 ]
 
-REPORT_SCHEMA = "repro.obs.run-report/1"
+REPORT_SCHEMA = "repro.obs.run-report/2"
+
+#: Older schema versions validate_report still accepts (read compatibility
+#: for saved reports; /1 records predate the ``histograms`` field).
+LEGACY_SCHEMAS = ("repro.obs.run-report/1",)
 
 _STATUSES = ("pass", "fail", "error", "timeout")
 
 
 class ReportSchemaError(ValueError):
-    """The payload does not conform to ``repro.obs.run-report/1``."""
+    """The payload does not conform to ``repro.obs.run-report/2`` (or ``/1``)."""
 
 
 def outcome_record(
@@ -111,6 +133,7 @@ def outcome_record(
         "fault_seeds": fault_seeds,
         "peak_rss_bytes": getattr(outcome, "peak_rss_bytes", None),
         "counters": dict(metrics.get("counters", {})),
+        "histograms": {name: dict(export) for name, export in histograms.items()},
         "table": None if report is None else report.table,
         "error": getattr(outcome, "error", None),
         "trace_file": trace_file,
@@ -125,6 +148,7 @@ def build_report(
     wall_time_s: Optional[float] = None,
     cache: Optional[Dict[str, Any]] = None,
     backend: Optional[Dict[str, Any]] = None,
+    trace: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Wrap per-experiment records into a schema-valid run report.
 
@@ -134,6 +158,10 @@ def build_report(
     ``backend`` is the optional execution-backend description
     (``ExecutionBackend.describe()``: at least ``name``, ``spec`` and
     ``parallelism``); when given it lands in ``summary.backend``.
+    ``trace`` is the optional distributed-trace summary
+    (:func:`repro.obs.distributed.summarize_events` output, plus a
+    ``files`` list); when given it lands in ``summary.trace`` — pass it
+    only when tracing actually ran, so untraced reports stay byte-stable.
     """
     failures = [
         {"experiment": r["experiment"], "status": r["status"]}
@@ -154,6 +182,8 @@ def build_report(
         summary["cache"] = cache
     if backend is not None:
         summary["backend"] = backend
+    if trace is not None:
+        summary["trace"] = trace
     payload = {
         "schema": REPORT_SCHEMA,
         "created_unix": time.time(),
@@ -194,10 +224,17 @@ _RECORD_FIELDS = {
     "fault_seeds": (list,),
     "peak_rss_bytes": (int, type(None)),
     "counters": (dict,),
+    "histograms": (dict,),
     "table": (str, type(None)),
     "error": (str, type(None)),
     "trace_file": (str, type(None)),
 }
+
+#: Record fields absent from legacy ``/1`` reports (optional when reading them).
+_V2_RECORD_FIELDS = ("histograms",)
+
+#: The numeric fields every ``summary.trace`` process entry must carry.
+_TRACE_PROCESS_FIELDS = ("busy_us", "idle_us", "wall_us")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -208,8 +245,11 @@ def _require(condition: bool, message: str) -> None:
 def validate_report(payload: Any) -> None:
     """Raise :class:`ReportSchemaError` unless ``payload`` is a valid report."""
     _require(isinstance(payload, dict), "report must be a JSON object")
-    _require(payload.get("schema") == REPORT_SCHEMA,
-             f"schema must be {REPORT_SCHEMA!r}, got {payload.get('schema')!r}")
+    schema = payload.get("schema")
+    _require(schema == REPORT_SCHEMA or schema in LEGACY_SCHEMAS,
+             f"schema must be {REPORT_SCHEMA!r} "
+             f"(or legacy {'/'.join(LEGACY_SCHEMAS)}), got {schema!r}")
+    legacy = schema != REPORT_SCHEMA
     _require(isinstance(payload.get("created_unix"), (int, float)),
              "created_unix must be a number")
     _require(payload.get("argv") is None or isinstance(payload["argv"], list),
@@ -221,6 +261,8 @@ def validate_report(payload: Any) -> None:
         where = f"experiments[{index}]"
         _require(isinstance(record, dict), f"{where} must be an object")
         for name, types in _RECORD_FIELDS.items():
+            if legacy and name in _V2_RECORD_FIELDS and name not in record:
+                continue
             _require(name in record, f"{where} missing field {name!r}")
             _require(
                 isinstance(record[name], types)
@@ -235,6 +277,16 @@ def validate_report(payload: Any) -> None:
         for key, value in record["counters"].items():
             _require(isinstance(key, str) and isinstance(value, int),
                      f"{where}.counters must map str -> int")
+        for key, value in record.get("histograms", {}).items():
+            _require(isinstance(key, str) and isinstance(value, dict),
+                     f"{where}.histograms must map str -> object")
+            for field in ("count", "sum", "min", "max", "p50", "p90", "samples"):
+                _require(field in value,
+                         f"{where}.histograms[{key!r}] missing field {field!r}")
+            _require(isinstance(value["count"], int) and value["count"] >= 0,
+                     f"{where}.histograms[{key!r}].count must be an integer >= 0")
+            _require(isinstance(value["samples"], list),
+                     f"{where}.histograms[{key!r}].samples must be a list")
     summary = payload.get("summary")
     _require(isinstance(summary, dict), "summary must be an object")
     _require(summary.get("total") == len(experiments),
@@ -267,6 +319,54 @@ def validate_report(payload: Any) -> None:
             and backend["parallelism"] >= 1,
             "summary.backend.parallelism must be an integer >= 1",
         )
+    if "trace" in summary:
+        trace = summary["trace"]
+        _require(isinstance(trace, dict), "summary.trace must be an object")
+        _require(
+            isinstance(trace.get("events"), int)
+            and not isinstance(trace["events"], bool)
+            and trace["events"] >= 0,
+            "summary.trace.events must be an integer >= 0",
+        )
+        if "files" in trace:
+            _require(
+                isinstance(trace["files"], list)
+                and all(isinstance(f, str) for f in trace["files"]),
+                "summary.trace.files must be a list of strings",
+            )
+        _require(isinstance(trace.get("processes"), list),
+                 "summary.trace.processes must be a list")
+        for index, proc in enumerate(trace["processes"]):
+            where = f"summary.trace.processes[{index}]"
+            _require(isinstance(proc, dict), f"{where} must be an object")
+            _require(isinstance(proc.get("pid"), int), f"{where}.pid must be an integer")
+            _require(proc.get("name") is None or isinstance(proc["name"], str),
+                     f"{where}.name must be a string or null")
+            for field in ("spans", "instants"):
+                _require(
+                    isinstance(proc.get(field), int) and proc[field] >= 0,
+                    f"{where}.{field} must be an integer >= 0",
+                )
+            for field in _TRACE_PROCESS_FIELDS:
+                _require(
+                    isinstance(proc.get(field), (int, float))
+                    and not isinstance(proc[field], bool)
+                    and proc[field] >= 0,
+                    f"{where}.{field} must be a number >= 0",
+                )
+        _require(isinstance(trace.get("slowest_spans"), list),
+                 "summary.trace.slowest_spans must be a list")
+        for index, span in enumerate(trace["slowest_spans"]):
+            where = f"summary.trace.slowest_spans[{index}]"
+            _require(isinstance(span, dict), f"{where} must be an object")
+            _require(isinstance(span.get("name"), str), f"{where}.name must be a string")
+            _require(isinstance(span.get("pid"), int), f"{where}.pid must be an integer")
+            _require(
+                isinstance(span.get("dur_us"), (int, float))
+                and not isinstance(span["dur_us"], bool)
+                and span["dur_us"] >= 0,
+                f"{where}.dur_us must be a number >= 0",
+            )
 
 
 # -- human rendering (the runner's only output path) ----------------------------
@@ -334,6 +434,23 @@ def format_summary_table(payload: Dict[str, Any]) -> str:
     ]
     for row in rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    histogram_lines = []
+    for record in payload["experiments"]:
+        for name, stats in sorted(record.get("histograms", {}).items()):
+            histogram_lines.append(
+                f"  {record['experiment']} {name}: "
+                f"n={stats.get('count')} p50={stats.get('p50')} "
+                f"p90={stats.get('p90')} max={stats.get('max')}"
+            )
+    if histogram_lines:
+        lines.append("histograms (nearest-rank over captured samples):")
+        lines.extend(histogram_lines)
+    if "trace" in summary:
+        trace = summary["trace"]
+        lines.append(
+            f"trace: {trace.get('events')} events across "
+            f"{len(trace.get('processes', []))} process lane(s)"
+        )
     lines.append(
         f"{summary['passed']}/{summary['total']} passed, "
         f"wall time {summary['wall_time_s']:.2f}s"

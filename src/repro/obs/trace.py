@@ -13,6 +13,14 @@ live in :mod:`repro.obs.metrics` instead — spans are for phase-level
 structure (an experiment, one ``execution_measure`` unfolding), not for
 per-transition work.
 
+The ``REPRO_TRACE`` environment variable (``on``/``off``, default off —
+parity with ``REPRO_CACHE``/``REPRO_BACKEND``) enables the process tracer
+at import time, so forked children and standalone socket workers
+(:mod:`repro.perf.worker`) trace without any caller-side call: set it once
+and every process in the tree records spans.  Cross-process span
+collection, clock alignment and lane merging live in
+:mod:`repro.obs.distributed`.
+
 Usage::
 
     from repro.obs import trace
@@ -42,7 +50,13 @@ __all__ = [
     "enable",
     "disable",
     "is_enabled",
+    "env_enabled",
 ]
+
+
+def env_enabled() -> bool:
+    """True when the ``REPRO_TRACE`` environment gate asks for tracing."""
+    return os.environ.get("REPRO_TRACE", "").strip().lower() in ("1", "on", "true", "yes")
 
 
 class _NullSpan:
@@ -111,6 +125,9 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._epoch_ns = time.perf_counter_ns()
+        #: pids already given a process_name metadata event by the
+        #: distributed-trace merger (reset together with the buffer).
+        self.named_lanes: set = set()
 
     # -- nesting depth (per thread) -------------------------------------------
 
@@ -174,11 +191,26 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self._events.clear()
+            self.named_lanes.clear()
 
     def events(self) -> List[Dict[str, Any]]:
         """A snapshot copy of the recorded events (chronological)."""
         with self._lock:
             return list(self._events)
+
+    @property
+    def epoch_ns(self) -> int:
+        """The ``perf_counter_ns`` value all event timestamps are relative to."""
+        return self._epoch_ns
+
+    def append_events(self, events: List[Dict[str, Any]]) -> None:
+        """Append pre-built trace events verbatim (thread-safe).
+
+        The merge hook of :mod:`repro.obs.distributed`: worker-side events
+        arrive already clock-aligned into this tracer's timebase and are
+        spliced into the buffer as foreign ``pid`` lanes."""
+        with self._lock:
+            self._events.extend(events)
 
     def to_chrome_trace(self) -> Dict[str, Any]:
         """The trace as a ``chrome://tracing``-loadable JSON object."""
@@ -196,6 +228,12 @@ class Tracer:
 
 #: The process-global tracer all instrumentation points use.
 TRACER = Tracer()
+
+# The environment gate applies to every fresh process (forked experiment
+# children inherit the live flag through memory instead; socket workers are
+# fresh interpreters, so the gate is how a whole worker pool gets traced).
+if env_enabled():
+    TRACER.enable()
 
 
 def span(name: str, **args):

@@ -76,14 +76,18 @@ class ChunkOutcome:
     reporting) — ``parallel_map`` then recomputes the chunk in the caller.
     ``metrics`` is the executor's :func:`repro.obs.metrics.snapshot` delta
     for the chunk (``None`` when the work ran in the caller's own registry,
-    or when the chunk was lost).  Result payloads are atomic: a lost chunk
-    contributed *nothing* — no results and no metrics — so the caller-side
-    recompute can never double-count.
+    or when the chunk was lost).  ``trace`` is the executor's span payload
+    (:func:`repro.obs.distributed.chunk_payload`, clock-stamped by the
+    transport; ``None`` when tracing is off, the chunk ran in-process, or
+    the chunk was lost).  Result payloads are atomic: a lost chunk
+    contributed *nothing* — no results, no metrics and no spans — so the
+    caller-side recompute can never double-count.
     """
 
     results: Optional[List[Tuple[int, Optional[str], Any]]]
     metrics: Optional[Dict[str, Any]] = None
     detail: Optional[str] = None
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def lost(self) -> bool:

@@ -22,7 +22,10 @@ import struct
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import distributed as _distributed
 from repro.obs import metrics as _metrics
+from repro.obs import progress as _progress
+from repro.obs import trace as _trace
 from repro.obs.metrics import counter as _counter
 from repro.perf.backends import (
     BackendSpecError,
@@ -58,24 +61,47 @@ def _read_exact(fd: int, size: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def _chunk_child(write_fd: int, fn: Callable[[Any], Any], chunk: Chunk) -> None:
-    """Child body: compute the chunk, ship ``(results, metrics)`` back.
+def _chunk_child(
+    write_fd: int,
+    fn: Callable[[Any], Any],
+    chunk: Chunk,
+    trace: Optional[bool] = None,
+    lane: str = "fork",
+) -> None:
+    """Child body: compute the chunk, ship ``(results, metrics, trace)`` back.
 
     Runs under ``os._exit`` discipline — no atexit hooks, no parent test
-    harness teardown.  The inherited metrics registry is zeroed so the
-    shipped snapshot is exactly this child's contribution.
+    harness teardown.  The inherited metrics registry is zeroed and the
+    inherited span buffer cleared so the shipped payloads are exactly this
+    child's contribution.  ``trace`` overrides the inherited tracer switch
+    (``True``/``False``; ``None`` keeps whatever the parent had — the fork
+    backend's children inherit the caller's setting through memory, the
+    socket worker's children take the caller's wish from the run frame).
     """
     exit_code = 0
     try:
         _metrics.reset()
+        _trace.TRACER.clear()  # buffered parent events are not this chunk's work
+        if trace is True:
+            _trace.TRACER.enable()
+        elif trace is False:
+            _trace.TRACER.disable()
         results: List[Tuple[int, Optional[str], Any]] = []
-        for index, item in chunk:
-            try:
-                results.append((index, None, fn(item)))
-            except BaseException:  # noqa: BLE001 - shipped to the parent verbatim
-                results.append((index, traceback.format_exc(), None))
+        with _trace.span("backend.chunk", lane=lane, items=len(chunk)):
+            for index, item in chunk:
+                item_span = (
+                    _trace.TRACER.span("backend.item", index=index)
+                    if _trace.TRACER.enabled
+                    else _trace.NULL_SPAN
+                )
+                try:
+                    with item_span:
+                        results.append((index, None, fn(item)))
+                except BaseException:  # noqa: BLE001 - shipped to the parent verbatim
+                    results.append((index, traceback.format_exc(), None))
         payload = pickle.dumps(
-            (results, _metrics.snapshot()), protocol=pickle.HIGHEST_PROTOCOL
+            (results, _metrics.snapshot(), _distributed.chunk_payload(lane)),
+            protocol=pickle.HIGHEST_PROTOCOL,
         )
         _write_all(write_fd, _LEN.pack(len(payload)) + payload)
     except BaseException:
@@ -104,18 +130,24 @@ def _collect(read_fd: int, pid: int):
 
 
 def run_chunk_in_fork(
-    fn: Callable[[Any], Any], chunk: Chunk
-) -> Optional[Tuple[List[Tuple[int, Optional[str], Any]], Dict[str, Any]]]:
+    fn: Callable[[Any], Any],
+    chunk: Chunk,
+    trace: Optional[bool] = None,
+    lane: str = "fork",
+) -> Optional[Tuple[List[Tuple[int, Optional[str], Any]], Dict[str, Any], Optional[Dict[str, Any]]]]:
     """Execute one chunk in a fresh forked child.
 
-    Returns the child's ``(results, metrics snapshot)``, or ``None`` when
-    the child died without reporting.  Requires ``os.fork``.
+    Returns the child's ``(results, metrics snapshot, trace payload)``, or
+    ``None`` when the child died without reporting.  The trace payload is
+    ``None`` unless the child traced (see ``trace`` on :func:`_chunk_child`)
+    and carries no clock domain yet — the transport that ships it onward
+    stamps ``shared`` or ``remote``.  Requires ``os.fork``.
     """
     read_fd, write_fd = os.pipe()
     pid = os.fork()
     if pid == 0:
         os.close(read_fd)
-        _chunk_child(write_fd, fn, chunk)
+        _chunk_child(write_fd, fn, chunk, trace=trace, lane=lane)
         # _chunk_child never returns
     _FORKS.inc()
     os.close(write_fd)
@@ -171,8 +203,16 @@ class ForkBackend(ExecutionBackend):
                     ChunkOutcome(results=None, detail="forked child died without reporting")
                 )
             else:
-                results, snapshot = collected
-                outcomes.append(ChunkOutcome(results=results, metrics=snapshot))
+                results, snapshot, trace_payload = collected
+                if trace_payload is not None:
+                    # Same host, same monotonic clock: timestamps need no
+                    # offset.  (A receive-time offset would be wrong here —
+                    # payloads wait in the pipe while earlier chunks drain.)
+                    trace_payload["clock"] = "shared"
+                outcomes.append(
+                    ChunkOutcome(results=results, metrics=snapshot, trace=trace_payload)
+                )
+            _progress.advance()
         return outcomes
 
 

@@ -10,9 +10,21 @@ the pool.  The wire protocol is deliberately small:
 
 * **framing** — every message is an 8-byte big-endian length followed by a
   pickle of a tuple; requests are ``("ping",)`` and
-  ``("run", fn_blob, chunk_blob)``, replies are ``("pong", info)``,
-  ``("ok", results, metrics_snapshot)``, ``("lost", detail)`` and
-  ``("fatal", traceback)``;
+  ``("run", fn_blob, chunk_blob, ctx)`` where ``ctx`` is the trace context
+  (currently ``{"trace": bool}`` — the caller's wish that the chunk record
+  spans); replies are ``("pong", info)``,
+  ``("ok", results, metrics_snapshot, trace_payload)``, ``("lost", detail)``
+  and ``("fatal", traceback)``.  The trace payload
+  (:func:`repro.obs.distributed.chunk_payload` or ``None``) rides in the
+  same frame as the results, so a chunk's spans are exactly as atomic as
+  its results and metrics;
+* **clock alignment** — a worker's monotonic clock is unrelated to the
+  caller's, so the caller stamps its own clock the moment the reply frame
+  arrives (``recv_ns``) and marks the payload ``clock: "remote"``; the
+  merger (:func:`repro.obs.distributed.absorb_chunk_trace`) then offsets
+  worker timestamps by ``recv_ns - now_ns``, accurate to one reply-transport
+  latency (each chunk has a dedicated receive thread, so the stamp is
+  prompt);
 * **handshake** — on connect the client pings and verifies the worker's
   protocol version and Python ``major.minor`` (marshal'd code objects are
   not portable across interpreter versions; a mismatched pool fails loudly
@@ -42,8 +54,11 @@ import socket
 import struct
 import sys
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import progress as _progress
+from repro.obs import trace as _trace
 from repro.obs.metrics import counter as _counter
 from repro.perf import pickling
 from repro.perf.backends import (
@@ -64,7 +79,7 @@ __all__ = [
     "worker_info",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2  # v2: run frames carry a trace ctx, ok replies a trace payload
 
 #: Seconds allowed for connect + handshake (chunk execution is unbounded).
 CONNECT_TIMEOUT = 10.0
@@ -183,6 +198,9 @@ class SocketBackend(ExecutionBackend):
             sock = socket.create_connection(conn.address, timeout=CONNECT_TIMEOUT)
         except OSError:
             _DEAD.inc()
+            _trace.instant(
+                "backend.worker_dead", worker="{}:{}".format(*conn.address), at="connect"
+            )
             return
         try:
             send_frame(sock, ("ping",))
@@ -190,6 +208,9 @@ class SocketBackend(ExecutionBackend):
         except (OSError, EOFError):
             sock.close()
             _DEAD.inc()
+            _trace.instant(
+                "backend.worker_dead", worker="{}:{}".format(*conn.address), at="handshake"
+            )
             return
         if not (isinstance(reply, tuple) and reply and reply[0] == "pong"):
             sock.close()
@@ -220,6 +241,9 @@ class SocketBackend(ExecutionBackend):
             if conn.alive:
                 conn.alive = False
                 _DEAD.inc()
+                _trace.instant(
+                    "backend.worker_dead", worker="{}:{}".format(*conn.address)
+                )
             if conn.sock is not None:
                 try:
                     conn.sock.close()
@@ -245,17 +269,20 @@ class SocketBackend(ExecutionBackend):
     ) -> None:
         _CHUNKS.inc()
         chunk_blob = pickling.dumps(list(chunk))
+        ctx = {"trace": _trace.TRACER.enabled}
         while True:
             conn = self._pick(chunk_index)
             if conn is None:
                 outcomes[chunk_index] = ChunkOutcome(
                     results=None, detail="no live socket workers"
                 )
+                _progress.advance()
                 return
             try:
                 with conn.lock:
-                    send_frame(conn.sock, ("run", fn_blob, chunk_blob))
+                    send_frame(conn.sock, ("run", fn_blob, chunk_blob, ctx))
                     reply = recv_frame(conn.sock)
+                    recv_ns = time.perf_counter_ns()  # clock-alignment stamp
             except (OSError, EOFError):
                 # Dead connection: retry the whole chunk on another worker.
                 # Results depend only on the items, so this cannot change
@@ -263,12 +290,25 @@ class SocketBackend(ExecutionBackend):
                 # arrived, so nothing can be double-counted.
                 self._mark_dead(conn)
                 _RETRIES.inc()
+                _trace.instant(
+                    "backend.retry",
+                    chunk=chunk_index,
+                    worker="{}:{}".format(*conn.address),
+                )
                 continue
             kind = reply[0]
             if kind == "ok":
-                outcomes[chunk_index] = ChunkOutcome(results=reply[1], metrics=reply[2])
+                trace_payload = reply[3] if len(reply) > 3 else None
+                if trace_payload is not None:
+                    trace_payload["clock"] = "remote"
+                    trace_payload["recv_ns"] = recv_ns
+                    trace_payload["lane"] = "worker {}:{}".format(*conn.address)
+                outcomes[chunk_index] = ChunkOutcome(
+                    results=reply[1], metrics=reply[2], trace=trace_payload
+                )
             else:  # "lost" (worker's chunk child died) or "fatal" (bad payload)
                 outcomes[chunk_index] = ChunkOutcome(results=None, detail=str(reply[1]))
+            _progress.advance()
             return
 
     def submit_chunks(

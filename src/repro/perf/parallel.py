@@ -18,6 +18,13 @@ TCP worker pool:
   :mod:`repro.obs.metrics` registry and ship per-chunk snapshots back with
   the results; the parent folds them in, in chunk order, so per-experiment
   counters survive the fan-out.
+* **Span collection and heartbeats** — with tracing on, executors buffer
+  their spans and ship them in the same atomic payload; the caller
+  clock-aligns them into its own tracer as named per-worker process lanes
+  (:mod:`repro.obs.distributed`) and marks dispatch/retry/fallback/death
+  with instant events.  Each completed chunk also advances the live
+  progress line (:mod:`repro.obs.progress`); both facilities are off by
+  default with near-free disabled paths.
 * **Degradation, not failure** — a resolved parallelism of 1 (serial spec,
   single item, no ``fork`` support) runs the plain comprehension in the
   caller.  A chunk whose executor died without reporting (hard crash, dead
@@ -47,7 +54,10 @@ from __future__ import annotations
 import warnings
 from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
+from repro.obs import distributed as _distributed
 from repro.obs import metrics as _metrics
+from repro.obs import progress as _progress
+from repro.obs import trace as _trace
 from repro.obs.metrics import counter as _counter
 from repro.perf.backends import (
     ExecutionBackend,
@@ -116,25 +126,41 @@ def parallel_map(
         _ITEMS.inc(len(work))
         indexed = list(enumerate(work))
         chunks = [indexed[w::count] for w in range(count)]
-        outcomes = resolved.submit_chunks(fn, chunks)
+        _trace.instant(
+            "parallel.dispatch", backend=resolved.spec, chunks=len(chunks), items=len(work)
+        )
+        _progress.begin(f"parallel map [{resolved.spec}]", len(chunks), "chunks")
+        try:
+            with _trace.span(
+                "parallel.map", backend=resolved.spec, chunks=len(chunks), items=len(work)
+            ):
+                outcomes = resolved.submit_chunks(fn, chunks)
+        finally:
+            _progress.finish()
     finally:
         if owned:
             resolved.close()
 
     results: List[Any] = [None] * len(work)
     failures: List[Tuple[int, str]] = []
-    for chunk, outcome in zip(chunks, outcomes):
+    for chunk_index, (chunk, outcome) in enumerate(zip(chunks, outcomes)):
         if outcome is None or outcome.lost:
             # The executor died without reporting: recompute the chunk here.
-            # Its payload (results + metrics) is atomic and never arrived,
-            # so merging nothing and recomputing counts each item's work
-            # exactly once.
+            # Its payload (results + metrics + spans) is atomic and never
+            # arrived, so merging nothing and recomputing counts each
+            # item's work exactly once.
             _FALLBACKS.inc()
+            _trace.instant(
+                "parallel.chunk_fallback",
+                chunk=chunk_index,
+                detail=getattr(outcome, "detail", None),
+            )
             for index, item in chunk:
                 results[index] = fn(item)
             continue
         if merge_metrics and outcome.metrics is not None:
             _metrics.merge_snapshot(outcome.metrics)
+        _distributed.absorb_chunk_trace(outcome.trace)
         for index, error, value in outcome.results:
             if error is not None:
                 failures.append((index, error))

@@ -39,6 +39,7 @@ import time
 import traceback
 from typing import Optional, Sequence, Tuple
 
+from repro.obs import trace as _trace
 from repro.perf import pickling
 from repro.perf.backends.fork import run_chunk_in_fork
 from repro.perf.backends.sockets import recv_frame, send_frame, worker_info
@@ -50,24 +51,30 @@ def _log(message: str) -> None:
     print(f"repro-perf-worker[{os.getpid()}] {message}", file=sys.stderr, flush=True)
 
 
-def _handle_run(conn: socket.socket, fn_blob: bytes, chunk_blob: bytes) -> str:
+def _handle_run(
+    conn: socket.socket, fn_blob: bytes, chunk_blob: bytes, ctx: dict
+) -> str:
     try:
         fn = pickling.loads(fn_blob)
         chunk = pickling.loads(chunk_blob)
     except BaseException:  # noqa: BLE001 - diagnosis belongs to the client
         send_frame(conn, ("fatal", f"worker could not unpickle the chunk:\n{traceback.format_exc()}"))
         return "fatal: unpicklable chunk"
+    # The caller's trace wish rides in the run frame's ctx; a worker whose
+    # own REPRO_TRACE gate is on traces even for an untraced caller.
+    trace = True if (ctx.get("trace") or _trace.is_enabled()) else None
     started = time.perf_counter()
-    collected = run_chunk_in_fork(fn, chunk)
+    collected = run_chunk_in_fork(fn, chunk, trace=trace, lane="worker")
     elapsed = time.perf_counter() - started
     if collected is None:
         send_frame(conn, ("lost", "worker's chunk subprocess died without reporting"))
         return f"lost ({len(chunk)} items, {elapsed:.2f}s)"
-    results, snapshot = collected
-    send_frame(conn, ("ok", results, snapshot))
+    results, snapshot, trace_payload = collected
+    send_frame(conn, ("ok", results, snapshot, trace_payload))
     failed = sum(1 for _index, error, _value in results if error is not None)
     status = "ok" if not failed else f"ok with {failed} item error(s)"
-    return f"{status} ({len(chunk)} items, {elapsed:.2f}s)"
+    traced = ", traced" if trace_payload is not None else ""
+    return f"{status} ({len(chunk)} items, {elapsed:.2f}s{traced})"
 
 
 def _serve_connection(conn: socket.socket, peer: Tuple[str, int]) -> None:
@@ -82,7 +89,8 @@ def _serve_connection(conn: socket.socket, peer: Tuple[str, int]) -> None:
             if kind == "ping":
                 send_frame(conn, ("pong", worker_info()))
             elif kind == "run":
-                outcome = _handle_run(conn, message[1], message[2])
+                ctx = message[3] if len(message) > 3 else {}
+                outcome = _handle_run(conn, message[1], message[2], ctx)
                 _log(f"client {peer[0]}:{peer[1]} chunk -> {outcome}")
             elif kind == "shutdown":
                 _log(f"client {peer[0]}:{peer[1]} requested shutdown")

@@ -10,7 +10,7 @@ suite can run under either cache mode (the CI matrix exercises both).
 
 import pytest
 
-from repro.obs import metrics, trace
+from repro.obs import metrics, progress, trace
 from repro.perf import backends as perf_backends
 from repro.perf import cache as perf_cache
 
@@ -20,6 +20,7 @@ def _clean_observability():
     metrics.reset()
     trace.disable()
     trace.TRACER.clear()
+    progress.disable()
     perf_cache.clear()
     perf_cache.configure(enabled=None)
     # Drop any explicitly configured execution backend so each test resolves

@@ -155,7 +155,31 @@ class TestMetrics:
         snap = metrics.snapshot()
         assert snap["gauges"]["test.g"] == 7
         stats = snap["histograms"]["test.h"]
-        assert stats == {"count": 3, "sum": 6, "min": 1, "max": 3, "samples": [3, 1, 2]}
+        assert stats == {
+            "count": 3,
+            "sum": 6,
+            "min": 1,
+            "max": 3,
+            "p50": 2,
+            "p90": 3,
+            "samples": [3, 1, 2],
+        }
+
+    def test_histogram_percentiles_nearest_rank(self):
+        hist = metrics.histogram("test.pct")
+        for value in range(1, 11):  # 1..10
+            hist.observe(value)
+        stats = hist.as_dict()
+        assert stats["p50"] == 5  # ceil(0.5 * 10) = rank 5
+        assert stats["p90"] == 9  # ceil(0.9 * 10) = rank 9
+        assert stats["max"] == 10
+        single = metrics.histogram("test.pct.single")
+        single.observe(41)
+        stats = single.as_dict()
+        assert stats["p50"] == 41 and stats["p90"] == 41
+        empty = metrics.histogram("test.pct.empty")
+        stats = empty.as_dict()
+        assert stats["p50"] is None and stats["p90"] is None
 
     def test_histogram_sample_cap(self):
         hist = metrics.histogram("test.capped")
@@ -201,7 +225,10 @@ def _outcome(**overrides):
             "counters": {"scheduler.steps": 42, "measure.compose.calls": 7},
             "gauges": {},
             "histograms": {
-                "faults.plan.seed": {"count": 1, "sum": 9, "min": 9, "max": 9, "samples": [9]}
+                "faults.plan.seed": {
+                    "count": 1, "sum": 9, "min": 9, "max": 9,
+                    "p50": 9, "p90": 9, "samples": [9],
+                }
             },
         },
         peak_rss_bytes=48 * 1024 * 1024,
@@ -263,7 +290,85 @@ class TestReportSchema:
             validate_report(corrupted)
 
     def test_schema_constant_is_versioned(self):
-        assert REPORT_SCHEMA.endswith("/1")
+        assert REPORT_SCHEMA.endswith("/2")
+
+    def test_legacy_v1_report_without_histograms_validates(self):
+        payload = build_report(
+            [outcome_record(_outcome(), "claim", default_seed=1)], fast=True
+        )
+        legacy = json.loads(json.dumps(payload))
+        legacy["schema"] = "repro.obs.run-report/1"
+        for record in legacy["experiments"]:
+            record.pop("histograms")  # /1 records predate the field
+        validate_report(legacy)  # raises on violation
+        # ... but a /2 report may not drop it.
+        current = json.loads(json.dumps(payload))
+        current["experiments"][0].pop("histograms")
+        with pytest.raises(ReportSchemaError):
+            validate_report(current)
+
+    def test_record_histograms_carry_percentiles(self):
+        record = outcome_record(_outcome(), "claim", default_seed=1)
+        stats = record["histograms"]["faults.plan.seed"]
+        assert stats["p50"] == 9 and stats["p90"] == 9
+        payload = build_report([record], fast=True)
+        broken = json.loads(json.dumps(payload))
+        broken["experiments"][0]["histograms"]["faults.plan.seed"].pop("p50")
+        with pytest.raises(ReportSchemaError):
+            validate_report(broken)
+
+    def test_trace_block_round_trips_and_is_validated(self):
+        trace_block = {
+            "events": 12,
+            "files": ["traces/E15.trace.json"],
+            "processes": [
+                {"pid": 1, "name": "caller (pid 1)", "spans": 4, "instants": 2,
+                 "busy_us": 100.0, "idle_us": 0.0, "wall_us": 100.0},
+                {"pid": 2, "name": "fork (pid 2)", "spans": 8, "instants": 0,
+                 "busy_us": 80.0, "idle_us": 5.0, "wall_us": 85.0},
+            ],
+            "slowest_spans": [{"name": "parallel.map", "pid": 1, "dur_us": 90.0}],
+        }
+        payload = build_report(
+            [outcome_record(_outcome(), "claim", default_seed=1)],
+            fast=True,
+            trace=trace_block,
+        )
+        restored = json.loads(json.dumps(payload))
+        validate_report(restored)
+        assert restored["summary"]["trace"]["events"] == 12
+        rendered = format_summary_table(restored)
+        assert "trace: 12 events across 2 process lane(s)" in rendered
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda t: t.update(events=-1),
+            lambda t: t.update(events="12"),
+            lambda t: t.update(files="not-a-list"),
+            lambda t: t["processes"][0].pop("busy_us"),
+            lambda t: t["processes"][0].update(spans=-2),
+            lambda t: t["slowest_spans"][0].update(dur_us=None),
+        ],
+    )
+    def test_validation_rejects_bad_trace_block(self, mutate):
+        payload = build_report(
+            [outcome_record(_outcome(), "claim", default_seed=1)],
+            fast=True,
+            trace={
+                "events": 1,
+                "files": [],
+                "processes": [
+                    {"pid": 1, "name": None, "spans": 1, "instants": 0,
+                     "busy_us": 1.0, "idle_us": 0.0, "wall_us": 1.0}
+                ],
+                "slowest_spans": [{"name": "s", "pid": 1, "dur_us": 1.0}],
+            },
+        )
+        corrupted = json.loads(json.dumps(payload))
+        mutate(corrupted["summary"]["trace"])
+        with pytest.raises(ReportSchemaError):
+            validate_report(corrupted)
 
     def test_backend_block_round_trips(self):
         payload = build_report(
@@ -339,6 +444,13 @@ class TestReportFormatting:
         table = format_summary_table(payload)
         assert "steps" in table and "42" in table
         assert "1/1 passed" in table
+
+    def test_summary_table_renders_histogram_percentiles(self):
+        payload = build_report(
+            [outcome_record(_outcome(), "c", default_seed=1)], fast=True
+        )
+        table = format_summary_table(payload)
+        assert "E1 faults.plan.seed: n=1 p50=9 p90=9 max=9" in table
 
 
 def _load_trajectory_tool():

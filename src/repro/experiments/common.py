@@ -147,6 +147,10 @@ class ExperimentOutcome:
     metrics: Optional[Dict[str, Any]] = None
     peak_rss_bytes: Optional[int] = None
     trace_path: Optional[str] = None
+    #: Per-attempt outcomes (attempt index, seed, status, error class,
+    #: duration) — ``--retries`` rotates seeds, and without this history a
+    #: report only shows the last attempt, hiding *what* the retry survived.
+    attempt_history: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -160,6 +164,28 @@ class ExperimentOutcome:
             f"   {line}" for line in (self.error or "no detail").rstrip().splitlines()
         )
         return f"[{self.status.upper()}] {self.experiment} — {claim}\n{detail}"
+
+
+def _attempt_error_class(status: str, error: Optional[str]) -> Optional[str]:
+    """A compact label for what an attempt died of.
+
+    The exception class name for a captured traceback (its last line's
+    ``Class: message`` head), else the status itself (``timeout`` and
+    harness-level diagnoses have no exception class); ``None`` for attempts
+    that produced a report.
+    """
+    if status in ("pass", "fail"):
+        return None
+    if error:
+        for line in reversed(error.rstrip().splitlines()):
+            line = line.strip()
+            if not line:
+                continue
+            head = line.split(":", 1)[0]
+            if head and " " not in head:
+                return head
+            break
+    return status
 
 
 def _observability_extras(trace_path: Optional[str]) -> Dict[str, Any]:
@@ -347,9 +373,11 @@ def run_experiment_guarded(
     error: Optional[str] = None
     extras: Optional[Dict[str, Any]] = None
     attempt_seed: Optional[int] = None
+    attempt_history: List[Dict[str, Any]] = []
     for attempt in range(max(0, retries) + 1):
         attempts = attempt + 1
         attempt_seed = None if seed is None else seed + attempt
+        attempt_start = time.perf_counter()
         if isolated:
             status, report, error, extras = _attempt_isolated(
                 experiment_id, fast, timeout, attempt_seed, trace_path
@@ -358,6 +386,15 @@ def run_experiment_guarded(
             status, report, error, extras = _attempt_inline(
                 experiment_id, fast, attempt_seed, trace_path
             )
+        attempt_history.append(
+            {
+                "attempt": attempts,
+                "seed": attempt_seed,
+                "status": status,
+                "error_class": _attempt_error_class(status, error),
+                "elapsed_s": time.perf_counter() - attempt_start,
+            }
+        )
         if status == "pass":
             break
     extras = extras or {}
@@ -372,6 +409,7 @@ def run_experiment_guarded(
         metrics=extras.get("metrics"),
         peak_rss_bytes=extras.get("peak_rss_bytes"),
         trace_path=extras.get("trace_path"),
+        attempt_history=attempt_history,
     )
 
 

@@ -16,6 +16,8 @@ Performance (see ``docs/performance.md``)::
     python -m repro.experiments.runner --cache stats   # print cache statistics
     python -m repro.experiments.runner --backend fork:4             # inner sweeps
     python -m repro.experiments.runner --backend socket:host:9001   # ... on a pool
+    python -m repro.experiments.runner --backend pool:3 --supervise # self-healing
+    python -m repro.experiments.runner --chunk-deadline 30          # bound chunks
 
 ``--parallel N`` fans whole experiments across N concurrently-running
 isolated children; records are printed and reported in experiment order,
@@ -28,6 +30,16 @@ summary.  ``--backend SPEC`` selects the execution backend experiment
 ``repro.perf.backends``); children inherit it through ``REPRO_BACKEND``,
 the resolved backend is recorded in the report's ``summary.backend``
 block, and results are byte-identical on every backend.
+
+``--supervise`` turns on the self-healing transport layer for remote
+sweep backends (per-chunk deadlines, worker heartbeats, seeded
+reconnect backoff, circuit breakers, poison-chunk quarantine — see
+``docs/resilience.md``); children inherit it through ``REPRO_SUPERVISE``
+(seeded from ``--seed`` via ``REPRO_SUPERVISE_SEED`` so backoff schedules
+are reproducible), and the report gains a ``summary.resilience`` block
+aggregating the supervision counters.  ``--chunk-deadline SECONDS``
+bounds each sweep chunk's wall clock (exported as
+``REPRO_CHUNK_DEADLINE``; ``0`` disables the bound).
 
 Observability (see ``docs/observability.md``)::
 
@@ -84,10 +96,12 @@ from repro.obs.report import (
     format_suite_summary,
     format_summary_table,
     outcome_record,
+    resilience_summary,
     validate_report,
 )
 from repro.perf import backends as perf_backends
 from repro.perf import cache as perf_cache
+from repro.perf.supervise import SupervisionPolicy
 
 
 def _summarize_existing_report(path: str) -> int:
@@ -170,6 +184,21 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help=(
+            "self-heal remote sweep backends: chunk deadlines, heartbeats, "
+            "seeded reconnect backoff, circuit breakers (see docs/resilience.md)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock bound per sweep chunk on remote backends (0 disables)",
+    )
+    parser.add_argument(
         "--trace-dir",
         default=None,
         help="save one Chrome-trace JSON per experiment into this directory",
@@ -230,6 +259,18 @@ def main(argv=None) -> int:
         # scratch (parity with REPRO_CACHE / REPRO_BACKEND / REPRO_TRACE).
         os.environ["REPRO_PROGRESS"] = "on"
         obs_progress.enable()
+
+    # Supervision resolves like the other perf toggles: the flags export
+    # environment overrides (isolated children and the socket transport
+    # both read them through SupervisionPolicy.from_env), and the backoff
+    # seed defaults to --seed so reconnect schedules are reproducible.
+    if args.supervise:
+        os.environ["REPRO_SUPERVISE"] = "on"
+        if args.seed is not None and "REPRO_SUPERVISE_SEED" not in os.environ:
+            os.environ["REPRO_SUPERVISE_SEED"] = str(args.seed)
+    if args.chunk_deadline is not None:
+        os.environ["REPRO_CHUNK_DEADLINE"] = str(args.chunk_deadline)
+    supervision_policy = SupervisionPolicy.from_env()
 
     # Same inheritance story for the sweep execution backend: validate the
     # spec up front (a typo should fail the run before any experiment
@@ -345,6 +386,17 @@ def main(argv=None) -> int:
         except (OSError, ValueError, json.JSONDecodeError):
             trace_block = None  # a corrupt trace must not fail the run
 
+    # Like the trace block, the resilience block exists only when
+    # supervision was actually on, so unsupervised runs emit reports
+    # byte-identical to pre-supervision ones.
+    resilience_block = None
+    if supervision_policy.enabled:
+        resilience_block = resilience_summary(
+            records,
+            supervised=True,
+            chunk_deadline_s=supervision_policy.chunk_deadline_s,
+        )
+
     if args.metrics_out:
         payload = build_report(
             records,
@@ -354,6 +406,7 @@ def main(argv=None) -> int:
             cache=cache_block,
             backend=backend_block,
             trace=trace_block,
+            resilience=resilience_block,
         )
         parent = os.path.dirname(args.metrics_out)
         if parent:

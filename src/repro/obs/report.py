@@ -6,11 +6,12 @@ of truth: the runner's human-readable output is rendered *from the record*
 ``--metrics-out`` JSON report is the same records wrapped by
 :func:`build_report` — the two cannot drift.
 
-The report schema (``repro.obs.run-report/2``; the validator still accepts
-``/1`` payloads written before records carried ``histograms``)::
+The report schema (``repro.obs.run-report/3``; the validator still accepts
+``/2`` payloads written before records carried ``attempt_history`` and
+``/1`` payloads from before ``histograms``)::
 
     {
-      "schema": "repro.obs.run-report/2",
+      "schema": "repro.obs.run-report/3",
       "created_unix": 1754500000.0,
       "argv": ["E1", "--timeout", "60"],     # or null
       "fast": true,
@@ -24,6 +25,12 @@ The report schema (``repro.obs.run-report/2``; the validator still accepts
           "attempts": 1,
           "seed": null,                       # last attempt's explicit seed
           "default_seed": 20260806,           # seed in force when "seed" is null
+          "attempt_history": [                # every attempt, not just the last:
+            {"attempt": 1, "seed": 11,        # --retries rotates seeds, and the
+             "status": "error",               # history shows what each retry
+             "error_class": "RuntimeError",   # survived
+             "elapsed_s": 0.31}, ...
+          ],
           "fault_seeds": [7, 8],              # seeds of sampled fault plans
           "peak_rss_bytes": 61210624,         # child getrusage, null if unknown
           "counters": {"scheduler.steps": 1234, ...},
@@ -44,6 +51,11 @@ The report schema (``repro.obs.run-report/2``; the validator still accepts
         "backend": {                                           # optional
           "name": "socket", "spec": "socket:host1:9001,host2:9001",
           "parallelism": 2
+        },
+        "resilience": {                                        # optional:
+          "supervised": true,                                  # supervision +
+          "chunk_deadline_s": 600.0,                           # transport
+          "counters": {"perf.supervise.respawns": 1, ...}      # health totals
         },
         "trace": {                                             # optional:
           "events": 128,                                       # only when
@@ -84,23 +96,26 @@ __all__ = [
     "outcome_record",
     "build_report",
     "cache_summary",
+    "resilience_summary",
     "validate_report",
     "format_record",
     "format_suite_summary",
     "format_summary_table",
 ]
 
-REPORT_SCHEMA = "repro.obs.run-report/2"
+REPORT_SCHEMA = "repro.obs.run-report/3"
 
 #: Older schema versions validate_report still accepts (read compatibility
-#: for saved reports; /1 records predate the ``histograms`` field).
-LEGACY_SCHEMAS = ("repro.obs.run-report/1",)
+#: for saved reports; /2 records predate ``attempt_history``, /1 also
+#: predates ``histograms``).
+LEGACY_SCHEMAS = ("repro.obs.run-report/1", "repro.obs.run-report/2")
 
 _STATUSES = ("pass", "fail", "error", "timeout")
 
 
 class ReportSchemaError(ValueError):
-    """The payload does not conform to ``repro.obs.run-report/2`` (or ``/1``)."""
+    """The payload does not conform to ``repro.obs.run-report/3`` (or a
+    legacy ``/1`` / ``/2`` report)."""
 
 
 def outcome_record(
@@ -121,6 +136,16 @@ def outcome_record(
     histograms = metrics.get("histograms", {})
     fault_seeds = list(histograms.get("faults.plan.seed", {}).get("samples", []))
     report = getattr(outcome, "report", None)
+    attempt_history = [
+        {
+            "attempt": int(entry.get("attempt", index + 1)),
+            "seed": entry.get("seed"),
+            "status": str(entry.get("status")),
+            "error_class": entry.get("error_class"),
+            "elapsed_s": float(entry.get("elapsed_s", 0.0)),
+        }
+        for index, entry in enumerate(getattr(outcome, "attempt_history", None) or [])
+    ]
     return {
         "experiment": outcome.experiment,
         "claim": claim,
@@ -130,6 +155,7 @@ def outcome_record(
         "attempts": int(outcome.attempts),
         "seed": outcome.seed,
         "default_seed": default_seed,
+        "attempt_history": attempt_history,
         "fault_seeds": fault_seeds,
         "peak_rss_bytes": getattr(outcome, "peak_rss_bytes", None),
         "counters": dict(metrics.get("counters", {})),
@@ -148,6 +174,7 @@ def build_report(
     wall_time_s: Optional[float] = None,
     cache: Optional[Dict[str, Any]] = None,
     backend: Optional[Dict[str, Any]] = None,
+    resilience: Optional[Dict[str, Any]] = None,
     trace: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Wrap per-experiment records into a schema-valid run report.
@@ -158,6 +185,9 @@ def build_report(
     ``backend`` is the optional execution-backend description
     (``ExecutionBackend.describe()``: at least ``name``, ``spec`` and
     ``parallelism``); when given it lands in ``summary.backend``.
+    ``resilience`` is the optional supervision/transport-health block
+    (:func:`resilience_summary`); when given it lands in
+    ``summary.resilience``.
     ``trace`` is the optional distributed-trace summary
     (:func:`repro.obs.distributed.summarize_events` output, plus a
     ``files`` list); when given it lands in ``summary.trace`` — pass it
@@ -182,6 +212,8 @@ def build_report(
         summary["cache"] = cache
     if backend is not None:
         summary["backend"] = backend
+    if resilience is not None:
+        summary["resilience"] = resilience
     if trace is not None:
         summary["trace"] = trace
     payload = {
@@ -210,6 +242,37 @@ def cache_summary(records: Sequence[Dict[str, Any]], *, enabled: bool) -> Dict[s
     return {"enabled": bool(enabled), "counters": dict(sorted(totals.items()))}
 
 
+#: Counter namespaces that describe transport/supervision health.
+_RESILIENCE_PREFIXES = ("perf.supervise.", "perf.parallel.socket.")
+_RESILIENCE_EXACT = ("perf.parallel.chunk_fallbacks",)
+
+
+def resilience_summary(
+    records: Sequence[Dict[str, Any]],
+    *,
+    supervised: bool,
+    chunk_deadline_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Aggregate supervision and transport-health counters across records.
+
+    Sums every ``perf.supervise.*`` / ``perf.parallel.socket.*`` counter
+    plus ``perf.parallel.chunk_fallbacks`` — the retries, respawns,
+    breaker openings, deadline misses and quarantines a run survived.
+    The sums come from per-record counters (deterministic across runner
+    parallelism), so resilience blocks diff cleanly between runs.
+    """
+    totals: Dict[str, int] = {}
+    for record in records:
+        for name, value in record.get("counters", {}).items():
+            if name.startswith(_RESILIENCE_PREFIXES) or name in _RESILIENCE_EXACT:
+                totals[name] = totals.get(name, 0) + value
+    return {
+        "supervised": bool(supervised),
+        "chunk_deadline_s": None if chunk_deadline_s is None else float(chunk_deadline_s),
+        "counters": dict(sorted(totals.items())),
+    }
+
+
 # -- validation ----------------------------------------------------------------
 
 _RECORD_FIELDS = {
@@ -221,6 +284,7 @@ _RECORD_FIELDS = {
     "attempts": (int,),
     "seed": (int, type(None)),
     "default_seed": (int, type(None)),
+    "attempt_history": (list,),
     "fault_seeds": (list,),
     "peak_rss_bytes": (int, type(None)),
     "counters": (dict,),
@@ -230,8 +294,21 @@ _RECORD_FIELDS = {
     "trace_file": (str, type(None)),
 }
 
-#: Record fields absent from legacy ``/1`` reports (optional when reading them).
-_V2_RECORD_FIELDS = ("histograms",)
+#: Record fields absent from older schema versions, keyed by the legacy
+#: schemas they are optional in (read compatibility for saved reports).
+_OPTIONAL_IN_LEGACY = {
+    "histograms": ("repro.obs.run-report/1",),
+    "attempt_history": ("repro.obs.run-report/1", "repro.obs.run-report/2"),
+}
+
+#: The fields every ``attempt_history`` entry must carry.
+_ATTEMPT_FIELDS = {
+    "attempt": (int,),
+    "seed": (int, type(None)),
+    "status": (str,),
+    "error_class": (str, type(None)),
+    "elapsed_s": (int, float),
+}
 
 #: The numeric fields every ``summary.trace`` process entry must carry.
 _TRACE_PROCESS_FIELDS = ("busy_us", "idle_us", "wall_us")
@@ -248,8 +325,7 @@ def validate_report(payload: Any) -> None:
     schema = payload.get("schema")
     _require(schema == REPORT_SCHEMA or schema in LEGACY_SCHEMAS,
              f"schema must be {REPORT_SCHEMA!r} "
-             f"(or legacy {'/'.join(LEGACY_SCHEMAS)}), got {schema!r}")
-    legacy = schema != REPORT_SCHEMA
+             f"(or legacy {', '.join(LEGACY_SCHEMAS)}), got {schema!r}")
     _require(isinstance(payload.get("created_unix"), (int, float)),
              "created_unix must be a number")
     _require(payload.get("argv") is None or isinstance(payload["argv"], list),
@@ -261,7 +337,7 @@ def validate_report(payload: Any) -> None:
         where = f"experiments[{index}]"
         _require(isinstance(record, dict), f"{where} must be an object")
         for name, types in _RECORD_FIELDS.items():
-            if legacy and name in _V2_RECORD_FIELDS and name not in record:
+            if schema in _OPTIONAL_IN_LEGACY.get(name, ()) and name not in record:
                 continue
             _require(name in record, f"{where} missing field {name!r}")
             _require(
@@ -274,6 +350,31 @@ def validate_report(payload: Any) -> None:
                  f"{where}.status {record['status']!r} not in {_STATUSES}")
         _require(record["ok"] == (record["status"] == "pass"),
                  f"{where}.ok inconsistent with status {record['status']!r}")
+        for position, entry in enumerate(record.get("attempt_history", [])):
+            at = f"{where}.attempt_history[{position}]"
+            _require(isinstance(entry, dict), f"{at} must be an object")
+            for name, types in _ATTEMPT_FIELDS.items():
+                _require(name in entry, f"{at} missing field {name!r}")
+                _require(
+                    isinstance(entry[name], types)
+                    and not (bool not in types and isinstance(entry[name], bool)),
+                    f"{at}.{name} has type {type(entry[name]).__name__}, "
+                    f"expected {'/'.join(t.__name__ for t in types)}",
+                )
+            _require(entry["attempt"] == position + 1,
+                     f"{at}.attempt must be {position + 1} (1-based, in order)")
+            _require(entry["status"] in _STATUSES,
+                     f"{at}.status {entry['status']!r} not in {_STATUSES}")
+            _require(entry["elapsed_s"] >= 0, f"{at}.elapsed_s must be >= 0")
+        if record.get("attempt_history"):
+            _require(
+                len(record["attempt_history"]) == record["attempts"],
+                f"{where}.attempt_history length does not match attempts",
+            )
+            _require(
+                record["attempt_history"][-1]["status"] == record["status"],
+                f"{where}.attempt_history last status does not match status",
+            )
         for key, value in record["counters"].items():
             _require(isinstance(key, str) and isinstance(value, int),
                      f"{where}.counters must map str -> int")
@@ -319,6 +420,25 @@ def validate_report(payload: Any) -> None:
             and backend["parallelism"] >= 1,
             "summary.backend.parallelism must be an integer >= 1",
         )
+    if "resilience" in summary:
+        resilience = summary["resilience"]
+        _require(isinstance(resilience, dict), "summary.resilience must be an object")
+        _require(isinstance(resilience.get("supervised"), bool),
+                 "summary.resilience.supervised must be a boolean")
+        _require(
+            resilience.get("chunk_deadline_s") is None
+            or (
+                isinstance(resilience["chunk_deadline_s"], (int, float))
+                and not isinstance(resilience["chunk_deadline_s"], bool)
+                and resilience["chunk_deadline_s"] > 0
+            ),
+            "summary.resilience.chunk_deadline_s must be a positive number or null",
+        )
+        _require(isinstance(resilience.get("counters"), dict),
+                 "summary.resilience.counters must be an object")
+        for key, value in resilience["counters"].items():
+            _require(isinstance(key, str) and isinstance(value, int),
+                     "summary.resilience.counters must map str -> int")
     if "trace" in summary:
         trace = summary["trace"]
         _require(isinstance(trace, dict), "summary.trace must be an object")

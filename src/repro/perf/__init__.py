@@ -12,10 +12,16 @@ enforcement arm):
 * :func:`parallel_map` over pluggable **execution backends**
   (:mod:`repro.perf.backends`): ``serial`` (in-process), ``fork:N``
   (forked children on this host) and ``socket:host:port,...`` (a TCP
-  worker pool started with ``python -m repro.perf.worker``).  The sweep
-  contract — seed-stable partitioning, in-order reassembly, boundary
-  metrics merging, lowest-index error propagation — is identical on every
-  backend, so results are byte-for-byte backend-independent.
+  worker pool started with ``python -m repro.perf.worker``) and ``pool:N``
+  (a supervised loopback pool that launches and respawns its own
+  workers).  The sweep contract — seed-stable partitioning, in-order
+  reassembly, boundary metrics merging, lowest-index error propagation —
+  is identical on every backend, so results are byte-for-byte
+  backend-independent.  The remote transports run under a supervision
+  policy (:mod:`repro.perf.supervise`): per-chunk deadlines, heartbeats,
+  seeded backoff, circuit breakers and poison-chunk quarantine; the chaos
+  harness (:mod:`repro.perf.chaos`) proves those paths differentially
+  (see ``docs/resilience.md``).
 
 The supported public surface of the parallel half is
 
@@ -57,6 +63,12 @@ from repro.perf.parallel import (
     default_workers,
     parallel_map,
 )
+from repro.perf.supervise import (
+    LocalPoolBackend,
+    SupervisionLog,
+    SupervisionPolicy,
+    backoff_delay,
+)
 
 __all__ = [
     "CACHE",
@@ -79,6 +91,10 @@ __all__ = [
     "SerialBackend",
     "ForkBackend",
     "SocketBackend",
+    "LocalPoolBackend",
+    "SupervisionLog",
+    "SupervisionPolicy",
+    "backoff_delay",
     "ChunkOutcome",
     "BackendSpecError",
     "configure_workers",

@@ -14,7 +14,9 @@ re-raises identically for every backend.  Three transports ship:
   extracted);
 * ``socket`` — chunks pickled to a TCP worker pool
   (:class:`~repro.perf.backends.sockets.SocketBackend`; stand workers up
-  with ``python -m repro.perf.worker --listen HOST:PORT``).
+  with ``python -m repro.perf.worker --listen HOST:PORT``);
+* ``pool`` — a supervised loopback pool that launches (and respawns) its
+  own worker subprocesses (:class:`~repro.perf.supervise.LocalPoolBackend`).
 
 Backend specs
 -------------
@@ -24,6 +26,8 @@ A backend is named by a **spec string**::
     fork            # one chunk per CPU     # fork:<os.cpu_count()>
     fork:4                                  # 4 forked chunks
     socket:host1:9001,host2:9001            # TCP worker pool, one chunk per worker
+    socket:host1:9001;deadline=30;supervise=on   # ;key=value supervision options
+    pool:4                                  # 4 self-launched loopback workers
 
 Resolution order for the process-wide default:
 :func:`configure_backend` argument, else the ``REPRO_BACKEND`` environment
@@ -81,13 +85,17 @@ class ChunkOutcome:
     transport; ``None`` when tracing is off, the chunk ran in-process, or
     the chunk was lost).  Result payloads are atomic: a lost chunk
     contributed *nothing* — no results, no metrics and no spans — so the
-    caller-side recompute can never double-count.
+    caller-side recompute can never double-count.  ``quarantined`` marks
+    the special lost case where supervision ejected a **poison chunk**
+    (one that killed several distinct workers) rather than losing its
+    executor.
     """
 
     results: Optional[List[Tuple[int, Optional[str], Any]]]
     metrics: Optional[Dict[str, Any]] = None
     detail: Optional[str] = None
     trace: Optional[Dict[str, Any]] = None
+    quarantined: bool = False
 
     @property
     def lost(self) -> bool:
@@ -268,9 +276,17 @@ def abandon_inherited() -> None:
 from repro.perf.backends import fork as _fork  # noqa: E402  (registration import)
 from repro.perf.backends import serial as _serial  # noqa: E402
 from repro.perf.backends import sockets as _sockets  # noqa: E402
+from repro.perf import supervise as _supervise  # noqa: E402  (registers "pool")
 
 SerialBackend = _serial.SerialBackend
 ForkBackend = _fork.ForkBackend
 SocketBackend = _sockets.SocketBackend
+LocalPoolBackend = _supervise.LocalPoolBackend
 
-__all__ += ["SerialBackend", "ForkBackend", "SocketBackend", "abandon_inherited"]
+__all__ += [
+    "SerialBackend",
+    "ForkBackend",
+    "SocketBackend",
+    "LocalPoolBackend",
+    "abandon_inherited",
+]

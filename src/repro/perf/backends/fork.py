@@ -86,9 +86,18 @@ def _chunk_child(
             _trace.TRACER.enable()
         elif trace is False:
             _trace.TRACER.disable()
+        # Chaos hook (tests/CI only): REPRO_CHAOS_FORK arms seeded mid-chunk
+        # kill/hang/delay faults so the supervision layer's lost-chunk and
+        # deadline paths can be driven deterministically.  Unset, this is
+        # one environment lookup per chunk.
+        from repro.perf import chaos as _chaos
+
+        fault_plan = _chaos.fork_fault_plan(chunk)
         results: List[Tuple[int, Optional[str], Any]] = []
         with _trace.span("backend.chunk", lane=lane, items=len(chunk)):
-            for index, item in chunk:
+            for position, (index, item) in enumerate(chunk):
+                if fault_plan is not None and position == fault_plan["at_item"]:
+                    _chaos.apply_fork_fault(fault_plan)  # kill/hang never return
                 item_span = (
                     _trace.TRACER.span("backend.item", index=index)
                     if _trace.TRACER.enabled

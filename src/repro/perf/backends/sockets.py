@@ -1,4 +1,4 @@
-"""The distributed TCP backend (spec ``socket:host:port[,host:port...]``).
+"""The distributed TCP backend (spec ``socket:host:port[,host:port...][;opt=v...]``).
 
 Chunks are pickled (closures included, :mod:`repro.perf.pickling`) and
 shipped to a pool of workers started with::
@@ -10,14 +10,15 @@ the pool.  The wire protocol is deliberately small:
 
 * **framing** — every message is an 8-byte big-endian length followed by a
   pickle of a tuple; requests are ``("ping",)`` and
-  ``("run", fn_blob, chunk_blob, ctx)`` where ``ctx`` is the trace context
-  (currently ``{"trace": bool}`` — the caller's wish that the chunk record
-  spans); replies are ``("pong", info)``,
-  ``("ok", results, metrics_snapshot, trace_payload)``, ``("lost", detail)``
-  and ``("fatal", traceback)``.  The trace payload
-  (:func:`repro.obs.distributed.chunk_payload` or ``None``) rides in the
-  same frame as the results, so a chunk's spans are exactly as atomic as
-  its results and metrics;
+  ``("run", fn_blob, chunk_blob, ctx)`` where ``ctx`` carries the caller's
+  trace wish (``{"trace": bool}``) and, for supervised v3 pools, the
+  heartbeat cadence (``{"heartbeat_s": float}``); replies are
+  ``("pong", info)``, ``("ok", results, metrics_snapshot, trace_payload)``,
+  ``("lost", detail)``, ``("fatal", traceback)`` and — protocol v3 —
+  ``("hb", seq)`` liveness frames interleaved while a chunk runs.  The
+  trace payload (:func:`repro.obs.distributed.chunk_payload` or ``None``)
+  rides in the same frame as the results, so a chunk's spans are exactly
+  as atomic as its results and metrics;
 * **clock alignment** — a worker's monotonic clock is unrelated to the
   caller's, so the caller stamps its own clock the moment the reply frame
   arrives (``recv_ns``) and marks the payload ``clock: "remote"``; the
@@ -26,17 +27,31 @@ the pool.  The wire protocol is deliberately small:
   latency (each chunk has a dedicated receive thread, so the stamp is
   prompt);
 * **handshake** — on connect the client pings and verifies the worker's
-  protocol version and Python ``major.minor`` (marshal'd code objects are
+  protocol version (v3 and v2 workers are both accepted; v2 workers simply
+  never heartbeat) and Python ``major.minor`` (marshal'd code objects are
   not portable across interpreter versions; a mismatched pool fails loudly
   at connect, never with a corrupt sweep);
-* **retry on another worker** — a connection that dies mid-chunk (send or
-  receive fails) is marked dead and the chunk is resubmitted to the next
-  live worker; chunk results depend only on the items, so retries cannot
-  change the sweep outcome.  With no live workers left the chunk is
+* **deadlines** — the receive path is never unbounded: each reply waits at
+  most the per-chunk wall-clock deadline
+  (:class:`~repro.perf.supervise.SupervisionPolicy.chunk_deadline_s`,
+  default 600 s, ``REPRO_CHUNK_DEADLINE`` / ``;deadline=`` to change,
+  ``0``/``off`` to disable), and a supervised v3 worker that stops
+  heartbeating is declared dead after a few missed beats — a worker that
+  accepts a chunk and never replies can no longer hang a sweep;
+* **retry on another worker** — a connection that dies, hangs past its
+  deadline, or returns an undecodable frame is marked dead and the chunk
+  is resubmitted to the next live worker; chunk results depend only on the
+  items, so retries cannot change the sweep outcome.  With supervision on,
+  dead endpoints are redialed under seeded-deterministic backoff
+  (:func:`repro.perf.supervise.backoff_delay`), repeatedly failing
+  endpoints are ejected by a per-worker circuit breaker, and a **poison
+  chunk** that kills ``poison_threshold`` distinct workers is quarantined
+  (reported lost so ``parallel_map`` recomputes it in the caller) instead
+  of cascading through the pool.  With no live workers left the chunk is
   reported lost and ``parallel_map`` recomputes it in the caller;
 * **atomic payloads** — a worker ships results and its per-chunk metrics
-  snapshot in one frame, so a dead worker contributed nothing and the
-  retry/fallback path can never double-count metrics.
+  snapshot in one frame, so a dead, hung or byzantine worker contributed
+  nothing and the retry/fallback path can never double-count metrics.
 
 Workers execute each chunk in a forked child
 (:func:`repro.perf.backends.fork.run_chunk_in_fork`), giving every chunk a
@@ -55,7 +70,7 @@ import struct
 import sys
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs import progress as _progress
 from repro.obs import trace as _trace
@@ -70,29 +85,59 @@ from repro.perf.backends import (
 )
 
 __all__ = [
+    "ACCEPTED_PROTOCOLS",
     "PROTOCOL_VERSION",
     "BackendProtocolError",
+    "FrameError",
     "SocketBackend",
     "parse_addresses",
+    "parse_options",
+    "parse_socket_spec",
     "recv_frame",
     "send_frame",
     "worker_info",
 ]
 
-PROTOCOL_VERSION = 2  # v2: run frames carry a trace ctx, ok replies a trace payload
+PROTOCOL_VERSION = 3  # v3: heartbeat frames while a chunk runs
+#: Protocol versions this client can drive (v2 workers never heartbeat, so
+#: only the chunk deadline bounds their silence).
+ACCEPTED_PROTOCOLS = (2, 3)
 
-#: Seconds allowed for connect + handshake (chunk execution is unbounded).
-CONNECT_TIMEOUT = 10.0
+#: A frame longer than this is treated as garbage, not allocated.
+MAX_FRAME_BYTES = 1 << 30
 
 _CHUNKS = _counter("perf.parallel.socket.chunks")
 _RETRIES = _counter("perf.parallel.socket.retries")
 _DEAD = _counter("perf.parallel.socket.dead_workers")
+_HEARTBEATS = _counter("perf.supervise.heartbeats")
+_DEADLINE_MISSES = _counter("perf.supervise.deadline_misses")
+_RECONNECT_ATTEMPTS = _counter("perf.supervise.reconnect_attempts")
+_RECONNECTS = _counter("perf.supervise.reconnects")
+_BREAKER_OPENS = _counter("perf.supervise.breaker_opens")
+_QUARANTINED = _counter("perf.supervise.quarantined_chunks")
 
 _LEN = struct.Struct(">Q")
 
 
+def _supervision():
+    # Deferred: repro.perf.supervise subclasses SocketBackend, so importing
+    # it at this module's top would be circular.
+    from repro.perf import supervise
+
+    return supervise
+
+
 class BackendProtocolError(RuntimeError):
     """A worker speaks a different protocol or interpreter version."""
+
+
+class FrameError(RuntimeError):
+    """A frame arrived but its payload is not a well-formed message —
+    a byzantine peer (truncated or garbage bytes), not a dead one."""
+
+
+class _DeadlineExceeded(RuntimeError):
+    """The per-chunk wall-clock deadline or heartbeat window elapsed."""
 
 
 def worker_info() -> Dict[str, Any]:
@@ -122,13 +167,25 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
 
 
 def recv_frame(sock: socket.socket) -> Tuple[Any, ...]:
-    """Read one length-prefixed message (raises ``EOFError`` on a closed peer)."""
+    """Read one length-prefixed message.
+
+    Raises ``EOFError`` on a closed peer and :class:`FrameError` when the
+    peer is alive but byzantine — the frame's length is absurd or its
+    payload does not unpickle (truncated or corrupted bytes).
+    """
     header = _recv_exact(sock, _LEN.size)
-    return pickle.loads(_recv_exact(sock, _LEN.unpack(header)[0]))
+    (size,) = _LEN.unpack(header)
+    if size > MAX_FRAME_BYTES:
+        raise FrameError(f"frame header claims {size} bytes (>{MAX_FRAME_BYTES})")
+    payload = _recv_exact(sock, size)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure is byzantine
+        raise FrameError(f"frame payload does not unpickle: {exc!r}")
 
 
 def parse_addresses(rest: Optional[str]) -> List[Tuple[str, int]]:
-    """Parse ``host:port[,host:port...]`` (the text after ``socket:``)."""
+    """Parse ``host:port[,host:port...]`` (the address part of the spec)."""
     if not rest:
         raise BackendSpecError(
             "socket spec needs at least one host:port, e.g. socket:127.0.0.1:9001"
@@ -147,35 +204,97 @@ def parse_addresses(rest: Optional[str]) -> List[Tuple[str, int]]:
     return addresses
 
 
+def parse_options(text: Optional[str]) -> Dict[str, str]:
+    """Parse ``key=value[;key=value...]`` backend-spec options."""
+    options: Dict[str, str] = {}
+    if not text:
+        return options
+    for entry in text.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        key, sep, value = entry.partition("=")
+        if not sep or not key.strip():
+            raise BackendSpecError(f"backend option {entry!r} is not key=value")
+        options[key.strip()] = value.strip()
+    return options
+
+
+def parse_socket_spec(rest: Optional[str]) -> Tuple[List[Tuple[str, int]], Dict[str, str]]:
+    """Split a ``socket:`` spec body into addresses and supervision options
+    (``host:port,host:port;deadline=30;supervise=on``)."""
+    if not rest:
+        return parse_addresses(rest), {}
+    address_text, _, option_text = rest.partition(";")
+    return parse_addresses(address_text.strip()), parse_options(option_text)
+
+
 class _WorkerConnection:
-    """One worker endpoint: its address, live socket (if any), and a lock
-    serializing the send/receive round-trip of a chunk."""
+    """One worker endpoint: its address, live socket (if any), a lock
+    serializing the send/receive round-trip of a chunk, and the endpoint's
+    supervision state (negotiated protocol, circuit breaker, next allowed
+    reconnect time)."""
 
-    __slots__ = ("address", "sock", "alive", "attempted", "lock")
+    __slots__ = (
+        "index",
+        "address",
+        "sock",
+        "alive",
+        "attempted",
+        "lock",
+        "protocol",
+        "breaker",
+        "next_attempt_at",
+    )
 
-    def __init__(self, address: Tuple[str, int]) -> None:
+    def __init__(self, index: int, address: Tuple[str, int], breaker) -> None:
+        self.index = index
         self.address = address
         self.sock: Optional[socket.socket] = None
         self.alive = False
         self.attempted = False
         self.lock = threading.Lock()
+        self.protocol = PROTOCOL_VERSION
+        self.breaker = breaker
+        self.next_attempt_at = 0.0
 
 
 class SocketBackend(ExecutionBackend):
-    """Fan chunks over a TCP worker pool."""
+    """Fan chunks over a TCP worker pool, under a supervision policy."""
 
     name = "socket"
     remote = True  # a one-worker pool still offloads (don't run in-caller)
 
-    def __init__(self, addresses: Sequence[Tuple[str, int]]) -> None:
+    def __init__(
+        self,
+        addresses: Sequence[Tuple[str, int]],
+        options: Optional[Mapping[str, str]] = None,
+    ) -> None:
         if not addresses:
             raise BackendSpecError("socket backend needs at least one worker address")
-        self._connections = [_WorkerConnection(tuple(a)) for a in addresses]
+        supervise = _supervision()
+        self._options = dict(options or {})
+        self._policy = supervise.SupervisionPolicy.from_env(self._options)
+        self._log = supervise.SupervisionLog()
+        self._connections = [
+            _WorkerConnection(
+                index,
+                tuple(address),
+                supervise.CircuitBreaker(
+                    self._policy.breaker_threshold, self._policy.breaker_cooldown_s
+                ),
+            )
+            for index, address in enumerate(addresses)
+        ]
         self._pool_lock = threading.Lock()
+
+    def _options_suffix(self) -> str:
+        return "".join(f";{k}={v}" for k, v in sorted(self._options.items()))
 
     @property
     def spec(self) -> str:
-        return "socket:" + ",".join(f"{h}:{p}" for h, p in self.addresses)
+        addresses = ",".join(f"{h}:{p}" for h, p in self.addresses)
+        return f"socket:{addresses}" + self._options_suffix()
 
     @property
     def addresses(self) -> List[Tuple[str, int]]:
@@ -185,33 +304,83 @@ class SocketBackend(ExecutionBackend):
     def parallelism(self) -> int:
         return len(self._connections)
 
+    @property
+    def policy(self):
+        """The resolved :class:`~repro.perf.supervise.SupervisionPolicy`."""
+        return self._policy
+
+    @property
+    def supervision_log(self):
+        """The backend's :class:`~repro.perf.supervise.SupervisionLog`."""
+        return self._log
+
     def describe(self) -> Dict[str, Any]:
         info = super().describe()
         info["addresses"] = [f"{h}:{p}" for h, p in self.addresses]
+        info["supervised"] = self._policy.enabled
+        info["chunk_deadline_s"] = self._policy.chunk_deadline_s
         return info
 
     # -- connection management -------------------------------------------------
 
-    def _connect_one(self, conn: _WorkerConnection) -> None:
+    def _worker_key(self, conn: _WorkerConnection) -> str:
+        # Backoff schedules are keyed by pool slot, not host:port: a
+        # respawned pool worker changes its port but keeps its slot, so the
+        # supervision log stays a pure function of the seed and the
+        # failure sequence.
+        return f"worker{conn.index}"
+
+    def _note_failure(self, conn: _WorkerConnection, at: str) -> None:
+        """Shared failure bookkeeping: breaker, backoff schedule, log."""
+        opened = conn.breaker.record_failure()
+        attempt = conn.breaker.failures - 1
+        delay = _supervision().backoff_delay(self._policy, self._worker_key(conn), attempt)
+        conn.next_attempt_at = time.monotonic() + delay
+        self._log.record(
+            "backoff",
+            worker=self._worker_key(conn),
+            attempt=attempt,
+            delay_s=round(delay, 9),
+            at=at,
+        )
+        if opened:
+            _BREAKER_OPENS.inc()
+            _trace.instant(
+                "supervise.breaker_open",
+                worker="{}:{}".format(*conn.address),
+                failures=conn.breaker.failures,
+            )
+            self._log.record(
+                "breaker_open",
+                worker=self._worker_key(conn),
+                failures=conn.breaker.failures,
+            )
+
+    def _connect_one(self, conn: _WorkerConnection) -> bool:
         conn.attempted = True
         try:
-            sock = socket.create_connection(conn.address, timeout=CONNECT_TIMEOUT)
+            sock = socket.create_connection(
+                conn.address, timeout=self._policy.connect_timeout_s
+            )
         except OSError:
             _DEAD.inc()
             _trace.instant(
                 "backend.worker_dead", worker="{}:{}".format(*conn.address), at="connect"
             )
-            return
+            self._note_failure(conn, at="connect")
+            return False
         try:
+            sock.settimeout(self._policy.connect_timeout_s)
             send_frame(sock, ("ping",))
             reply = recv_frame(sock)
-        except (OSError, EOFError):
+        except (OSError, EOFError, FrameError):
             sock.close()
             _DEAD.inc()
             _trace.instant(
                 "backend.worker_dead", worker="{}:{}".format(*conn.address), at="handshake"
             )
-            return
+            self._note_failure(conn, at="handshake")
+            return False
         if not (isinstance(reply, tuple) and reply and reply[0] == "pong"):
             sock.close()
             raise BackendProtocolError(
@@ -219,16 +388,25 @@ class SocketBackend(ExecutionBackend):
             )
         info = reply[1] if len(reply) > 1 else {}
         mine = worker_info()
-        if info.get("protocol") != mine["protocol"] or info.get("python") != mine["python"]:
+        if (
+            info.get("protocol") not in ACCEPTED_PROTOCOLS
+            or info.get("python") != mine["python"]
+        ):
             sock.close()
             raise BackendProtocolError(
                 f"worker {conn.address} is incompatible: it runs "
                 f"protocol {info.get('protocol')!r} on Python {info.get('python')!r}, "
-                f"this client runs protocol {mine['protocol']!r} on Python {mine['python']!r}"
+                f"this client accepts protocols {ACCEPTED_PROTOCOLS} on Python {mine['python']!r}"
             )
-        sock.settimeout(None)
+        sock.settimeout(self._policy.connect_timeout_s)
+        conn.protocol = int(info["protocol"])
         conn.sock = sock
         conn.alive = True
+        conn.breaker.record_success()
+        self._log.record(
+            "connected", worker=self._worker_key(conn), protocol=conn.protocol
+        )
+        return True
 
     def _ensure_connected(self) -> None:
         with self._pool_lock:
@@ -236,15 +414,23 @@ class SocketBackend(ExecutionBackend):
                 if not conn.attempted:
                     self._connect_one(conn)
 
-    def _mark_dead(self, conn: _WorkerConnection) -> None:
+    def _mark_dead(self, conn: _WorkerConnection, at: str = "chunk") -> None:
         with self._pool_lock:
             if conn.alive:
                 conn.alive = False
                 _DEAD.inc()
                 _trace.instant(
-                    "backend.worker_dead", worker="{}:{}".format(*conn.address)
+                    "backend.worker_dead", worker="{}:{}".format(*conn.address), at=at
                 )
+                self._note_failure(conn, at=at)
             if conn.sock is not None:
+                # shutdown() before close(): close alone neither wakes a
+                # sibling chunk thread blocked in recv() on this socket nor
+                # sends a FIN while that syscall pins the file description.
+                try:
+                    conn.sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
                 try:
                     conn.sock.close()
                 except OSError:
@@ -258,7 +444,110 @@ class SocketBackend(ExecutionBackend):
                 return None
             return live[chunk_index % len(live)]
 
+    # -- revival ---------------------------------------------------------------
+
+    def _prepare_revival(self, conn: _WorkerConnection) -> bool:
+        """Hook for subclasses that own their workers (respawn); the plain
+        socket backend has nothing to prepare.  False ends revival for
+        ``conn`` (nothing left to dial)."""
+        return True
+
+    def _revive(self, *, blocking: bool) -> bool:
+        """Redial dead endpoints under the backoff schedule; True when at
+        least one worker is live afterwards.  Non-blocking passes only dial
+        endpoints whose backoff delay has elapsed and whose breaker admits
+        a trial; a blocking pass (a starved chunk) waits the schedule out
+        for up to ``max_reconnect_attempts`` rounds."""
+        if not self._policy.enabled:
+            with self._pool_lock:
+                return any(c.alive for c in self._connections)
+        rounds = max(1, self._policy.max_reconnect_attempts) if blocking else 1
+        for _round in range(rounds):
+            with self._pool_lock:
+                if any(c.alive for c in self._connections):
+                    return True
+                dead = [c for c in self._connections if not c.alive]
+            candidates = [c for c in dead if c.breaker.allow()]
+            if not candidates:
+                if not blocking:
+                    return False
+                # Everything is breaker-ejected: wait out the shortest
+                # cooldown once rather than spinning.
+                soonest = min(
+                    (c.breaker.cooldown_s for c in dead), default=self._policy.breaker_cooldown_s
+                )
+                time.sleep(min(soonest, self._policy.backoff_max_s))
+                candidates = [c for c in dead if c.breaker.allow()]
+            for conn in candidates:
+                wait = conn.next_attempt_at - time.monotonic()
+                if wait > 0:
+                    if not blocking:
+                        continue
+                    time.sleep(min(wait, self._policy.backoff_max_s))
+                if not self._prepare_revival(conn):
+                    continue
+                _RECONNECT_ATTEMPTS.inc()
+                with self._pool_lock:
+                    if conn.alive:
+                        continue
+                    revived = self._connect_one(conn)
+                if revived:
+                    _RECONNECTS.inc()
+                    _trace.instant(
+                        "supervise.reconnect", worker="{}:{}".format(*conn.address)
+                    )
+        with self._pool_lock:
+            return any(c.alive for c in self._connections)
+
     # -- the submission path ---------------------------------------------------
+
+    def _receive_reply(self, conn: _WorkerConnection) -> Tuple[Any, int]:
+        """Read frames until a non-heartbeat reply arrives, under both the
+        per-frame silence window and the total chunk deadline."""
+        deadline = self._policy.chunk_deadline_s
+        frame_timeout = self._policy.frame_timeout_s(conn.protocol)
+        started = time.monotonic()
+        while True:
+            timeout = frame_timeout
+            if deadline is not None:
+                remaining = deadline - (time.monotonic() - started)
+                if remaining <= 0:
+                    raise _DeadlineExceeded(
+                        f"no reply within the {deadline:.6g}s chunk deadline"
+                    )
+                timeout = remaining if timeout is None else min(timeout, remaining)
+            conn.sock.settimeout(timeout)
+            try:
+                reply = recv_frame(conn.sock)
+                recv_ns = time.perf_counter_ns()  # clock-alignment stamp
+            except socket.timeout:
+                if timeout == frame_timeout and (deadline is None or timeout < deadline):
+                    raise _DeadlineExceeded(
+                        f"{timeout:.6g}s of silence (missed heartbeats)"
+                    )
+                raise _DeadlineExceeded(
+                    f"no reply within the {deadline:.6g}s chunk deadline"
+                )
+            if isinstance(reply, tuple) and reply and reply[0] == "hb":
+                _HEARTBEATS.inc()
+                continue
+            return reply, recv_ns
+
+    def _quarantine(self, chunk_index: int, killers: set) -> ChunkOutcome:
+        _QUARANTINED.inc()
+        workers = sorted("{}:{}".format(*address) for address in killers)
+        _trace.instant(
+            "supervise.quarantine", chunk=chunk_index, workers=", ".join(workers)
+        )
+        self._log.record("quarantine", chunk=chunk_index, killed=len(killers))
+        return ChunkOutcome(
+            results=None,
+            detail=(
+                f"poison chunk quarantined after killing {len(killers)} "
+                f"workers ({', '.join(workers)})"
+            ),
+            quarantined=True,
+        )
 
     def _run_chunk(
         self,
@@ -269,47 +558,126 @@ class SocketBackend(ExecutionBackend):
     ) -> None:
         _CHUNKS.inc()
         chunk_blob = pickling.dumps(list(chunk))
-        ctx = {"trace": _trace.TRACER.enabled}
+        killers: set = set()
         while True:
             conn = self._pick(chunk_index)
             if conn is None:
+                if self._revive(blocking=True):
+                    continue
                 outcomes[chunk_index] = ChunkOutcome(
                     results=None, detail="no live socket workers"
                 )
                 _progress.advance()
                 return
+            ctx: Dict[str, Any] = {"trace": _trace.TRACER.enabled}
+            if self._policy.enabled and conn.protocol >= 3:
+                ctx["heartbeat_s"] = self._policy.heartbeat_s
             try:
                 with conn.lock:
-                    send_frame(conn.sock, ("run", fn_blob, chunk_blob, ctx))
-                    reply = recv_frame(conn.sock)
-                    recv_ns = time.perf_counter_ns()  # clock-alignment stamp
+                    sock = conn.sock
+                    if sock is None or not conn.alive:
+                        continue  # died while we waited for the round-trip lock
+                    sock.settimeout(self._policy.connect_timeout_s)  # bound the send
+                    send_frame(sock, ("run", fn_blob, chunk_blob, ctx))
+                    reply, recv_ns = self._receive_reply(conn)
+            except _DeadlineExceeded as exc:
+                # Hung or overloaded worker: the socket holds a half-read
+                # conversation, so the connection is unusable — declare the
+                # worker dead and retry the whole chunk elsewhere.  Nothing
+                # arrived, so nothing can be double-counted.
+                _DEADLINE_MISSES.inc()
+                _trace.instant(
+                    "supervise.heartbeat_miss",
+                    chunk=chunk_index,
+                    worker="{}:{}".format(*conn.address),
+                    detail=str(exc),
+                )
+                killers.add(conn.address)
+                self._mark_dead(conn, at="deadline")
+                _RETRIES.inc()
+                _trace.instant(
+                    "backend.retry",
+                    chunk=chunk_index,
+                    worker="{}:{}".format(*conn.address),
+                    why="deadline",
+                )
+                self._log.record(
+                    "retry", worker=self._worker_key(conn), chunk=chunk_index, why="deadline"
+                )
+            except FrameError:
+                # Byzantine worker: a frame arrived but its bytes are
+                # garbage.  The stream offset is unknowable now, so the
+                # connection is unusable — same recovery as a dead one.
+                killers.add(conn.address)
+                self._mark_dead(conn, at="garbage")
+                _RETRIES.inc()
+                _trace.instant(
+                    "backend.retry",
+                    chunk=chunk_index,
+                    worker="{}:{}".format(*conn.address),
+                    why="garbage",
+                )
+                self._log.record(
+                    "retry", worker=self._worker_key(conn), chunk=chunk_index, why="garbage"
+                )
             except (OSError, EOFError):
                 # Dead connection: retry the whole chunk on another worker.
                 # Results depend only on the items, so this cannot change
                 # the sweep outcome; the dead worker's payload never
                 # arrived, so nothing can be double-counted.
+                killers.add(conn.address)
                 self._mark_dead(conn)
                 _RETRIES.inc()
                 _trace.instant(
                     "backend.retry",
                     chunk=chunk_index,
                     worker="{}:{}".format(*conn.address),
+                    why="dead",
                 )
-                continue
-            kind = reply[0]
-            if kind == "ok":
-                trace_payload = reply[3] if len(reply) > 3 else None
-                if trace_payload is not None:
-                    trace_payload["clock"] = "remote"
-                    trace_payload["recv_ns"] = recv_ns
-                    trace_payload["lane"] = "worker {}:{}".format(*conn.address)
-                outcomes[chunk_index] = ChunkOutcome(
-                    results=reply[1], metrics=reply[2], trace=trace_payload
+                self._log.record(
+                    "retry", worker=self._worker_key(conn), chunk=chunk_index, why="dead"
                 )
-            else:  # "lost" (worker's chunk child died) or "fatal" (bad payload)
-                outcomes[chunk_index] = ChunkOutcome(results=None, detail=str(reply[1]))
-            _progress.advance()
-            return
+            else:
+                if not (isinstance(reply, tuple) and reply and isinstance(reply[0], str)):
+                    killers.add(conn.address)
+                    self._mark_dead(conn, at="protocol")
+                    _RETRIES.inc()
+                    _trace.instant(
+                        "backend.retry",
+                        chunk=chunk_index,
+                        worker="{}:{}".format(*conn.address),
+                        why="protocol",
+                    )
+                    self._log.record(
+                        "retry",
+                        worker=self._worker_key(conn),
+                        chunk=chunk_index,
+                        why="protocol",
+                    )
+                elif reply[0] == "ok":
+                    trace_payload = reply[3] if len(reply) > 3 else None
+                    if trace_payload is not None:
+                        trace_payload["clock"] = "remote"
+                        trace_payload["recv_ns"] = recv_ns
+                        trace_payload["lane"] = "worker {}:{}".format(*conn.address)
+                    outcomes[chunk_index] = ChunkOutcome(
+                        results=reply[1], metrics=reply[2], trace=trace_payload
+                    )
+                    _progress.advance()
+                    return
+                else:  # "lost" (worker's chunk child died) or "fatal" (bad payload)
+                    outcomes[chunk_index] = ChunkOutcome(
+                        results=None, detail=str(reply[1]) if len(reply) > 1 else reply[0]
+                    )
+                    _progress.advance()
+                    return
+            # A worker just failed this chunk.  A chunk that keeps killing
+            # its hosts is poison: quarantine it instead of feeding it the
+            # rest of the pool.
+            if self._policy.enabled and len(killers) >= self._policy.poison_threshold:
+                outcomes[chunk_index] = self._quarantine(chunk_index, killers)
+                _progress.advance()
+                return
 
     def submit_chunks(
         self, fn: Callable[[Any], Any], chunks: Sequence[Chunk]
@@ -347,7 +715,8 @@ class SocketBackend(ExecutionBackend):
 
 
 def _factory(rest):
-    return SocketBackend(parse_addresses(rest))
+    addresses, options = parse_socket_spec(rest)
+    return SocketBackend(addresses, options=options)
 
 
 register_backend("socket", _factory)

@@ -145,13 +145,16 @@ def parallel_map(
     failures: List[Tuple[int, str]] = []
     for chunk_index, (chunk, outcome) in enumerate(zip(chunks, outcomes)):
         if outcome is None or outcome.lost:
-            # The executor died without reporting: recompute the chunk here.
-            # Its payload (results + metrics + spans) is atomic and never
+            # The executor died without reporting (or supervision
+            # quarantined a poison chunk): recompute the chunk here.  Its
+            # payload (results + metrics + spans) is atomic and never
             # arrived, so merging nothing and recomputing counts each
             # item's work exactly once.
             _FALLBACKS.inc()
             _trace.instant(
-                "parallel.chunk_fallback",
+                "parallel.chunk_quarantined"
+                if getattr(outcome, "quarantined", False)
+                else "parallel.chunk_fallback",
                 chunk=chunk_index,
                 detail=getattr(outcome, "detail", None),
             )

@@ -42,7 +42,7 @@ from typing import Optional, Sequence, Tuple
 from repro.obs import trace as _trace
 from repro.perf import pickling
 from repro.perf.backends.fork import run_chunk_in_fork
-from repro.perf.backends.sockets import recv_frame, send_frame, worker_info
+from repro.perf.backends.sockets import FrameError, recv_frame, send_frame, worker_info
 
 __all__ = ["main", "serve"]
 
@@ -51,46 +51,97 @@ def _log(message: str) -> None:
     print(f"repro-perf-worker[{os.getpid()}] {message}", file=sys.stderr, flush=True)
 
 
+def _locked_send(conn: socket.socket, lock: threading.Lock, message: tuple) -> None:
+    with lock:
+        send_frame(conn, message)
+
+
 def _handle_run(
-    conn: socket.socket, fn_blob: bytes, chunk_blob: bytes, ctx: dict
+    conn: socket.socket,
+    send_lock: threading.Lock,
+    fn_blob: bytes,
+    chunk_blob: bytes,
+    ctx: dict,
 ) -> str:
     try:
         fn = pickling.loads(fn_blob)
         chunk = pickling.loads(chunk_blob)
     except BaseException:  # noqa: BLE001 - diagnosis belongs to the client
-        send_frame(conn, ("fatal", f"worker could not unpickle the chunk:\n{traceback.format_exc()}"))
+        _locked_send(
+            conn,
+            send_lock,
+            ("fatal", f"worker could not unpickle the chunk:\n{traceback.format_exc()}"),
+        )
         return "fatal: unpicklable chunk"
     # The caller's trace wish rides in the run frame's ctx; a worker whose
     # own REPRO_TRACE gate is on traces even for an untraced caller.
     trace = True if (ctx.get("trace") or _trace.is_enabled()) else None
     started = time.perf_counter()
-    collected = run_chunk_in_fork(fn, chunk, trace=trace, lane="worker")
+    # Protocol v3: a supervised client asks for liveness frames while the
+    # chunk runs (ctx["heartbeat_s"]); the chunk executes in a helper
+    # thread and this thread beats until it finishes.  The heartbeat and
+    # the reply share one send lock so frames never interleave.
+    heartbeat_s = ctx.get("heartbeat_s")
+    beats = 0
+    if heartbeat_s:
+        done = threading.Event()
+        collected_box: list = []
+
+        def _run() -> None:
+            try:
+                collected_box.append(run_chunk_in_fork(fn, chunk, trace=trace, lane="worker"))
+            finally:
+                done.set()
+
+        runner = threading.Thread(target=_run, daemon=True)
+        runner.start()
+        while not done.wait(float(heartbeat_s)):
+            try:
+                _locked_send(conn, send_lock, ("hb", beats))
+                beats += 1
+            except OSError:
+                break  # client gone; finish the chunk for the log, reply will fail
+        runner.join()
+        collected = collected_box[0] if collected_box else None
+    else:
+        collected = run_chunk_in_fork(fn, chunk, trace=trace, lane="worker")
     elapsed = time.perf_counter() - started
+    beaten = f", {beats} heartbeats" if beats else ""
     if collected is None:
-        send_frame(conn, ("lost", "worker's chunk subprocess died without reporting"))
-        return f"lost ({len(chunk)} items, {elapsed:.2f}s)"
+        _locked_send(
+            conn, send_lock, ("lost", "worker's chunk subprocess died without reporting")
+        )
+        return f"lost ({len(chunk)} items, {elapsed:.2f}s{beaten})"
     results, snapshot, trace_payload = collected
-    send_frame(conn, ("ok", results, snapshot, trace_payload))
+    _locked_send(conn, send_lock, ("ok", results, snapshot, trace_payload))
     failed = sum(1 for _index, error, _value in results if error is not None)
     status = "ok" if not failed else f"ok with {failed} item error(s)"
     traced = ", traced" if trace_payload is not None else ""
-    return f"{status} ({len(chunk)} items, {elapsed:.2f}s{traced})"
+    return f"{status} ({len(chunk)} items, {elapsed:.2f}s{traced}{beaten})"
 
 
 def _serve_connection(conn: socket.socket, peer: Tuple[str, int]) -> None:
     _log(f"client {peer[0]}:{peer[1]} connected")
+    send_lock = threading.Lock()
     try:
         while True:
             try:
                 message = recv_frame(conn)
+            except FrameError as exc:
+                # Byzantine client: drop the connection, keep the worker.
+                _log(f"client {peer[0]}:{peer[1]} sent garbage ({exc}); disconnecting")
+                break
             except (EOFError, OSError):
+                break
+            if not (isinstance(message, tuple) and message and isinstance(message[0], str)):
+                _log(f"client {peer[0]}:{peer[1]} sent a malformed request; disconnecting")
                 break
             kind = message[0]
             if kind == "ping":
-                send_frame(conn, ("pong", worker_info()))
+                _locked_send(conn, send_lock, ("pong", worker_info()))
             elif kind == "run":
                 ctx = message[3] if len(message) > 3 else {}
-                outcome = _handle_run(conn, message[1], message[2], ctx)
+                outcome = _handle_run(conn, send_lock, message[1], message[2], ctx)
                 _log(f"client {peer[0]}:{peer[1]} chunk -> {outcome}")
             elif kind == "shutdown":
                 _log(f"client {peer[0]}:{peer[1]} requested shutdown")
@@ -99,7 +150,7 @@ def _serve_connection(conn: socket.socket, peer: Tuple[str, int]) -> None:
                 finally:
                     os._exit(0)
             else:
-                send_frame(conn, ("fatal", f"unknown request {kind!r}"))
+                _locked_send(conn, send_lock, ("fatal", f"unknown request {kind!r}"))
     finally:
         try:
             conn.close()
@@ -150,6 +201,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # A sweep nested inside a chunk must run serially, never dial back into
     # the pool this worker belongs to (that would deadlock the pool).
     os.environ["REPRO_BACKEND"] = "serial"
+    # Marker for shipped closures that must behave differently inside a
+    # worker than in the caller's fallback path (chaos tests lean on this).
+    os.environ["REPRO_PERF_WORKER"] = "1"
 
     try:
         serve(host, port)

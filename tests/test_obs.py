@@ -290,7 +290,7 @@ class TestReportSchema:
             validate_report(corrupted)
 
     def test_schema_constant_is_versioned(self):
-        assert REPORT_SCHEMA.endswith("/2")
+        assert REPORT_SCHEMA.endswith("/3")
 
     def test_legacy_v1_report_without_histograms_validates(self):
         payload = build_report(

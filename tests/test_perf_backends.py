@@ -44,6 +44,7 @@ from repro.perf.backends.sockets import (
     parse_addresses,
     recv_frame,
     send_frame,
+    worker_info,
 )
 from repro.perf.parallel import ParallelWorkerError, parallel_map
 
@@ -328,6 +329,113 @@ class TestSocketBackend:
         assert proc.wait(timeout=10) == 0
 
 
+@pytest.fixture
+def fake_worker():
+    """A loopback server driven by a per-connection handler — lets tests
+    play a hung or byzantine worker without subclassing the real one."""
+    servers = []
+
+    def start(handler):
+        server = socket_module.create_server(("127.0.0.1", 0))
+        server.settimeout(30)
+        servers.append(server)
+        port = server.getsockname()[1]
+
+        def serve():
+            while True:
+                try:
+                    conn, _peer = server.accept()
+                except OSError:
+                    return  # server closed by teardown
+                try:
+                    handler(conn)
+                except OSError:
+                    pass
+                finally:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+
+        threading.Thread(target=serve, daemon=True).start()
+        return port
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+def _handshake(conn, protocol=3):
+    message = recv_frame(conn)
+    assert message == ("ping",)
+    send_frame(conn, ("pong", {"protocol": protocol, "python": worker_info()["python"]}))
+
+
+class TestMisbehavingWorkers:
+    """Hung and byzantine peers: the caller must survive, with exact results
+    and every item's metrics counted exactly once (satellite: issue task 4)."""
+
+    def test_hung_after_handshake_bounded_by_deadline(self, fake_worker):
+        hung = threading.Event()
+
+        def stall(conn):
+            _handshake(conn, protocol=2)
+            recv_frame(conn)  # the run request...
+            hung.wait(30)  # ...then dead silence, never a reply
+
+        port = fake_worker(stall)
+        misses = metrics.counter("perf.supervise.deadline_misses")
+        fallbacks = metrics.counter("perf.parallel.chunk_fallbacks")
+        misses_before, fallbacks_before = misses.value, fallbacks.value
+        c = metrics.counter("test.backends.hung_worker_items")
+        count_before = c.value
+
+        def bump(x):
+            c.inc()
+            return x * 3
+
+        try:
+            items = list(range(5))
+            assert parallel_map(
+                bump, items, backend=f"socket:127.0.0.1:{port};deadline=1"
+            ) == [x * 3 for x in items]
+        finally:
+            hung.set()
+        assert misses.value > misses_before
+        assert fallbacks.value > fallbacks_before
+        # The worker never replied, so its chunk contributed no metrics:
+        # only the caller's recomputation counted, exactly once per item.
+        assert c.value == count_before + len(items)
+
+    @pytest.mark.parametrize("corruption", ["garbage", "truncated"])
+    def test_byzantine_frames_survive_without_double_counting(
+        self, fake_worker, corruption
+    ):
+        def corrupt(conn):
+            _handshake(conn, protocol=2)
+            recv_frame(conn)
+            if corruption == "garbage":
+                # A length header promising an absurd frame: FrameError.
+                conn.sendall((1 << 40).to_bytes(8, "big") + b"\xde\xad\xbe\xef")
+            else:
+                # A frame cut off mid-payload: EOFError at the receiver.
+                conn.sendall((1000).to_bytes(8, "big") + b"x" * 17)
+
+        port = fake_worker(corrupt)
+        c = metrics.counter(f"test.backends.byzantine_{corruption}_items")
+        count_before = c.value
+
+        def bump(x):
+            c.inc()
+            return x + 10
+
+        items = list(range(4))
+        assert parallel_map(bump, items, backend=f"socket:127.0.0.1:{port}") == [
+            x + 10 for x in items
+        ]
+        assert c.value == count_before + len(items)
+
+
 class TestWorkerCLI:
     @pytest.mark.parametrize("listen", ["nonsense", ":9001", "127.0.0.1:"])
     def test_bad_listen_exits_2(self, listen):
@@ -350,8 +458,19 @@ class TestWorkerCLI:
 #: counters (per-chunk-process cache warmth changes hit/miss tallies, and
 #: transport counters differ across backends by construction).
 _VOLATILE_REPORT = {"created_unix", "argv"}
-_VOLATILE_SUMMARY = {"wall_time_s", "cache", "backend"}
+_VOLATILE_SUMMARY = {"wall_time_s", "cache", "backend", "resilience"}
 _VOLATILE_RECORD = {"elapsed_s", "peak_rss_bytes", "trace_file", "counters"}
+
+
+def _scrub_record(record):
+    record = {k: v for k, v in record.items() if k not in _VOLATILE_RECORD}
+    # Per-attempt wall clocks are timing; everything else in the attempt
+    # history (index, seed, status, error class) must match exactly.
+    record["attempt_history"] = [
+        {k: v for k, v in entry.items() if k != "elapsed_s"}
+        for entry in record.get("attempt_history", [])
+    ]
+    return record
 
 
 def _scrub_cross_backend(payload):
@@ -359,10 +478,7 @@ def _scrub_cross_backend(payload):
     payload["summary"] = {
         k: v for k, v in payload["summary"].items() if k not in _VOLATILE_SUMMARY
     }
-    payload["experiments"] = [
-        {k: v for k, v in record.items() if k not in _VOLATILE_RECORD}
-        for record in payload["experiments"]
-    ]
+    payload["experiments"] = [_scrub_record(r) for r in payload["experiments"]]
     return json.dumps(payload, sort_keys=True)
 
 

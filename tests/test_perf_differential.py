@@ -47,10 +47,15 @@ def _scrub(payload):
     payload["summary"] = {
         k: v for k, v in payload["summary"].items() if k not in VOLATILE_REPORT_KEYS
     }
-    payload["experiments"] = [
-        {k: v for k, v in record.items() if k not in VOLATILE_RECORD_KEYS}
-        for record in payload["experiments"]
-    ]
+    experiments = []
+    for record in payload["experiments"]:
+        record = {k: v for k, v in record.items() if k not in VOLATILE_RECORD_KEYS}
+        record["attempt_history"] = [
+            {k: v for k, v in entry.items() if k != "elapsed_s"}
+            for entry in record.get("attempt_history", [])
+        ]
+        experiments.append(record)
+    payload["experiments"] = experiments
     return json.dumps(payload, sort_keys=True)
 
 

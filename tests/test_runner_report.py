@@ -7,6 +7,7 @@ report that records every seed needed to reproduce a failure.
 """
 
 import json
+import os
 
 import pytest
 
@@ -101,6 +102,64 @@ class TestRunnerCliReports:
         assert record["attempts"] == 2
         assert record["seed"] == 12  # base 11, rotated once
         assert record["default_seed"] == DEFAULT_SEED
+
+    def test_attempt_history_records_every_attempt(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = main(
+            ["EX-WORKCRASH", "--seed", "11", "--retries", "1",
+             "--metrics-out", str(out_path)]
+        )
+        assert code == 1
+        payload = json.loads(out_path.read_text())
+        validate_report(payload)
+        (record,) = payload["experiments"]
+        history = record["attempt_history"]
+        assert [entry["attempt"] for entry in history] == [1, 2]
+        assert [entry["seed"] for entry in history] == [11, 12]
+        assert all(entry["status"] == "error" for entry in history)
+        assert all(entry["error_class"] == "RuntimeError" for entry in history)
+        assert all(entry["elapsed_s"] >= 0 for entry in history)
+
+    def test_supervise_flag_exports_env_and_emits_resilience(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        for var in ("REPRO_SUPERVISE", "REPRO_SUPERVISE_SEED", "REPRO_CHUNK_DEADLINE"):
+            monkeypatch.delenv(var, raising=False)
+        out_path = tmp_path / "report.json"
+        try:
+            code = main(
+                ["E4", "--supervise", "--chunk-deadline", "45", "--seed", "3",
+                 "--metrics-out", str(out_path)]
+            )
+            assert code == 0
+            # Isolated children and socket transports resolve the policy
+            # from the environment, so the flags must export it.
+            assert os.environ["REPRO_SUPERVISE"] == "on"
+            assert os.environ["REPRO_SUPERVISE_SEED"] == "3"
+            assert os.environ["REPRO_CHUNK_DEADLINE"] == "45.0"
+        finally:
+            for var in (
+                "REPRO_SUPERVISE", "REPRO_SUPERVISE_SEED", "REPRO_CHUNK_DEADLINE"
+            ):
+                os.environ.pop(var, None)
+        payload = json.loads(out_path.read_text())
+        validate_report(payload)
+        resilience = payload["summary"]["resilience"]
+        assert resilience["supervised"] is True
+        assert resilience["chunk_deadline_s"] == 45.0
+        assert isinstance(resilience["counters"], dict)
+
+    def test_unsupervised_report_has_no_resilience_block(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        monkeypatch.delenv("REPRO_SUPERVISE", raising=False)
+        out_path = tmp_path / "report.json"
+        assert main(["E4", "--metrics-out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        validate_report(payload)
+        assert "resilience" not in payload["summary"]
 
     def test_default_seed_recorded_without_seed_flag(self, tmp_path, capsys):
         out_path = tmp_path / "report.json"

@@ -14,17 +14,48 @@ or one per machine — into a single aligned table so counter trajectories
 
 Counters are exact, deterministic work measures (unlike wall time), which
 makes them the right axis for tracking algorithmic improvements across
-runs; this is the seed of the repo's ``BENCH_*.json`` tracking.
+runs; this is the seed of the repo's ``BENCH_*.json`` tracking.  The
+committed ``benchmarks/BENCH_obs_baseline.json`` (a full 15-experiment
+bench run) anchors the trajectory so a single fresh ``BENCH_obs.json``
+already has something to diff against.
+
+The tool also ingests **runner reports** (``repro.obs.run-report/*``, from
+``--metrics-out``): given two of them it delegates to the regression
+attributor (``python -m repro.obs compare``) and prints the ranked
+"what changed" table instead of the counter trajectory::
+
+    python benchmarks/report_trajectory.py REPORT_old.json REPORT_new.json --threshold 10
+
+Schema-invalid inputs are an error (exit 1), never silently skipped.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 TRAJECTORY_SCHEMA = "repro.obs.bench-trajectory/1"
+RUN_REPORT_PREFIX = "repro.obs.run-report/"
+
+
+def _bootstrap_repro() -> None:
+    """Make ``repro`` importable when run as a bare script from the checkout."""
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        src = os.path.normpath(
+            os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+        )
+        sys.path.insert(0, src)
+
+
+def _peek_schema(path: str) -> Any:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return payload.get("schema") if isinstance(payload, dict) else None
 
 
 def load_trajectory(path: str) -> Dict[str, Any]:
@@ -110,11 +141,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="OUT",
         help="also write the merged trajectory as JSON to this path",
     )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="regression threshold (percent) when comparing two run reports",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when a run-report comparison finds regressions",
+    )
     args = parser.parse_args(argv)
+
+    try:
+        schemas = [_peek_schema(path) for path in args.files]
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if any(isinstance(s, str) and s.startswith(RUN_REPORT_PREFIX) for s in schemas):
+        # Runner reports are richer than bench trajectories: hand them to
+        # the regression attributor instead of the counter table.
+        if len(args.files) != 2:
+            print(
+                "error: run-report comparison takes exactly two report files",
+                file=sys.stderr,
+            )
+            return 1
+        _bootstrap_repro()
+        from repro.obs.analyze import main_compare
+
+        compare_argv = list(args.files) + ["--threshold", str(args.threshold)]
+        if args.fail_on_regression:
+            compare_argv.append("--fail-on-regression")
+        return main_compare(compare_argv)
+
     try:
         merged = merge(args.files, args.counter)
     except (OSError, json.JSONDecodeError, ValueError) as exc:
-        print(f"error: {exc}")
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     print(format_table(merged))
     if args.json:

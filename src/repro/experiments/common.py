@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import metrics as _metrics
+from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 from repro.obs.procinfo import peak_rss_bytes as _peak_rss_bytes
 from repro.perf import backends as _perf_backends
@@ -135,6 +136,11 @@ class ExperimentOutcome:
     hard-killed/timed-out child yields ``None``), ``peak_rss_bytes`` its
     :func:`repro.obs.procinfo.peak_rss_bytes`, and ``trace_path`` the file
     the child saved its Chrome trace to (when tracing was requested).
+    ``profile`` holds the attempt's phase-profile lanes
+    (:func:`repro.obs.profile.lanes` without the per-stack data — the
+    runner's experiment lane plus one lane per sweep executor; ``None``
+    when profiling was off) and ``profile_path`` the ``*.folded``
+    collapsed-stack file the child saved (when one was requested).
     """
 
     experiment: str
@@ -147,6 +153,8 @@ class ExperimentOutcome:
     metrics: Optional[Dict[str, Any]] = None
     peak_rss_bytes: Optional[int] = None
     trace_path: Optional[str] = None
+    profile: Optional[List[Dict[str, Any]]] = None
+    profile_path: Optional[str] = None
     #: Per-attempt outcomes (attempt index, seed, status, error class,
     #: duration) — ``--retries`` rotates seeds, and without this history a
     #: report only shows the last attempt, hiding *what* the retry survived.
@@ -188,12 +196,16 @@ def _attempt_error_class(status: str, error: Optional[str]) -> Optional[str]:
     return status
 
 
-def _observability_extras(trace_path: Optional[str]) -> Dict[str, Any]:
-    """The per-attempt observability payload (metrics, RSS, saved trace)."""
+def _observability_extras(
+    trace_path: Optional[str], profile_path: Optional[str] = None
+) -> Dict[str, Any]:
+    """The per-attempt observability payload (metrics, RSS, trace, profile)."""
     extras: Dict[str, Any] = {
         "metrics": _metrics.snapshot(),
         "peak_rss_bytes": _peak_rss_bytes(),
         "trace_path": None,
+        "profile": None,
+        "profile_path": None,
     }
     if trace_path is not None:
         try:
@@ -201,11 +213,30 @@ def _observability_extras(trace_path: Optional[str]) -> Dict[str, Any]:
             extras["trace_path"] = str(trace_path)
         except OSError:
             pass
+    if _profile.PROFILER.enabled:
+        lanes = _profile.lanes(lane="experiment")
+        if profile_path is not None:
+            try:
+                _profile.save_folded(profile_path, lanes)
+                extras["profile_path"] = str(profile_path)
+            except OSError:
+                pass
+        # Collapsed stacks live in the .folded file; the lanes shipped to
+        # the parent carry phase totals only (small, report-ready).
+        extras["profile"] = [
+            {"pid": lane["pid"], "lane": lane["lane"], "phases": lane["phases"]}
+            for lane in lanes
+        ]
     return extras
 
 
 def _guarded_child(
-    conn, experiment_id: str, fast: bool, seed: Optional[int], trace_path: Optional[str]
+    conn,
+    experiment_id: str,
+    fast: bool,
+    seed: Optional[int],
+    trace_path: Optional[str],
+    profile_path: Optional[str] = None,
 ) -> None:
     """Child-process entry point: run one experiment, ship the result back.
 
@@ -226,13 +257,18 @@ def _guarded_child(
     _perf_backends.abandon_inherited()
     if trace_path is not None:
         _trace.enable()
+    if profile_path is not None or _profile.PROFILER.enabled:
+        # Fresh slate and an explicit re-install: the inherited hook state
+        # and any parent totals are not this experiment's work.
+        _profile.PROFILER.clear()
+        _profile.PROFILER.enable()
     try:
         set_experiment_seed(seed)
         report = run_experiment(experiment_id, fast=fast)
         payload: Tuple[str, Any] = ("report", report)
     except BaseException:  # noqa: BLE001 - the boundary exists to catch everything
         payload = ("error", traceback.format_exc())
-    extras = _observability_extras(trace_path)
+    extras = _observability_extras(trace_path, profile_path)
     try:
         conn.send(payload + (extras,))
     except Exception as exc:  # the report itself may be untransferable
@@ -256,13 +292,14 @@ def _attempt_isolated(
     timeout: Optional[float],
     seed: Optional[int],
     trace_path: Optional[str],
+    profile_path: Optional[str] = None,
 ) -> _Attempt:
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     process = ctx.Process(
         target=_guarded_child,
-        args=(child_conn, experiment_id, fast, seed, trace_path),
+        args=(child_conn, experiment_id, fast, seed, trace_path, profile_path),
         daemon=True,
     )
     process.start()
@@ -303,7 +340,11 @@ def _attempt_isolated(
 
 
 def _attempt_inline(
-    experiment_id: str, fast: bool, seed: Optional[int], trace_path: Optional[str]
+    experiment_id: str,
+    fast: bool,
+    seed: Optional[int],
+    trace_path: Optional[str],
+    profile_path: Optional[str] = None,
 ) -> _Attempt:
     previous = _EXPERIMENT_SEED
     # Inline attempts share the process-global registry with the caller, so
@@ -316,6 +357,10 @@ def _attempt_inline(
     if trace_path is not None:
         _trace.TRACER.clear()
         _trace.enable()
+    profiling_was_enabled = _profile.PROFILER.enabled
+    if profile_path is not None:
+        _profile.PROFILER.clear()
+        _profile.PROFILER.enable()
     try:
         set_experiment_seed(seed)
         report = run_experiment(experiment_id, fast=fast)
@@ -324,7 +369,9 @@ def _attempt_inline(
         report, status, error = None, "error", traceback.format_exc()
     finally:
         set_experiment_seed(previous)
-    extras = _observability_extras(trace_path)
+    extras = _observability_extras(trace_path, profile_path)
+    if profile_path is not None and not profiling_was_enabled:
+        _profile.PROFILER.disable()
     extras["metrics"]["counters"] = _metrics.subtract_counters(
         _metrics.snapshot(include_zero=True)["counters"], before
     )
@@ -342,6 +389,7 @@ def run_experiment_guarded(
     seed: Optional[int] = None,
     isolated: bool = True,
     trace_path: Optional[str] = None,
+    profile_path: Optional[str] = None,
 ) -> ExperimentOutcome:
     """Run one experiment behind the isolation boundary.
 
@@ -365,6 +413,13 @@ def run_experiment_guarded(
         When set, tracing is enabled for the attempt and the Chrome-trace
         JSON is written there (each retry overwrites — the saved trace and
         the reported metrics describe the *last* attempt).
+    profile_path:
+        When set, phase profiling is enabled for the attempt and the
+        collapsed-stack ``*.folded`` file is written there (same
+        last-attempt semantics as ``trace_path``).  Profiling also runs —
+        without a folded file — when the profiler is already enabled
+        (``REPRO_PROFILE``); either way the outcome carries the per-pid
+        phase lanes.
     """
     start = time.perf_counter()
     attempts = 0
@@ -380,11 +435,11 @@ def run_experiment_guarded(
         attempt_start = time.perf_counter()
         if isolated:
             status, report, error, extras = _attempt_isolated(
-                experiment_id, fast, timeout, attempt_seed, trace_path
+                experiment_id, fast, timeout, attempt_seed, trace_path, profile_path
             )
         else:
             status, report, error, extras = _attempt_inline(
-                experiment_id, fast, attempt_seed, trace_path
+                experiment_id, fast, attempt_seed, trace_path, profile_path
             )
         attempt_history.append(
             {
@@ -409,6 +464,8 @@ def run_experiment_guarded(
         metrics=extras.get("metrics"),
         peak_rss_bytes=extras.get("peak_rss_bytes"),
         trace_path=extras.get("trace_path"),
+        profile=extras.get("profile"),
+        profile_path=extras.get("profile_path"),
         attempt_history=attempt_history,
     )
 

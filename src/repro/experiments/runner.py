@@ -45,6 +45,8 @@ Observability (see ``docs/observability.md``)::
 
     python -m repro.experiments.runner --metrics-out report.json
     python -m repro.experiments.runner --trace-dir traces/
+    python -m repro.experiments.runner --profile
+    python -m repro.experiments.runner --profile-dir profiles/
     python -m repro.experiments.runner --progress
     python -m repro.experiments.runner --report report.json   # summarize, don't run
 
@@ -61,6 +63,23 @@ the saved files with ``python -m repro.obs trace traces/*.json``.
 rate, ETA; sweep chunks inside inline runs) and exports ``REPRO_PROGRESS``
 to children.  ``--report`` validates an existing report file and prints
 its summary table without running anything.
+
+``--profile`` turns on the deterministic phase profiler
+(:mod:`repro.obs.profile`; children inherit it through ``REPRO_PROFILE``,
+and sweep executors — fork children and socket workers — ship their phase
+totals back as per-pid lanes); the report gains a ``summary.profile``
+block attributing inclusive/exclusive time and call counts to semantic
+phases (unfold/compose/decide/transition/cache/transport).
+``--profile-dir DIR`` additionally saves one flamegraph-ready
+collapsed-stack ``E*.folded`` file per experiment (and implies
+``--profile``).  When tracing ran, the report also gains a
+``summary.analysis`` block — critical path and per-lane
+straggler/skew/idle-gap statistics over the merged trace
+(:mod:`repro.obs.analyze`; also offline via ``python -m repro.obs
+analyze traces/*.json`` and diffable run-to-run via ``python -m
+repro.obs compare A.json B.json``).  Profiling changes nothing outside
+``summary.profile``/``summary.analysis``: per-experiment records are
+byte-identical with it on or off.
 
 Every experiment runs in its own subprocess (see
 :func:`repro.experiments.common.run_experiment_guarded`): an experiment that
@@ -86,7 +105,9 @@ from repro.experiments.common import (
     DEFAULT_SEED,
     run_experiment_guarded,
 )
+from repro.obs import analyze as obs_analyze
 from repro.obs import distributed as obs_distributed
+from repro.obs import profile as obs_profile
 from repro.obs import progress as obs_progress
 from repro.obs.report import (
     ReportSchemaError,
@@ -96,6 +117,7 @@ from repro.obs.report import (
     format_suite_summary,
     format_summary_table,
     outcome_record,
+    profile_summary,
     resilience_summary,
     validate_report,
 )
@@ -204,6 +226,23 @@ def main(argv=None) -> int:
         help="save one Chrome-trace JSON per experiment into this directory",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "attribute time to semantic phases (repro.obs.profile); adds a "
+            "summary.profile block to the report, changes nothing else"
+        ),
+    )
+    parser.add_argument(
+        "--profile-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "save one flamegraph-ready collapsed-stack E*.folded file per "
+            "experiment into this directory (implies --profile)"
+        ),
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="render a live progress line on stderr (heartbeats per experiment)",
@@ -257,8 +296,23 @@ def main(argv=None) -> int:
         # Children inherit the live switch through fork memory; the env
         # export additionally covers any process that re-imports from
         # scratch (parity with REPRO_CACHE / REPRO_BACKEND / REPRO_TRACE).
-        os.environ["REPRO_PROGRESS"] = "on"
+        # A user-set REPRO_PROGRESS=plain keeps its forced rendering mode.
+        if not obs_progress.env_plain():
+            os.environ["REPRO_PROGRESS"] = "on"
         obs_progress.enable()
+
+    # Phase profiling: --profile-dir implies --profile; the env export is
+    # what standalone socket workers (fresh interpreters) read, the live
+    # enable is what this process and its forked children see.  With the
+    # flag absent the profiler may still be on through REPRO_PROFILE.
+    if args.profile or args.profile_dir:
+        os.environ["REPRO_PROFILE"] = "on"
+        obs_profile.enable()
+    elif obs_profile.env_enabled():
+        # REPRO_PROFILE set after this module was imported (e.g. an
+        # embedding caller): honor it the way a fresh process would.
+        obs_profile.enable()
+    profiling = obs_profile.PROFILER.enabled
 
     # Supervision resolves like the other perf toggles: the flags export
     # environment overrides (isolated children and the socket transport
@@ -296,6 +350,11 @@ def main(argv=None) -> int:
             return None
         return os.path.join(args.trace_dir, f"{experiment_id}.trace.json")
 
+    def profile_path_for(experiment_id):
+        if not args.profile_dir:
+            return None
+        return os.path.join(args.profile_dir, f"{experiment_id}.folded")
+
     def run_one(experiment_id):
         return run_experiment_guarded(
             experiment_id,
@@ -305,9 +364,15 @@ def main(argv=None) -> int:
             seed=args.seed,
             isolated=args.isolated,
             trace_path=trace_path_for(experiment_id),
+            profile_path=profile_path_for(experiment_id),
         )
 
     records = []
+    # Profile lanes and folded files ride the outcomes, not the records:
+    # per-experiment records must stay byte-identical with profiling on or
+    # off, so phase data only ever lands in summary.profile.
+    profile_lanes = []
+    folded_files = []
 
     def record_outcome(experiment_id, outcome):
         record = outcome_record(
@@ -317,6 +382,16 @@ def main(argv=None) -> int:
             trace_file=outcome.trace_path,
         )
         records.append(record)
+        for lane in outcome.profile or []:
+            profile_lanes.append(
+                {
+                    "pid": lane.get("pid", 0),
+                    "lane": f"{experiment_id}: {lane.get('lane', '?')}",
+                    "phases": lane.get("phases") or {},
+                }
+            )
+        if outcome.profile_path:
+            folded_files.append(outcome.profile_path)
         print(format_record(record))
         print()
         obs_progress.advance()
@@ -373,6 +448,7 @@ def main(argv=None) -> int:
     # The trace summary exists only when tracing actually produced files,
     # so untraced runs emit reports byte-identical to pre-tracing ones.
     trace_block = None
+    analysis_block = None
     trace_files = [
         r["trace_file"]
         for r in records
@@ -383,8 +459,21 @@ def main(argv=None) -> int:
             merged = obs_distributed.merge_trace_files(trace_files)
             trace_block = obs_distributed.summarize_events(merged["traceEvents"])
             trace_block["files"] = list(trace_files)
+            # Analytics piggyback on tracing alone (never on profiling), so
+            # the profile on/off differential guarantee holds.
+            analysis_block = obs_analyze.analyze_events(merged["traceEvents"])
         except (OSError, ValueError, json.JSONDecodeError):
             trace_block = None  # a corrupt trace must not fail the run
+            analysis_block = None
+
+    # Same only-when-active contract for the phase-profile block.
+    profile_block = None
+    if profiling:
+        profile_block = profile_summary(
+            profile_lanes,
+            enabled=True,
+            folded_files=folded_files if folded_files else None,
+        )
 
     # Like the trace block, the resilience block exists only when
     # supervision was actually on, so unsupervised runs emit reports
@@ -407,6 +496,8 @@ def main(argv=None) -> int:
             backend=backend_block,
             trace=trace_block,
             resilience=resilience_block,
+            profile=profile_block,
+            analysis=analysis_block,
         )
         parent = os.path.dirname(args.metrics_out)
         if parent:

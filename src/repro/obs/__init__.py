@@ -16,9 +16,17 @@ ROADMAP's performance work builds on:
   ship buffered spans back with their results, the caller clock-aligns
   them into one merged Chrome trace with a named lane per worker (plus the
   ``python -m repro.obs trace`` merge/summarize/check CLI);
+* :mod:`repro.obs.profile` — a deterministic ``sys.setprofile`` phase
+  profiler attributing inclusive/exclusive time and call counts to
+  semantic phases (unfold/compose/decide/transition/cache/transport),
+  off by default behind ``REPRO_PROFILE`` with collapsed-stack
+  (flamegraph) export; profile payloads ride the backends like spans do;
+* :mod:`repro.obs.analyze` — trace analytics (critical-path extraction,
+  per-lane straggler/skew detection) and cross-run regression
+  attribution (``python -m repro.obs compare A B``);
 * :mod:`repro.obs.progress` — live chunk/experiment heartbeats rendered as
   a ``\\r``-rewritten stderr status line (off by default, ``REPRO_PROGRESS``
-  or the runner's ``--progress``);
+  or the runner's ``--progress``; plain newline mode on non-TTY streams);
 * :mod:`repro.obs.report` — the machine-readable run-report schema the
   experiment runner emits (``--metrics-out``), its validator, and the
   formatting helpers all human runner output flows through;
@@ -50,7 +58,22 @@ from repro.obs.distributed import (
     merge_trace_files,
     summarize_events,
 )
+from repro.obs.analyze import (
+    analyze_events,
+    compare_reports,
+    critical_path,
+    lane_analysis,
+)
 from repro.obs.procinfo import peak_rss_bytes
+from repro.obs.profile import (
+    PROFILER,
+    Profiler,
+    absorb_chunk_profile,
+    chunk_profile_payload,
+    register_phase,
+    registered_phases,
+    save_folded,
+)
 from repro.obs.report import (
     LEGACY_SCHEMAS,
     REPORT_SCHEMA,
@@ -90,6 +113,19 @@ __all__ = [
     "merge_trace_files",
     "summarize_events",
     "check_trace",
+    # profile
+    "Profiler",
+    "PROFILER",
+    "register_phase",
+    "registered_phases",
+    "chunk_profile_payload",
+    "absorb_chunk_profile",
+    "save_folded",
+    # analyze
+    "critical_path",
+    "lane_analysis",
+    "analyze_events",
+    "compare_reports",
     # progress
     "progress",
     # metrics

@@ -1,10 +1,14 @@
 """``python -m repro.obs`` — observability command line.
 
-Two subcommands::
+Four subcommands::
 
     python -m repro.obs report <report.json> [--summary]   # validate a run report
     python -m repro.obs trace <t1.json> [t2.json ...]      # merge/summarize traces
         [--out merged.json] [--summary] [--check --min-lanes N]
+    python -m repro.obs analyze <t1.json> [...]            # critical path, stragglers
+        [--slack-us N] [--json]
+    python -m repro.obs compare <a.json> <b.json>          # what changed A -> B
+        [--threshold PCT] [--top N] [--fail-on-regression]
 
 For backward compatibility a bare report path (no subcommand) still
 validates it, exactly like the original ``python -m repro.obs`` CLI.
@@ -19,6 +23,14 @@ def main(argv=None) -> int:
         from repro.obs.distributed import main as trace_main
 
         return trace_main(args[1:])
+    if args and args[0] == "analyze":
+        from repro.obs.analyze import main_analyze
+
+        return main_analyze(args[1:])
+    if args and args[0] == "compare":
+        from repro.obs.analyze import main_compare
+
+        return main_compare(args[1:])
     if args and args[0] == "report":
         args = args[1:]
     from repro.obs.report import main as report_main

@@ -55,6 +55,7 @@ __all__ = [
     "chunk_payload",
     "absorb_chunk_trace",
     "merge_trace_files",
+    "union_segments",
     "summarize_events",
     "check_trace",
     "load_trace",
@@ -192,20 +193,26 @@ def merge_trace_files(paths: Sequence[str]) -> Dict[str, Any]:
     return {"traceEvents": merged, "displayTimeUnit": "ms"}
 
 
+def union_segments(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """The union of ``(start, end)`` intervals as sorted disjoint segments.
+
+    The primitive under both busy-time accounting here and idle-gap
+    analysis in :mod:`repro.obs.analyze`: a lane's busy time is the total
+    length of these segments, its idle gaps are the spaces between them.
+    """
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
 def _interval_union_us(intervals: List[Tuple[float, float]]) -> float:
     """Total length of the union of ``(start, end)`` microsecond intervals."""
-    if not intervals:
-        return 0.0
-    intervals.sort()
-    total = 0.0
-    current_start, current_end = intervals[0]
-    for start, end in intervals[1:]:
-        if start > current_end:
-            total += current_end - current_start
-            current_start, current_end = start, end
-        else:
-            current_end = max(current_end, end)
-    return total + (current_end - current_start)
+    return sum(end - start for start, end in union_segments(intervals))
 
 
 def summarize_events(

@@ -102,11 +102,12 @@ def _percentile(ordered: List[Any], q: float) -> Any:
 class Histogram:
     """Streaming count/sum/min/max plus a capped raw-sample prefix.
 
-    :meth:`as_dict` also exports nearest-rank ``p50``/``p90`` percentiles
-    computed over the captured sample prefix (the first
+    :meth:`as_dict` also exports nearest-rank ``p50``/``p90``/``p99``
+    percentiles computed over the captured sample prefix (the first
     ``HISTOGRAM_SAMPLE_CAP`` observations since the last reset), so they are
-    exact for small populations and approximate beyond the cap; ``max`` is
-    always exact."""
+    exact for small populations and approximate beyond the cap, plus the
+    ``mean`` over *all* observations (streaming sum over count — exact
+    beyond the cap); ``max`` is always exact."""
 
     __slots__ = ("name", "count", "sum", "min", "max", "samples")
 
@@ -155,11 +156,19 @@ class Histogram:
         if self.samples:
             try:
                 ordered = sorted(self.samples)
-                p50, p90 = _percentile(ordered, 0.5), _percentile(ordered, 0.9)
+                p50, p90, p99 = (
+                    _percentile(ordered, 0.5),
+                    _percentile(ordered, 0.9),
+                    _percentile(ordered, 0.99),
+                )
             except TypeError:  # mutually unorderable sample types
-                p50 = p90 = None
+                p50 = p90 = p99 = None
         else:
-            p50 = p90 = None
+            p50 = p90 = p99 = None
+        try:
+            mean = self.sum / self.count if self.count else None
+        except TypeError:  # non-numeric sum (e.g. concatenated values)
+            mean = None
         return {
             "count": self.count,
             "sum": self.sum,
@@ -167,6 +176,8 @@ class Histogram:
             "max": self.max,
             "p50": p50,
             "p90": p90,
+            "p99": p99,
+            "mean": mean,
             "samples": list(self.samples),
         }
 

@@ -10,8 +10,15 @@ Like the tracer (:mod:`repro.obs.trace`), the facility is **off by
 default** and the disabled path is near-free: ``advance`` is a single flag
 test, and backends/``parallel_map`` call these hooks unconditionally.
 Enable per process via :func:`enable` or the ``REPRO_PROGRESS`` environment
-variable (``on``/``off``), which the runner exports to experiment children
-when invoked with ``--progress``.
+variable (``on``/``off``/``plain``), which the runner exports to experiment
+children when invoked with ``--progress``.
+
+When stderr is **not a TTY** (piped, redirected, CI log capture) the
+``\\r``-rewrite would concatenate every redraw into one giant mangled
+line, so the renderer auto-detects ``stream.isatty()`` and falls back to
+*plain mode*: newline-terminated heartbeat lines with no escape codes,
+rate-limited much more coarsely so logs stay short.  ``REPRO_PROGRESS=plain``
+both enables heartbeats and forces plain rendering even on a real TTY.
 
 Heartbeats are *caller-side*: backends report a chunk done when its
 results payload lands (serial: after the in-process call; fork: when the
@@ -36,6 +43,7 @@ __all__ = [
     "disable",
     "is_enabled",
     "env_enabled",
+    "env_plain",
     "begin",
     "advance",
     "finish",
@@ -43,8 +51,17 @@ __all__ = [
 
 
 def env_enabled() -> bool:
-    """True when the ``REPRO_PROGRESS`` environment gate asks for heartbeats."""
-    return os.environ.get("REPRO_PROGRESS", "").strip().lower() in ("1", "on", "true", "yes")
+    """True when the ``REPRO_PROGRESS`` environment gate asks for heartbeats.
+
+    ``plain`` counts as enabling: it is "on, and force plain rendering".
+    """
+    value = os.environ.get("REPRO_PROGRESS", "").strip().lower()
+    return value in ("1", "on", "true", "yes", "plain")
+
+
+def env_plain() -> bool:
+    """True when ``REPRO_PROGRESS=plain`` forces newline-mode rendering."""
+    return os.environ.get("REPRO_PROGRESS", "").strip().lower() == "plain"
 
 
 class Progress:
@@ -54,8 +71,15 @@ class Progress:
     #: advance of a phase always draws, so 8/8 is never skipped).
     MIN_REDRAW_S = 0.1
 
-    def __init__(self, stream=None) -> None:
+    #: Plain (non-TTY) lines are each permanent log output, so they are
+    #: rate-limited this many times more coarsely than TTY rewrites.
+    PLAIN_REDRAW_FACTOR = 20
+
+    def __init__(self, stream=None, mode: Optional[str] = None) -> None:
         self.enabled = False
+        #: ``"plain"`` forces newline lines, ``"tty"`` forces ``\r``-rewrites,
+        #: ``None`` auto-detects from ``stream.isatty()`` at draw time.
+        self.mode = mode
         self._stream = stream
         self._lock = threading.Lock()
         self._label: Optional[str] = None
@@ -100,7 +124,10 @@ class Progress:
             self._done += n
             self._dirty = True
             now = time.monotonic()
-            if self._done >= self._total or now - self._last_draw >= self.MIN_REDRAW_S:
+            min_redraw = self.MIN_REDRAW_S
+            if self._plain_locked(self._stream if self._stream is not None else sys.stderr):
+                min_redraw *= self.PLAIN_REDRAW_FACTOR
+            if self._done >= self._total or now - self._last_draw >= min_redraw:
                 self._draw_locked()
 
     def finish(self, message: Optional[str] = None) -> None:
@@ -112,7 +139,10 @@ class Progress:
                 return
             stream = self._stream if self._stream is not None else sys.stderr
             try:
-                stream.write("\r\x1b[2K")
+                if not self._plain_locked(stream):
+                    # Plain lines are already newline-terminated log output;
+                    # there is no live line to erase.
+                    stream.write("\r\x1b[2K")
                 if message:
                     stream.write(f"[repro] {message}\n")
                 stream.flush()
@@ -122,6 +152,16 @@ class Progress:
             self._dirty = False
 
     # -- rendering ---------------------------------------------------------------
+
+    def _plain_locked(self, stream) -> bool:
+        """True when this stream should get newline lines, not ``\\r``-rewrites."""
+        if self.mode is not None:
+            return self.mode == "plain"
+        try:
+            return not stream.isatty()
+        except (AttributeError, ValueError, OSError):
+            # A stream whose TTY-ness is unknowable gets log-safe output.
+            return True
 
     def _draw_locked(self) -> None:
         elapsed = time.monotonic() - self._started
@@ -135,8 +175,12 @@ class Progress:
             if remaining > 0:
                 parts.append(f"eta {remaining / rate:.0f}s")
         stream = self._stream if self._stream is not None else sys.stderr
+        line = " ".join(parts)
         try:
-            stream.write("\r\x1b[2K" + " ".join(parts))
+            if self._plain_locked(stream):
+                stream.write(line + "\n")
+            else:
+                stream.write("\r\x1b[2K" + line)
             stream.flush()
         except (OSError, ValueError):
             pass
@@ -149,6 +193,8 @@ PROGRESS = Progress()
 
 if env_enabled():
     PROGRESS.enable()
+if env_plain():
+    PROGRESS.mode = "plain"
 
 
 def enable() -> None:

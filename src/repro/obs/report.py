@@ -6,12 +6,13 @@ of truth: the runner's human-readable output is rendered *from the record*
 ``--metrics-out`` JSON report is the same records wrapped by
 :func:`build_report` — the two cannot drift.
 
-The report schema (``repro.obs.run-report/3``; the validator still accepts
+The report schema (``repro.obs.run-report/4``; the validator still accepts
+``/3`` payloads written before ``summary.profile``/``summary.analysis``,
 ``/2`` payloads written before records carried ``attempt_history`` and
 ``/1`` payloads from before ``histograms``)::
 
     {
-      "schema": "repro.obs.run-report/3",
+      "schema": "repro.obs.run-report/4",
       "created_unix": 1754500000.0,
       "argv": ["E1", "--timeout", "60"],     # or null
       "fast": true,
@@ -34,9 +35,11 @@ The report schema (``repro.obs.run-report/3``; the validator still accepts
           "fault_seeds": [7, 8],              # seeds of sampled fault plans
           "peak_rss_bytes": 61210624,         # child getrusage, null if unknown
           "counters": {"scheduler.steps": 1234, ...},
-          "histograms": {                      # full exports incl. p50/p90
+          "histograms": {                      # full exports incl. percentiles
             "faults.plan.seed": {"count": 2, "sum": 15, "min": 7, "max": 8,
-                                  "p50": 7, "p90": 8, "samples": [7, 8]}
+                                  "p50": 7, "p90": 8, "p99": 8,   # p99/mean are
+                                  "mean": 7.5,                    # optional keys
+                                  "samples": [7, 8]}
           },
           "table": "...",                     # null for error/timeout
           "error": null,                      # traceback / diagnosis otherwise
@@ -65,6 +68,26 @@ The report schema (``repro.obs.run-report/3``; the validator still accepts
                          "wall_us": 5010.0}, ...],
           "slowest_spans": [{"name": "parallel.map", "pid": 1,
                              "dur_us": 5400.0}, ...]
+        },
+        "profile": {                                           # optional:
+          "enabled": true,                                     # only when
+          "lanes": [{"pid": 1, "lane": "E15: runner",          # REPRO_PROFILE /
+                     "phases": {"measure.unfold":              # --profile ran
+                        {"calls": 120, "inclusive_us": 9000.0,
+                         "exclusive_us": 1500.0}, ...}}, ...],
+          "folded_files": ["profiles/E15.folded"]              # flamegraph input
+        },
+        "analysis": {                                          # optional:
+          "critical_path": {"wall_us": 5400.0,                 # only when
+            "steps": [{"name": "parallel.map", "pid": 1,       # tracing ran
+                       "start_us": 0.0, "dur_us": 5400.0,
+                       "depth": 0}, ...]},
+          "lanes": [{"pid": 2, "name": "worker ...", "chunks": 4,
+                     "skew": 1.3, "utilization": 0.92,
+                     "idle_gaps": {"count": 3, "total_us": 400.0,
+                                   "max_us": 300.0, "p50_us": 50.0},
+                     "straggler": false, ...}, ...],
+          "stragglers": [{"pid": 2, "name": "...", "skew": 3.1}, ...]
         }
       }
     }
@@ -72,6 +95,10 @@ The report schema (``repro.obs.run-report/3``; the validator still accepts
 The ``summary.trace`` block is :func:`repro.obs.distributed.summarize_events`
 output over the run's saved trace files; it appears **only** when tracing
 was on, so disabled-path reports are byte-identical to pre-tracing ones.
+The same only-when-active contract holds for ``summary.profile``
+(:mod:`repro.obs.profile` lanes, present only when phase profiling ran)
+and ``summary.analysis`` (:func:`repro.obs.analyze.analyze_events` over
+the merged trace, present only when tracing produced events).
 
 ERROR/TIMEOUT outcomes are reproducible from the report alone: re-run the
 experiment with ``--seed <seed>`` (or no flag when ``seed`` is null — the
@@ -97,25 +124,30 @@ __all__ = [
     "build_report",
     "cache_summary",
     "resilience_summary",
+    "profile_summary",
     "validate_report",
     "format_record",
     "format_suite_summary",
     "format_summary_table",
 ]
 
-REPORT_SCHEMA = "repro.obs.run-report/3"
+REPORT_SCHEMA = "repro.obs.run-report/4"
 
 #: Older schema versions validate_report still accepts (read compatibility
-#: for saved reports; /2 records predate ``attempt_history``, /1 also
-#: predates ``histograms``).
-LEGACY_SCHEMAS = ("repro.obs.run-report/1", "repro.obs.run-report/2")
+#: for saved reports; /3 predates ``summary.profile``/``summary.analysis``,
+#: /2 records predate ``attempt_history``, /1 also predates ``histograms``).
+LEGACY_SCHEMAS = (
+    "repro.obs.run-report/1",
+    "repro.obs.run-report/2",
+    "repro.obs.run-report/3",
+)
 
 _STATUSES = ("pass", "fail", "error", "timeout")
 
 
 class ReportSchemaError(ValueError):
-    """The payload does not conform to ``repro.obs.run-report/3`` (or a
-    legacy ``/1`` / ``/2`` report)."""
+    """The payload does not conform to ``repro.obs.run-report/4`` (or a
+    legacy ``/1`` / ``/2`` / ``/3`` report)."""
 
 
 def outcome_record(
@@ -176,6 +208,8 @@ def build_report(
     backend: Optional[Dict[str, Any]] = None,
     resilience: Optional[Dict[str, Any]] = None,
     trace: Optional[Dict[str, Any]] = None,
+    profile: Optional[Dict[str, Any]] = None,
+    analysis: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Wrap per-experiment records into a schema-valid run report.
 
@@ -192,6 +226,15 @@ def build_report(
     (:func:`repro.obs.distributed.summarize_events` output, plus a
     ``files`` list); when given it lands in ``summary.trace`` — pass it
     only when tracing actually ran, so untraced reports stay byte-stable.
+    ``profile`` is the optional phase-profile block (:func:`profile_summary`
+    over :func:`repro.obs.profile.lanes`); when given it lands in
+    ``summary.profile`` — pass it only when profiling ran, so unprofiled
+    reports stay byte-stable.
+    ``analysis`` is the optional trace-analytics block
+    (:func:`repro.obs.analyze.analyze_events` over the merged trace); when
+    given it lands in ``summary.analysis`` — its presence must depend on
+    tracing alone (never on profiling) so the profile-differential
+    guarantee holds.
     """
     failures = [
         {"experiment": r["experiment"], "status": r["status"]}
@@ -216,6 +259,10 @@ def build_report(
         summary["resilience"] = resilience
     if trace is not None:
         summary["trace"] = trace
+    if profile is not None:
+        summary["profile"] = profile
+    if analysis is not None:
+        summary["analysis"] = analysis
     payload = {
         "schema": REPORT_SCHEMA,
         "created_unix": time.time(),
@@ -240,6 +287,42 @@ def cache_summary(records: Sequence[Dict[str, Any]], *, enabled: bool) -> Dict[s
             if name.startswith(("perf.cache.", "perf.intern.", "perf.parallel.")):
                 totals[name] = totals.get(name, 0) + value
     return {"enabled": bool(enabled), "counters": dict(sorted(totals.items()))}
+
+
+def profile_summary(
+    lanes: Sequence[Dict[str, Any]],
+    *,
+    enabled: bool,
+    folded_files: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """The ``summary.profile`` block: per-pid phase-attribution lanes.
+
+    ``lanes`` is :func:`repro.obs.profile.lanes` output (or absorbed chunk
+    payloads of the same shape); per-stack data is dropped here — collapsed
+    stacks go to ``*.folded`` files, whose report-relative paths land in
+    ``folded_files``.  Phase totals are rounded to whole microseconds so
+    the block diffs cleanly between runs.
+    """
+    slim: List[Dict[str, Any]] = []
+    for lane in lanes:
+        slim.append(
+            {
+                "pid": int(lane.get("pid", 0)),
+                "lane": str(lane.get("lane", "?")),
+                "phases": {
+                    phase: {
+                        "calls": int(totals.get("calls", 0)),
+                        "inclusive_us": round(float(totals.get("inclusive_us", 0.0))),
+                        "exclusive_us": round(float(totals.get("exclusive_us", 0.0))),
+                    }
+                    for phase, totals in sorted((lane.get("phases") or {}).items())
+                },
+            }
+        )
+    block: Dict[str, Any] = {"enabled": bool(enabled), "lanes": slim}
+    if folded_files is not None:
+        block["folded_files"] = list(folded_files)
+    return block
 
 
 #: Counter namespaces that describe transport/supervision health.
@@ -388,6 +471,16 @@ def validate_report(payload: Any) -> None:
                      f"{where}.histograms[{key!r}].count must be an integer >= 0")
             _require(isinstance(value["samples"], list),
                      f"{where}.histograms[{key!r}].samples must be a list")
+            for field in ("p99", "mean"):  # optional keys, no schema bump
+                if field in value:
+                    _require(
+                        value[field] is None
+                        or (
+                            isinstance(value[field], (int, float))
+                            and not isinstance(value[field], bool)
+                        ),
+                        f"{where}.histograms[{key!r}].{field} must be a number or null",
+                    )
     summary = payload.get("summary")
     _require(isinstance(summary, dict), "summary must be an object")
     _require(summary.get("total") == len(experiments),
@@ -487,6 +580,92 @@ def validate_report(payload: Any) -> None:
                 and span["dur_us"] >= 0,
                 f"{where}.dur_us must be a number >= 0",
             )
+    if "profile" in summary:
+        profile = summary["profile"]
+        _require(isinstance(profile, dict), "summary.profile must be an object")
+        _require(isinstance(profile.get("enabled"), bool),
+                 "summary.profile.enabled must be a boolean")
+        _require(isinstance(profile.get("lanes"), list),
+                 "summary.profile.lanes must be a list")
+        for index, lane in enumerate(profile["lanes"]):
+            where = f"summary.profile.lanes[{index}]"
+            _require(isinstance(lane, dict), f"{where} must be an object")
+            _require(
+                isinstance(lane.get("pid"), int) and not isinstance(lane["pid"], bool),
+                f"{where}.pid must be an integer",
+            )
+            _require(isinstance(lane.get("lane"), str), f"{where}.lane must be a string")
+            _require(isinstance(lane.get("phases"), dict),
+                     f"{where}.phases must be an object")
+            for phase, totals in lane["phases"].items():
+                at = f"{where}.phases[{phase!r}]"
+                _require(isinstance(phase, str) and isinstance(totals, dict),
+                         f"{where}.phases must map str -> object")
+                _require(
+                    isinstance(totals.get("calls"), int)
+                    and not isinstance(totals["calls"], bool)
+                    and totals["calls"] >= 0,
+                    f"{at}.calls must be an integer >= 0",
+                )
+                for field in ("inclusive_us", "exclusive_us"):
+                    _require(
+                        isinstance(totals.get(field), (int, float))
+                        and not isinstance(totals[field], bool),
+                        f"{at}.{field} must be a number",
+                    )
+        if "folded_files" in profile:
+            _require(
+                isinstance(profile["folded_files"], list)
+                and all(isinstance(f, str) for f in profile["folded_files"]),
+                "summary.profile.folded_files must be a list of strings",
+            )
+    if "analysis" in summary:
+        analysis = summary["analysis"]
+        _require(isinstance(analysis, dict), "summary.analysis must be an object")
+        path = analysis.get("critical_path")
+        _require(isinstance(path, dict), "summary.analysis.critical_path must be an object")
+        _require(
+            isinstance(path.get("wall_us"), (int, float))
+            and not isinstance(path["wall_us"], bool)
+            and path["wall_us"] >= 0,
+            "summary.analysis.critical_path.wall_us must be a number >= 0",
+        )
+        _require(isinstance(path.get("steps"), list),
+                 "summary.analysis.critical_path.steps must be a list")
+        for index, step in enumerate(path["steps"]):
+            where = f"summary.analysis.critical_path.steps[{index}]"
+            _require(isinstance(step, dict), f"{where} must be an object")
+            _require(isinstance(step.get("name"), str), f"{where}.name must be a string")
+            _require(isinstance(step.get("pid"), int), f"{where}.pid must be an integer")
+            for field in ("start_us", "dur_us"):
+                _require(
+                    isinstance(step.get(field), (int, float))
+                    and not isinstance(step[field], bool),
+                    f"{where}.{field} must be a number",
+                )
+        _require(isinstance(analysis.get("lanes"), list),
+                 "summary.analysis.lanes must be a list")
+        for index, lane in enumerate(analysis["lanes"]):
+            where = f"summary.analysis.lanes[{index}]"
+            _require(isinstance(lane, dict), f"{where} must be an object")
+            _require(isinstance(lane.get("pid"), int), f"{where}.pid must be an integer")
+            _require(
+                isinstance(lane.get("chunks"), int) and lane["chunks"] >= 0,
+                f"{where}.chunks must be an integer >= 0",
+            )
+            for field in ("skew", "utilization"):
+                _require(
+                    isinstance(lane.get(field), (int, float))
+                    and not isinstance(lane[field], bool)
+                    and lane[field] >= 0,
+                    f"{where}.{field} must be a number >= 0",
+                )
+            _require(isinstance(lane.get("idle_gaps"), dict),
+                     f"{where}.idle_gaps must be an object")
+            _require(isinstance(lane.get("straggler"), bool),
+                     f"{where}.straggler must be a boolean")
+        _require(isinstance(analysis.get("stragglers"), list),
+                 "summary.analysis.stragglers must be a list")
 
 
 # -- human rendering (the runner's only output path) ----------------------------
@@ -557,10 +736,16 @@ def format_summary_table(payload: Dict[str, Any]) -> str:
     histogram_lines = []
     for record in payload["experiments"]:
         for name, stats in sorted(record.get("histograms", {}).items()):
+            mean = stats.get("mean")
+            extras = ""
+            if "p99" in stats:
+                extras += f" p99={stats.get('p99')}"
+            if mean is not None:
+                extras += f" mean={mean:.4g}" if isinstance(mean, float) else f" mean={mean}"
             histogram_lines.append(
                 f"  {record['experiment']} {name}: "
                 f"n={stats.get('count')} p50={stats.get('p50')} "
-                f"p90={stats.get('p90')} max={stats.get('max')}"
+                f"p90={stats.get('p90')}{extras} max={stats.get('max')}"
             )
     if histogram_lines:
         lines.append("histograms (nearest-rank over captured samples):")
@@ -571,6 +756,29 @@ def format_summary_table(payload: Dict[str, Any]) -> str:
             f"trace: {trace.get('events')} events across "
             f"{len(trace.get('processes', []))} process lane(s)"
         )
+    if "profile" in summary:
+        profile = summary["profile"]
+        phase_totals: Dict[str, float] = {}
+        for lane in profile.get("lanes", []):
+            for phase, totals in (lane.get("phases") or {}).items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + float(
+                    totals.get("inclusive_us", 0.0)
+                )
+        ranked = sorted(phase_totals.items(), key=lambda kv: kv[1], reverse=True)
+        rendered = ", ".join(f"{phase} {total / 1000.0:.1f}ms" for phase, total in ranked)
+        lines.append(
+            f"profile: {len(profile.get('lanes', []))} lane(s)"
+            + (f" — {rendered}" if rendered else "")
+        )
+    if "analysis" in summary:
+        steps = summary["analysis"].get("critical_path", {}).get("steps", [])
+        if steps:
+            lines.append(
+                "critical path: "
+                + " -> ".join(
+                    f"{step['name']} ({step['dur_us'] / 1000.0:.1f}ms)" for step in steps
+                )
+            )
     lines.append(
         f"{summary['passed']}/{summary['total']} passed, "
         f"wall time {summary['wall_time_s']:.2f}s"

@@ -83,18 +83,23 @@ class ChunkOutcome:
     or when the chunk was lost).  ``trace`` is the executor's span payload
     (:func:`repro.obs.distributed.chunk_payload`, clock-stamped by the
     transport; ``None`` when tracing is off, the chunk ran in-process, or
-    the chunk was lost).  Result payloads are atomic: a lost chunk
-    contributed *nothing* — no results, no metrics and no spans — so the
-    caller-side recompute can never double-count.  ``quarantined`` marks
-    the special lost case where supervision ejected a **poison chunk**
-    (one that killed several distinct workers) rather than losing its
-    executor.
+    the chunk was lost).  ``profile`` is the executor's phase-profile
+    payload (:func:`repro.obs.profile.chunk_profile_payload`; ``None``
+    when profiling is off, the chunk ran in-process, or the chunk was
+    lost — phase totals are durations, so unlike ``trace`` they carry no
+    clock domain).  Result payloads are atomic: a lost chunk contributed
+    *nothing* — no results, no metrics, no spans and no phase totals — so
+    the caller-side recompute can never double-count.  ``quarantined``
+    marks the special lost case where supervision ejected a **poison
+    chunk** (one that killed several distinct workers) rather than losing
+    its executor.
     """
 
     results: Optional[List[Tuple[int, Optional[str], Any]]]
     metrics: Optional[Dict[str, Any]] = None
     detail: Optional[str] = None
     trace: Optional[Dict[str, Any]] = None
+    profile: Optional[Dict[str, Any]] = None
     quarantined: bool = False
 
     @property

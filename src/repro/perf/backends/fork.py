@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import distributed as _distributed
 from repro.obs import metrics as _metrics
+from repro.obs import profile as _profile
 from repro.obs import progress as _progress
 from repro.obs import trace as _trace
 from repro.obs.metrics import counter as _counter
@@ -67,8 +68,10 @@ def _chunk_child(
     chunk: Chunk,
     trace: Optional[bool] = None,
     lane: str = "fork",
+    profile: Optional[bool] = None,
 ) -> None:
-    """Child body: compute the chunk, ship ``(results, metrics, trace)`` back.
+    """Child body: compute the chunk, ship ``(results, metrics, trace,
+    profile)`` back.
 
     Runs under ``os._exit`` discipline — no atexit hooks, no parent test
     harness teardown.  The inherited metrics registry is zeroed and the
@@ -77,6 +80,11 @@ def _chunk_child(
     (``True``/``False``; ``None`` keeps whatever the parent had — the fork
     backend's children inherit the caller's setting through memory, the
     socket worker's children take the caller's wish from the run frame).
+    ``profile`` is the same three-way switch for the phase profiler; when
+    profiling is (or stays) on, the hook is re-installed post-fork — a
+    ``sys.setprofile`` hook does not survive into a forked child's new
+    frames reliably, and the accumulated parent totals are not this
+    chunk's work either.
     """
     exit_code = 0
     try:
@@ -86,6 +94,11 @@ def _chunk_child(
             _trace.TRACER.enable()
         elif trace is False:
             _trace.TRACER.disable()
+        if profile is True or (profile is None and _profile.PROFILER.enabled):
+            _profile.PROFILER.clear()
+            _profile.PROFILER.enable()
+        elif profile is False:
+            _profile.PROFILER.disable()
         # Chaos hook (tests/CI only): REPRO_CHAOS_FORK arms seeded mid-chunk
         # kill/hang/delay faults so the supervision layer's lost-chunk and
         # deadline paths can be driven deterministically.  Unset, this is
@@ -108,8 +121,14 @@ def _chunk_child(
                         results.append((index, None, fn(item)))
                 except BaseException:  # noqa: BLE001 - shipped to the parent verbatim
                     results.append((index, traceback.format_exc(), None))
+        profile_payload = _profile.chunk_profile_payload(lane)
         payload = pickle.dumps(
-            (results, _metrics.snapshot(), _distributed.chunk_payload(lane)),
+            (
+                results,
+                _metrics.snapshot(),
+                _distributed.chunk_payload(lane),
+                profile_payload,
+            ),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         _write_all(write_fd, _LEN.pack(len(payload)) + payload)
@@ -143,20 +162,31 @@ def run_chunk_in_fork(
     chunk: Chunk,
     trace: Optional[bool] = None,
     lane: str = "fork",
-) -> Optional[Tuple[List[Tuple[int, Optional[str], Any]], Dict[str, Any], Optional[Dict[str, Any]]]]:
+    profile: Optional[bool] = None,
+) -> Optional[
+    Tuple[
+        List[Tuple[int, Optional[str], Any]],
+        Dict[str, Any],
+        Optional[Dict[str, Any]],
+        Optional[Dict[str, Any]],
+    ]
+]:
     """Execute one chunk in a fresh forked child.
 
-    Returns the child's ``(results, metrics snapshot, trace payload)``, or
-    ``None`` when the child died without reporting.  The trace payload is
-    ``None`` unless the child traced (see ``trace`` on :func:`_chunk_child`)
-    and carries no clock domain yet — the transport that ships it onward
-    stamps ``shared`` or ``remote``.  Requires ``os.fork``.
+    Returns the child's ``(results, metrics snapshot, trace payload,
+    profile payload)``, or ``None`` when the child died without reporting.
+    The trace payload is ``None`` unless the child traced (see ``trace`` on
+    :func:`_chunk_child`) and carries no clock domain yet — the transport
+    that ships it onward stamps ``shared`` or ``remote``.  The profile
+    payload is ``None`` unless the child profiled (``profile`` switch, same
+    contract); phase totals are durations, so they need no clock domain at
+    all.  Requires ``os.fork``.
     """
     read_fd, write_fd = os.pipe()
     pid = os.fork()
     if pid == 0:
         os.close(read_fd)
-        _chunk_child(write_fd, fn, chunk, trace=trace, lane=lane)
+        _chunk_child(write_fd, fn, chunk, trace=trace, lane=lane, profile=profile)
         # _chunk_child never returns
     _FORKS.inc()
     os.close(write_fd)
@@ -212,14 +242,19 @@ class ForkBackend(ExecutionBackend):
                     ChunkOutcome(results=None, detail="forked child died without reporting")
                 )
             else:
-                results, snapshot, trace_payload = collected
+                results, snapshot, trace_payload, profile_payload = collected
                 if trace_payload is not None:
                     # Same host, same monotonic clock: timestamps need no
                     # offset.  (A receive-time offset would be wrong here —
                     # payloads wait in the pipe while earlier chunks drain.)
                     trace_payload["clock"] = "shared"
                 outcomes.append(
-                    ChunkOutcome(results=results, metrics=snapshot, trace=trace_payload)
+                    ChunkOutcome(
+                        results=results,
+                        metrics=snapshot,
+                        trace=trace_payload,
+                        profile=profile_payload,
+                    )
                 )
             _progress.advance()
         return outcomes

@@ -72,6 +72,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import profile as _profile
 from repro.obs import progress as _progress
 from repro.obs import trace as _trace
 from repro.obs.metrics import counter as _counter
@@ -569,7 +570,10 @@ class SocketBackend(ExecutionBackend):
                 )
                 _progress.advance()
                 return
-            ctx: Dict[str, Any] = {"trace": _trace.TRACER.enabled}
+            ctx: Dict[str, Any] = {
+                "trace": _trace.TRACER.enabled,
+                "profile": _profile.PROFILER.enabled,
+            }
             if self._policy.enabled and conn.protocol >= 3:
                 ctx["heartbeat_s"] = self._policy.heartbeat_s
             try:
@@ -660,8 +664,16 @@ class SocketBackend(ExecutionBackend):
                         trace_payload["clock"] = "remote"
                         trace_payload["recv_ns"] = recv_ns
                         trace_payload["lane"] = "worker {}:{}".format(*conn.address)
+                    # Older workers send 4-element ok-frames (no profile
+                    # slot) — absent means "did not profile", not an error.
+                    profile_payload = reply[4] if len(reply) > 4 else None
+                    if profile_payload is not None:
+                        profile_payload["lane"] = "worker {}:{}".format(*conn.address)
                     outcomes[chunk_index] = ChunkOutcome(
-                        results=reply[1], metrics=reply[2], trace=trace_payload
+                        results=reply[1],
+                        metrics=reply[2],
+                        trace=trace_payload,
+                        profile=profile_payload,
                     )
                     _progress.advance()
                     return

@@ -56,6 +56,7 @@ from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.obs import distributed as _distributed
 from repro.obs import metrics as _metrics
+from repro.obs import profile as _profile
 from repro.obs import progress as _progress
 from repro.obs import trace as _trace
 from repro.obs.metrics import counter as _counter
@@ -164,6 +165,7 @@ def parallel_map(
         if merge_metrics and outcome.metrics is not None:
             _metrics.merge_snapshot(outcome.metrics)
         _distributed.absorb_chunk_trace(outcome.trace)
+        _profile.absorb_chunk_profile(outcome.profile)
         for index, error, value in outcome.results:
             if error is not None:
                 failures.append((index, error))

@@ -39,6 +39,7 @@ import time
 import traceback
 from typing import Optional, Sequence, Tuple
 
+from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 from repro.perf import pickling
 from repro.perf.backends.fork import run_chunk_in_fork
@@ -74,8 +75,10 @@ def _handle_run(
         )
         return "fatal: unpicklable chunk"
     # The caller's trace wish rides in the run frame's ctx; a worker whose
-    # own REPRO_TRACE gate is on traces even for an untraced caller.
+    # own REPRO_TRACE gate is on traces even for an untraced caller.  The
+    # profile wish works exactly the same way (REPRO_PROFILE gate).
     trace = True if (ctx.get("trace") or _trace.is_enabled()) else None
+    profile = True if (ctx.get("profile") or _profile.PROFILER.enabled) else None
     started = time.perf_counter()
     # Protocol v3: a supervised client asks for liveness frames while the
     # chunk runs (ctx["heartbeat_s"]); the chunk executes in a helper
@@ -89,7 +92,11 @@ def _handle_run(
 
         def _run() -> None:
             try:
-                collected_box.append(run_chunk_in_fork(fn, chunk, trace=trace, lane="worker"))
+                collected_box.append(
+                    run_chunk_in_fork(
+                        fn, chunk, trace=trace, lane="worker", profile=profile
+                    )
+                )
             finally:
                 done.set()
 
@@ -104,7 +111,7 @@ def _handle_run(
         runner.join()
         collected = collected_box[0] if collected_box else None
     else:
-        collected = run_chunk_in_fork(fn, chunk, trace=trace, lane="worker")
+        collected = run_chunk_in_fork(fn, chunk, trace=trace, lane="worker", profile=profile)
     elapsed = time.perf_counter() - started
     beaten = f", {beats} heartbeats" if beats else ""
     if collected is None:
@@ -112,12 +119,17 @@ def _handle_run(
             conn, send_lock, ("lost", "worker's chunk subprocess died without reporting")
         )
         return f"lost ({len(chunk)} items, {elapsed:.2f}s{beaten})"
-    results, snapshot, trace_payload = collected
-    _locked_send(conn, send_lock, ("ok", results, snapshot, trace_payload))
+    results, snapshot, trace_payload, profile_payload = collected
+    # The ok-frame's 5th element is the profile payload; clients predating
+    # it read only the first four and are unaffected.
+    _locked_send(
+        conn, send_lock, ("ok", results, snapshot, trace_payload, profile_payload)
+    )
     failed = sum(1 for _index, error, _value in results if error is not None)
     status = "ok" if not failed else f"ok with {failed} item error(s)"
     traced = ", traced" if trace_payload is not None else ""
-    return f"{status} ({len(chunk)} items, {elapsed:.2f}s{traced}{beaten})"
+    profiled = ", profiled" if profile_payload is not None else ""
+    return f"{status} ({len(chunk)} items, {elapsed:.2f}s{traced}{profiled}{beaten})"
 
 
 def _serve_connection(conn: socket.socket, peer: Tuple[str, int]) -> None:

@@ -8,11 +8,51 @@ The cache's enabled flag is re-read from ``REPRO_CACHE`` so the tier-1
 suite can run under either cache mode (the CI matrix exercises both).
 """
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
-from repro.obs import metrics, progress, trace
+from repro.obs import metrics, profile, progress, trace
 from repro.perf import backends as perf_backends
 from repro.perf import cache as perf_cache
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def subprocess_env():
+    """os.environ with ``src/`` on PYTHONPATH, for spawning repro processes."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+@pytest.fixture
+def spawn_worker():
+    """Spawn ``repro.perf.worker`` subprocesses; yields (process, port)."""
+    procs = []
+
+    def spawn():
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.perf.worker", "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=subprocess_env(),
+        )
+        banner = proc.stdout.readline()
+        assert "listening on" in banner, banner
+        port = int(banner.strip().rsplit(":", 1)[1])
+        procs.append(proc)
+        return proc, port
+
+    yield spawn
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
 
 
 @pytest.fixture(autouse=True)
@@ -20,6 +60,8 @@ def _clean_observability():
     metrics.reset()
     trace.disable()
     trace.TRACER.clear()
+    profile.disable()
+    profile.clear()
     progress.disable()
     perf_cache.clear()
     perf_cache.configure(enabled=None)

@@ -162,6 +162,8 @@ class TestMetrics:
             "max": 3,
             "p50": 2,
             "p90": 3,
+            "p99": 3,
+            "mean": 2.0,
             "samples": [3, 1, 2],
         }
 
@@ -172,14 +174,18 @@ class TestMetrics:
         stats = hist.as_dict()
         assert stats["p50"] == 5  # ceil(0.5 * 10) = rank 5
         assert stats["p90"] == 9  # ceil(0.9 * 10) = rank 9
+        assert stats["p99"] == 10  # ceil(0.99 * 10) = rank 10
+        assert stats["mean"] == pytest.approx(5.5)
         assert stats["max"] == 10
         single = metrics.histogram("test.pct.single")
         single.observe(41)
         stats = single.as_dict()
         assert stats["p50"] == 41 and stats["p90"] == 41
+        assert stats["p99"] == 41 and stats["mean"] == 41
         empty = metrics.histogram("test.pct.empty")
         stats = empty.as_dict()
         assert stats["p50"] is None and stats["p90"] is None
+        assert stats["p99"] is None and stats["mean"] is None
 
     def test_histogram_sample_cap(self):
         hist = metrics.histogram("test.capped")
@@ -290,7 +296,36 @@ class TestReportSchema:
             validate_report(corrupted)
 
     def test_schema_constant_is_versioned(self):
-        assert REPORT_SCHEMA.endswith("/3")
+        assert REPORT_SCHEMA.endswith("/4")
+
+    def test_legacy_v3_report_still_validates(self):
+        payload = build_report(
+            [outcome_record(_outcome(), "claim", default_seed=1)], fast=True
+        )
+        legacy = json.loads(json.dumps(payload))
+        legacy["schema"] = "repro.obs.run-report/3"
+        validate_report(legacy)  # raises on violation
+
+    def test_histogram_p99_and_mean_are_optional(self):
+        # /4 exports carry p99/mean; older artifacts without them (and the
+        # committed /3-era fixtures) must keep validating unchanged.
+        record = outcome_record(_outcome(), "claim", default_seed=1)
+        payload = build_report([record], fast=True)
+        with_stats = json.loads(json.dumps(payload))
+        with_stats["experiments"][0]["histograms"]["faults.plan.seed"].update(
+            p99=9, mean=9.0
+        )
+        validate_report(with_stats)
+        rendered = format_summary_table(with_stats)
+        assert "p99=9" in rendered and "mean=9" in rendered
+        without = json.loads(json.dumps(payload))
+        without["experiments"][0]["histograms"]["faults.plan.seed"].pop("p99", None)
+        without["experiments"][0]["histograms"]["faults.plan.seed"].pop("mean", None)
+        validate_report(without)
+        bad = json.loads(json.dumps(with_stats))
+        bad["experiments"][0]["histograms"]["faults.plan.seed"]["p99"] = "fast"
+        with pytest.raises(ReportSchemaError):
+            validate_report(bad)
 
     def test_legacy_v1_report_without_histograms_validates(self):
         payload = build_report(
@@ -490,3 +525,34 @@ class TestBenchTrajectory:
         bad.write_text(json.dumps({"schema": "something-else", "runs": {}}))
         with pytest.raises(ValueError):
             tool.load_trajectory(str(bad))
+
+    def test_main_exits_nonzero_on_schema_invalid_inputs(self, tmp_path, capsys):
+        tool = _load_trajectory_tool()
+        good = tmp_path / "good.json"
+        good.write_text(
+            json.dumps({"schema": tool.TRAJECTORY_SCHEMA, "runs": {}})
+        )
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something-else", "runs": {}}))
+        # A bad file anywhere in the input list is an error, never skipped.
+        assert tool.main([str(good), str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert tool.main([str(tmp_path / "missing.json")]) == 1
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert tool.main([str(broken)]) == 1
+
+    def test_main_delegates_run_reports_to_compare(self, tmp_path, capsys):
+        tool = _load_trajectory_tool()
+        payload = build_report(
+            [outcome_record(_outcome(), "claim", default_seed=1)], fast=True
+        )
+        for stem in ("a", "b"):
+            (tmp_path / f"{stem}.json").write_text(json.dumps(payload))
+        code = tool.main([str(tmp_path / "a.json"), str(tmp_path / "b.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+        # A lone run report is not a comparable pair.
+        assert tool.main([str(tmp_path / "a.json")]) == 1
+        assert "exactly two" in capsys.readouterr().err

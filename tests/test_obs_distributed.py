@@ -18,11 +18,14 @@ import signal
 import socket as socket_module
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs import distributed, progress, trace
 from repro.obs.distributed import (
@@ -211,6 +214,62 @@ class TestMergeAndCheck:
         backwards = [_span_event("late", 0.0, 50.0), _span_event("early", 1.0, 2.0)]
         assert any("backwards" in p for p in check_trace(backwards))
 
+    # A span as (pid, start, duration) — duration 0 makes zero-width spans.
+    _SPAN_TRIPLES = st.tuples(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=500),
+    )
+
+    @given(st.lists(_SPAN_TRIPLES, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_summarize_busy_never_exceeds_wall(self, triples):
+        # Overlapping and zero-width spans must not inflate busy time past
+        # the lane's wall interval, and idle is exactly the complement.
+        events = [
+            _span_event(f"s{i}", float(ts), float(dur), pid=pid)
+            for i, (pid, ts, dur) in enumerate(triples)
+        ]
+        summary = summarize_events(events)
+        for lane in summary["processes"]:
+            assert lane["busy_us"] <= lane["wall_us"] + 1e-6
+            assert lane["idle_us"] == pytest.approx(
+                lane["wall_us"] - lane["busy_us"], abs=1e-6
+            )
+            assert lane["busy_us"] >= 0.0 and lane["idle_us"] >= 0.0
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=4,
+                     unique=True),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_remap_keeps_file_lanes_disjoint(self, pid_lists):
+        # However the input files' pids collide, the merged trace gives
+        # every (file, pid) lane its own distinct pid.
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = []
+            for index, pids in enumerate(pid_lists):
+                events = []
+                for pid in pids:
+                    events.append(
+                        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                         "ts": 0, "args": {"name": f"lane (pid {pid})"}}
+                    )
+                    events.append(_span_event("s", 1.0, 2.0, pid=pid))
+                path = os.path.join(tmp, f"t{index}.trace.json")
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump({"traceEvents": events}, handle)
+                paths.append(path)
+            merged = merge_trace_files(paths)
+        spans = [e for e in merged["traceEvents"] if e["ph"] == "X"]
+        expected_lanes = sum(len(set(pids)) for pids in pid_lists)
+        assert len(spans) == expected_lanes
+        assert len({e["pid"] for e in spans}) == expected_lanes
+
     def test_cli_merges_summarizes_and_checks(self, tmp_path, capsys):
         events = [_span_event("s", 0.0, 5.0, pid=1)]
         source = tmp_path / "one.trace.json"
@@ -337,6 +396,11 @@ class TestEnvGates:
 # -- live progress ---------------------------------------------------------------
 
 
+class _TTYStringIO(io.StringIO):
+    def isatty(self):
+        return True
+
+
 class TestProgress:
     def test_renders_done_total_rate_and_clears(self):
         stream = io.StringIO()
@@ -351,6 +415,68 @@ class TestProgress:
         assert "sweep: 4/4 chunks (100%)" in text
         assert "/s" in text
         assert text.rstrip().endswith("[repro] sweep done")
+
+    def test_tty_stream_gets_cr_rewrites(self):
+        stream = _TTYStringIO()
+        p = progress.Progress(stream=stream)
+        p.enable()
+        p.MIN_REDRAW_S = 0.0
+        p.begin("sweep", 2, "chunks")
+        p.advance(2)
+        p.finish("done")
+        text = stream.getvalue()
+        assert "\r\x1b[2K" in text
+        # One live line, rewritten in place: only the finish message ends
+        # with a newline.
+        assert text.count("\n") == 1
+
+    def test_non_tty_stream_gets_plain_newline_lines(self):
+        stream = io.StringIO()  # isatty() is False: piped/redirected stderr
+        p = progress.Progress(stream=stream)
+        p.enable()
+        p.MIN_REDRAW_S = 0.0
+        p.begin("sweep", 2, "chunks")
+        p.advance(2)
+        p.finish("done")
+        text = stream.getvalue()
+        assert "\r" not in text and "\x1b" not in text
+        lines = text.splitlines()
+        assert lines[-1] == "[repro] done"
+        assert any("sweep: 2/2 chunks (100%)" in line for line in lines)
+
+    def test_plain_mode_rate_limits_more_coarsely(self):
+        stream = io.StringIO()
+        p = progress.Progress(stream=stream)
+        p.enable()  # default MIN_REDRAW_S, so plain interval is 20x that
+        p.begin("sweep", 100, "items")
+        drawn_after_begin = stream.getvalue().count("\n")
+        p.advance(1)  # neither final nor past the plain redraw interval
+        assert stream.getvalue().count("\n") == drawn_after_begin
+        p.advance(99)  # the final advance always draws
+        assert stream.getvalue().count("\n") == drawn_after_begin + 1
+
+    def test_mode_override_forces_plain_on_a_tty(self):
+        stream = _TTYStringIO()
+        p = progress.Progress(stream=stream, mode="plain")
+        p.enable()
+        p.MIN_REDRAW_S = 0.0
+        p.begin("sweep", 1, "chunks")
+        p.advance()
+        p.finish()
+        assert "\r" not in stream.getvalue()
+
+    def test_plain_env_value_enables_and_forces_plain(self):
+        script = (
+            "from repro.obs import progress; "
+            "print('enabled' if progress.is_enabled() else 'disabled', "
+            "progress.PROGRESS.mode)"
+        )
+        env = _subprocess_env()
+        env["REPRO_PROGRESS"] = "plain"
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, env=env
+        )
+        assert out.stdout.strip() == "enabled plain"
 
     def test_eta_appears_mid_phase(self):
         stream = io.StringIO()
@@ -480,3 +606,63 @@ class TestRunnerAcceptance:
         assert distributed.main(
             [str(trace_file), "--out", str(merged_out), "--check", "--min-lanes", "3"]
         ) == 0
+
+    def test_profiled_e15_socket_sweep_reports_phase_lanes(
+        self, tmp_path, monkeypatch, spawn_worker
+    ):
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        from repro.experiments import runner
+        from repro.obs import profile as obs_profile
+
+        _, p1 = spawn_worker()
+        _, p2 = spawn_worker()
+        monkeypatch.setenv("REPRO_BACKEND", f"socket:127.0.0.1:{p1},127.0.0.1:{p2}")
+        monkeypatch.setenv("REPRO_PROFILE", "")  # the flags, not the env, drive this run
+        trace_dir = tmp_path / "traces"
+        profile_dir = tmp_path / "profiles"
+        report_path = tmp_path / "report.json"
+        try:
+            code = runner.main(
+                ["E15", "--trace-dir", str(trace_dir),
+                 "--profile-dir", str(profile_dir),
+                 "--metrics-out", str(report_path)]
+            )
+        finally:
+            obs_profile.disable()
+            obs_profile.clear()
+        assert code == 0
+
+        payload = json.loads(report_path.read_text())
+        validate_report(payload)
+        assert payload["schema"].endswith("/4")
+
+        # The profile block carries >= 3 per-pid lanes: the experiment
+        # child plus a chunk-fork lane per worker-served chunk.
+        block = payload["summary"]["profile"]
+        assert block["enabled"] is True
+        assert len({lane["pid"] for lane in block["lanes"]}) >= 3
+        worker_lanes = [
+            lane for lane in block["lanes"] if "worker 127.0.0.1:" in lane["lane"]
+        ]
+        assert worker_lanes, [lane["lane"] for lane in block["lanes"]]
+        all_phases = set()
+        for lane in block["lanes"]:
+            all_phases.update(lane["phases"])
+        assert "measure.unfold" in all_phases, sorted(all_phases)
+
+        # The folded export exists, is listed, and has flamegraph lines.
+        folded_path = profile_dir / "E15.folded"
+        assert block["folded_files"] == [str(folded_path)]
+        folded = folded_path.read_text()
+        assert folded.strip()
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in folded.splitlines())
+
+        # The analysis block (riding the merged trace) found a critical
+        # path rooted in a real span.
+        analysis = payload["summary"]["analysis"]
+        steps = analysis["critical_path"]["steps"]
+        assert steps and analysis["critical_path"]["wall_us"] > 0
+        assert steps[0]["dur_us"] >= steps[-1]["dur_us"]
+
+        # Phase data never lands in per-experiment records.
+        assert "profile" not in payload["experiments"][0]

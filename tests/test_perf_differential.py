@@ -35,6 +35,10 @@ VOLATILE_REPORT_KEYS = {"created_unix", "argv", "wall_time_s"}
 VOLATILE_RECORD_KEYS = {"elapsed_s", "peak_rss_bytes", "trace_file"}
 #: Experiment ``data`` keys that carry wall-clock measurements.
 VOLATILE_DATA_KEYS = {"timings_ms"}
+#: Optional observability summary blocks: their *presence* is the feature
+#: under differential test, so they are scrubbed before byte comparison —
+#: everything outside them must be identical with profiling on or off.
+OPTIONAL_SUMMARY_BLOCKS = {"trace", "profile", "analysis"}
 
 
 def _normalized(report):
@@ -45,7 +49,9 @@ def _normalized(report):
 def _scrub(payload):
     payload = {k: v for k, v in payload.items() if k not in VOLATILE_REPORT_KEYS}
     payload["summary"] = {
-        k: v for k, v in payload["summary"].items() if k not in VOLATILE_REPORT_KEYS
+        k: v
+        for k, v in payload["summary"].items()
+        if k not in VOLATILE_REPORT_KEYS and k not in OPTIONAL_SUMMARY_BLOCKS
     }
     experiments = []
     for record in payload["experiments"]:
@@ -135,6 +141,61 @@ class TestInnerSweepParallelism:
         finally:
             perf_backends.configure_backend(None)
         assert _normalized(serial) == _normalized(fanned)
+
+
+class TestProfileDifferential:
+    """``REPRO_PROFILE`` must be invisible in results: the full 15-experiment
+    run report is byte-identical with profiling on or off outside the
+    optional ``summary.profile`` / ``summary.analysis`` blocks, on every
+    backend the sweeps can fan out over."""
+
+    @staticmethod
+    def _suite_report(tmp_path, monkeypatch, label, profiled):
+        from repro.experiments import runner
+        from repro.obs import profile as obs_profile
+
+        out = tmp_path / f"report-{label}.json"
+        if profiled:
+            monkeypatch.setenv("REPRO_PROFILE", "1")
+        else:
+            monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        try:
+            code = runner.main(["--parallel", "4", "--metrics-out", str(out)])
+        finally:
+            obs_profile.disable()
+            obs_profile.clear()
+        assert code == 0
+        payload = json.loads(out.read_text())
+        if profiled:
+            block = payload["summary"]["profile"]
+            assert block["enabled"] is True and block["lanes"]
+        else:
+            assert "profile" not in payload["summary"]
+        # No record ever carries phase data — only summary.profile does.
+        for record in payload["experiments"]:
+            assert "profile" not in record
+        return _scrub(payload)
+
+    @pytest.mark.parametrize("backend", ["serial", "fork:2"])
+    def test_profiled_suite_byte_identical_outside_summary_blocks(
+        self, tmp_path, monkeypatch, backend
+    ):
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        monkeypatch.setenv("REPRO_BACKEND", backend)
+        plain = self._suite_report(tmp_path, monkeypatch, f"{backend}-off", False)
+        profiled = self._suite_report(tmp_path, monkeypatch, f"{backend}-on", True)
+        assert plain == profiled
+
+    def test_profiled_socket_suite_byte_identical(
+        self, tmp_path, monkeypatch, spawn_worker
+    ):
+        _, p1 = spawn_worker()
+        _, p2 = spawn_worker()
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        monkeypatch.setenv("REPRO_BACKEND", f"socket:127.0.0.1:{p1},127.0.0.1:{p2}")
+        plain = self._suite_report(tmp_path, monkeypatch, "socket-off", False)
+        profiled = self._suite_report(tmp_path, monkeypatch, "socket-on", True)
+        assert plain == profiled
 
 
 class _CountingScheduler(Scheduler):

@@ -14,6 +14,7 @@ Performance (see ``docs/performance.md``)::
     python -m repro.experiments.runner --parallel 4    # 4 experiments at a time
     python -m repro.experiments.runner --cache off     # disable memoization
     python -m repro.experiments.runner --cache stats   # print cache statistics
+    python -m repro.experiments.runner --cache-dir .cache/repro    # persist it
     python -m repro.experiments.runner --backend fork:4             # inner sweeps
     python -m repro.experiments.runner --backend socket:host:9001   # ... on a pool
     python -m repro.experiments.runner --backend pool:3 --supervise # self-healing
@@ -25,7 +26,12 @@ so the run report is identical at every N (modulo wall-clock fields).
 ``--cache`` controls the ``repro.perf`` memoization layer for the run
 (children inherit the setting through ``REPRO_CACHE``); ``stats``
 additionally aggregates the per-experiment cache counters into the
-summary.  ``--backend SPEC`` selects the execution backend experiment
+summary.  ``--cache-dir DIR`` layers the content-addressed persistent
+store on top (exported as ``REPRO_CACHE_DIR``, so isolated children,
+fork sweep children and socket workers all dedupe unfoldings and whole
+sweep results against the same tree across runs; the report's
+``summary.cache`` gains a ``persistent`` block — see
+``docs/performance.md``).  ``--backend SPEC`` selects the execution backend experiment
 *sweeps* run on (``serial``, ``fork:N``, or ``socket:host:port,...`` — see
 ``repro.perf.backends``); children inherit it through ``REPRO_BACKEND``,
 the resolved backend is recorded in the report's ``summary.backend``
@@ -123,6 +129,7 @@ from repro.obs.report import (
 )
 from repro.perf import backends as perf_backends
 from repro.perf import cache as perf_cache
+from repro.perf import store as perf_store
 from repro.perf.supervise import SupervisionPolicy
 
 
@@ -195,6 +202,15 @@ def main(argv=None) -> int:
         choices=("on", "off", "stats"),
         default="on",
         help="memoization layer: on, off, or on + aggregated statistics",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "disk-backed content-addressed cache (exported as REPRO_CACHE_DIR; "
+            "unfoldings and sweep results persist across runs and processes)"
+        ),
     )
     parser.add_argument(
         "--backend",
@@ -291,6 +307,13 @@ def main(argv=None) -> int:
     cache_enabled = args.cache != "off"
     os.environ["REPRO_CACHE"] = "on" if cache_enabled else "off"
     perf_cache.configure(enabled=cache_enabled)
+
+    # The persistent store resolves purely through the environment
+    # (store.active_store() re-reads it per call), so exporting the flag is
+    # the whole configuration: isolated children fork with it, sweep
+    # backends ship it to socket workers in the run-frame ctx.
+    if args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = os.path.abspath(args.cache_dir)
 
     if args.progress:
         # Children inherit the live switch through fork memory; the env
@@ -435,7 +458,20 @@ def main(argv=None) -> int:
     obs_progress.finish()
     print(format_suite_summary(records))
 
-    cache_block = cache_summary(records, enabled=cache_enabled)
+    # When a persistent store is active, describe it in the cache block
+    # (directory, entry count, byte size); stat failures must never fail
+    # the run, and store-less runs keep the block byte-identical to before.
+    persistent_block = None
+    if cache_enabled:
+        store = perf_store.active_store()
+        if store is not None:
+            try:
+                persistent_block = store.stats()
+            except OSError:
+                persistent_block = None
+    cache_block = cache_summary(
+        records, enabled=cache_enabled, persistent=persistent_block
+    )
     if args.cache == "stats":
         counters = cache_block["counters"]
         hits = sum(v for k, v in counters.items() if k.endswith(".hits"))

@@ -50,7 +50,9 @@ The report schema (``repro.obs.run-report/4``; the validator still accepts
         "total": 15, "passed": 15,
         "failures": [{"experiment": "E3", "status": "timeout"}, ...],
         "wall_time_s": 42.0,
-        "cache": {"enabled": true, "counters": {...}},        # optional
+        "cache": {"enabled": true, "counters": {...},         # optional
+                  "persistent": {"dir": "/path", "entries": 4, # optional: only
+                                 "bytes": 51234}},             # with a store
         "backend": {                                           # optional
           "name": "socket", "spec": "socket:host1:9001,host2:9001",
           "parallelism": 2
@@ -275,18 +277,33 @@ def build_report(
     return payload
 
 
-def cache_summary(records: Sequence[Dict[str, Any]], *, enabled: bool) -> Dict[str, Any]:
+def cache_summary(
+    records: Sequence[Dict[str, Any]],
+    *,
+    enabled: bool,
+    persistent: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Aggregate the perf-layer counters across per-experiment records.
 
     Sums every ``perf.cache.*`` / ``perf.intern.*`` / ``perf.parallel.*``
     counter (each experiment starts from a cleared cache, so the sums are
-    deterministic and independent of runner parallelism)."""
+    deterministic and independent of runner parallelism).  ``persistent``
+    is the active :class:`repro.perf.store.PersistentStore`'s ``stats()``
+    block (directory, entry count, byte size); it appears only when a
+    store was active, so store-less reports are byte-identical to
+    pre-store ones."""
     totals: Dict[str, int] = {}
     for record in records:
         for name, value in record.get("counters", {}).items():
             if name.startswith(("perf.cache.", "perf.intern.", "perf.parallel.")):
                 totals[name] = totals.get(name, 0) + value
-    return {"enabled": bool(enabled), "counters": dict(sorted(totals.items()))}
+    block: Dict[str, Any] = {
+        "enabled": bool(enabled),
+        "counters": dict(sorted(totals.items())),
+    }
+    if persistent is not None:
+        block["persistent"] = dict(persistent)
+    return block
 
 
 def profile_summary(
@@ -500,6 +517,16 @@ def validate_report(payload: Any) -> None:
         for key, value in cache["counters"].items():
             _require(isinstance(key, str) and isinstance(value, int),
                      "summary.cache.counters must map str -> int")
+        if "persistent" in cache:
+            persistent = cache["persistent"]
+            _require(isinstance(persistent, dict),
+                     "summary.cache.persistent must be an object")
+            _require(isinstance(persistent.get("dir"), str),
+                     "summary.cache.persistent.dir must be a string")
+            _require(isinstance(persistent.get("entries"), int),
+                     "summary.cache.persistent.entries must be an integer")
+            _require(isinstance(persistent.get("bytes"), int),
+                     "summary.cache.persistent.bytes must be an integer")
     if "backend" in summary:
         backend = summary["backend"]
         _require(isinstance(backend, dict), "summary.backend must be an object")

@@ -4,11 +4,16 @@ Two orthogonal tools, both contract-bound to change *nothing* about
 results (the differential suite ``tests/test_perf_differential.py`` is the
 enforcement arm):
 
-* :mod:`repro.perf.cache` — transparent, identity-keyed memoization of
-  transitions, scheduler decisions and whole unfoldings, plus hash-consing
-  (interning) of :class:`~repro.core.executions.Fragment` and exact
+* :mod:`repro.perf.cache` — transparent memoization of transitions,
+  scheduler decisions and whole unfoldings, plus hash-consing (interning)
+  of :class:`~repro.core.executions.Fragment` and exact
   :class:`~repro.probability.measures.DiscreteMeasure` objects.  Gated by
-  ``REPRO_CACHE`` (default on).
+  ``REPRO_CACHE`` (default on).  Entries are keyed by the canonical
+  structural fingerprints of :mod:`repro.perf.fingerprint` once those are
+  paid for (identity until then), and ``REPRO_CACHE_DIR`` /
+  ``--cache-dir`` layers the disk-backed :mod:`repro.perf.store` on top:
+  unfoldings and whole sweep results persist across processes and
+  restarts, and fork/socket workers dedupe against the same tree.
 * :func:`parallel_map` over pluggable **execution backends**
   (:mod:`repro.perf.backends`): ``serial`` (in-process), ``fork:N``
   (forked children on this host) and ``socket:host:port,...`` (a TCP
@@ -28,9 +33,7 @@ The supported public surface of the parallel half is
     ``parallel_map``, ``configure_backend``, ``get_backend``,
     ``ExecutionBackend``, ``ParallelWorkerError``
 
-(see ``docs/performance.md``); ``configure_workers`` / ``default_workers``
-and bare ``REPRO_PARALLEL`` integers are deprecated shims for one release
-— use ``configure_backend("fork:N")`` / ``REPRO_BACKEND=fork:N``.
+(see ``docs/performance.md``).
 """
 
 from repro.perf.backends import (
@@ -55,14 +58,22 @@ from repro.perf.cache import (
     intern_fragment,
     intern_measure,
     invalidate,
+    owner_key,
     stats as cache_stats,
+)
+# Importing the submodule binds ``repro.perf.fingerprint`` (the module) as a
+# package attribute; the ``fingerprint`` *function* deliberately stays inside
+# it (``repro.perf.fingerprint.fingerprint``) so the submodule is never
+# shadowed for ``from repro.perf import fingerprint`` importers.
+from repro.perf.fingerprint import (
+    Unfingerprintable,
+    try_fingerprint,
 )
 from repro.perf.parallel import (
     ParallelWorkerError,
-    configure_workers,
-    default_workers,
     parallel_map,
 )
+from repro.perf.store import PersistentStore, active_store
 from repro.perf.supervise import (
     LocalPoolBackend,
     SupervisionLog,
@@ -97,6 +108,10 @@ __all__ = [
     "backoff_delay",
     "ChunkOutcome",
     "BackendSpecError",
-    "configure_workers",
-    "default_workers",
+    "fingerprint",
+    "try_fingerprint",
+    "Unfingerprintable",
+    "owner_key",
+    "PersistentStore",
+    "active_store",
 ]

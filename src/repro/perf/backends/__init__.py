@@ -31,8 +31,7 @@ A backend is named by a **spec string**::
 
 Resolution order for the process-wide default:
 :func:`configure_backend` argument, else the ``REPRO_BACKEND`` environment
-variable, else the deprecated ``REPRO_PARALLEL`` integer (mapped to
-``fork:N`` with a :class:`DeprecationWarning`), else ``serial``.
+variable, else ``serial``.
 
 Fork hygiene
 ------------
@@ -46,7 +45,6 @@ abandoned, not closed — its file descriptors are shared with the parent.
 from __future__ import annotations
 
 import os
-import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -203,8 +201,7 @@ def configure_backend(spec: Union[None, str, "ExecutionBackend"]) -> None:
     ``spec`` is a spec string (validated immediately), an
     :class:`ExecutionBackend` instance (used as-is by this process; forked
     children rebuild from its spec), or ``None`` to drop the explicit
-    configuration and re-read the environment (``REPRO_BACKEND``, then the
-    deprecated ``REPRO_PARALLEL``)."""
+    configuration and re-read the environment (``REPRO_BACKEND``)."""
     global _CONFIGURED, _CONFIGURED_PID
     if isinstance(spec, str):
         spec = normalize_spec(spec)  # raise now, not at first sweep
@@ -213,22 +210,7 @@ def configure_backend(spec: Union[None, str, "ExecutionBackend"]) -> None:
 
 
 def _spec_from_environment() -> str:
-    env = os.environ.get("REPRO_BACKEND", "").strip()
-    if env:
-        return env
-    legacy = os.environ.get("REPRO_PARALLEL", "").strip()
-    if legacy:
-        warnings.warn(
-            "the bare REPRO_PARALLEL integer is deprecated; "
-            "set REPRO_BACKEND=fork:N instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        try:
-            return f"fork:{max(1, int(legacy))}"
-        except ValueError:
-            return "serial"
-    return "serial"
+    return os.environ.get("REPRO_BACKEND", "").strip() or "serial"
 
 
 def current_spec() -> str:

@@ -11,7 +11,8 @@ the pool.  The wire protocol is deliberately small:
 * **framing** — every message is an 8-byte big-endian length followed by a
   pickle of a tuple; requests are ``("ping",)`` and
   ``("run", fn_blob, chunk_blob, ctx)`` where ``ctx`` carries the caller's
-  trace wish (``{"trace": bool}``) and, for supervised v3 pools, the
+  trace wish (``{"trace": bool}``), its persistent cache directory when one
+  is active (``{"cache_dir": str}``) and, for supervised v3 pools, the
   heartbeat cadence (``{"heartbeat_s": float}``); replies are
   ``("pong", info)``, ``("ok", results, metrics_snapshot, trace_payload)``,
   ``("lost", detail)``, ``("fatal", traceback)`` and — protocol v3 —
@@ -64,6 +65,7 @@ trust, and bind them to loopback or private interfaces.
 
 from __future__ import annotations
 
+import os
 import pickle
 import socket
 import struct
@@ -574,6 +576,12 @@ class SocketBackend(ExecutionBackend):
                 "trace": _trace.TRACER.enabled,
                 "profile": _profile.PROFILER.enabled,
             }
+            cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
+            if cache_dir:
+                # Ship the caller's persistent cache directory; meaningful
+                # for loopback pools and shared filesystems.  A worker with
+                # its own --cache-dir (or inherited env) ignores it.
+                ctx["cache_dir"] = cache_dir
             if self._policy.enabled and conn.protocol >= 3:
                 ctx["heartbeat_s"] = self._policy.heartbeat_s
             try:

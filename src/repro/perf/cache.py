@@ -13,24 +13,34 @@ preserved by construction: cached values are the very objects the
 uncached computation produced, and interning only unifies objects that
 compare equal under exact (rational) arithmetic.
 
-Identity, not structure, is the cache key
------------------------------------------
-Automata and schedulers are keyed by **object identity** (``id``), never by
-name: two distinct automaton objects never share cache entries, even when
-they carry the same name.  Every store keeps a strong reference to the
-objects whose ids appear in its keys (the *keepalive*), so a cached id can
-never be recycled by the allocator while its entries are live.  The cost is
-that cached objects stay alive until their entries are evicted — the LRU
-bounds below cap that.
+Content hashes are the cache key, identity the fallback
+-------------------------------------------------------
+Owner keys come from :func:`owner_key`: once an object's canonical
+structural fingerprint (:mod:`repro.perf.fingerprint`) has been memoized —
+which happens the first time a memo boundary such as the unfolding memo or
+the sweep memo pays for it — its entries are keyed ``("fp", digest)``, so
+*value-equal* automata and schedulers share entries within and across
+processes.  Until then (and always, when no persistent store is active)
+keys stay ``("id", id(obj))``: fingerprints are never computed on the hot
+path, so the store-less configuration is byte- and cost-identical to the
+identity-keyed cache.  Every store keeps a strong reference to the objects
+behind its keys (the *keepalive*), so an id-derived key can never be
+recycled by the allocator while its entries are live.  The cost is that
+cached objects stay alive until their entries are evicted — the LRU bounds
+below cap that.
 
 Invalidation
 ------------
 Mutating an automaton in place (e.g. editing a ``TablePSIOA`` table) makes
 its cached transitions stale.  Call :func:`invalidate` with the mutated
 object to drop every entry derived from it (transitions, decisions,
-memoized measures, derived values).  :func:`clear` drops everything.
-Fresh-per-run isolation is automatic in the experiment harness: the guarded
-runner clears the cache at the start of every experiment child.
+memoized measures, derived values) from **both tiers**: in-memory entries
+under its identity *and* under its stale fingerprint are dropped, the
+fingerprint memo forgets the object, and any active persistent store
+(:mod:`repro.perf.store`) removes the entries that depended on the stale
+digest.  :func:`clear` drops everything in-memory.  Fresh-per-run
+isolation is automatic in the experiment harness: the guarded runner
+clears the cache at the start of every experiment child.
 
 Configuration
 -------------
@@ -50,11 +60,14 @@ from fractions import Fraction
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from repro.obs.metrics import counter as _counter
+from repro.perf import fingerprint as _fingerprint
+from repro.perf import store as _store
 
 __all__ = [
     "CACHE",
     "cache_enabled",
     "configure",
+    "owner_key",
     "cached_transition",
     "cached_decision",
     "cached_derived",
@@ -156,6 +169,21 @@ class _BoundedStore:
             dropped += len(self._owners.pop(owner)[1])
         return dropped
 
+    def invalidate_key(self, part: Hashable) -> int:
+        """Drop every owner keyed by ``part`` (an :func:`owner_key` value),
+        including composite owners that embed it.  Fingerprint-keyed entries
+        can be shared by several value-equal objects, so identity scans
+        alone cannot reach them."""
+        stale = [
+            owner
+            for owner in self._owners
+            if owner == part or (isinstance(owner, tuple) and part in owner)
+        ]
+        dropped = 0
+        for owner in stale:
+            dropped += len(self._owners.pop(owner)[1])
+        return dropped
+
     def clear(self) -> None:
         self._owners.clear()
 
@@ -219,6 +247,17 @@ class _Interner:
             dropped += len(self._owners.pop(owner)[1])
         return dropped
 
+    def invalidate_key(self, part: Hashable) -> int:
+        stale = [
+            owner
+            for owner in self._owners
+            if owner == part or (isinstance(owner, tuple) and part in owner)
+        ]
+        dropped = 0
+        for owner in stale:
+            dropped += len(self._owners.pop(owner)[1])
+        return dropped
+
     def clear(self) -> None:
         self._owners.clear()
 
@@ -268,10 +307,15 @@ class PerfCache:
         self.measure_interner.clear()
 
     def invalidate(self, obj: Any) -> int:
-        """Drop every cached value derived from ``obj`` (by identity)."""
-        dropped = sum(store.invalidate_object(obj) for store in self._stores)
-        dropped += self.fragments.invalidate_object(obj)
-        dropped += self.measure_interner.invalidate_object(obj)
+        """Drop every cached value derived from ``obj`` — entries whose
+        keepalive holds it by identity plus entries keyed under its
+        memoized fingerprint (which value-equal twins may share)."""
+        targets = self._stores + (self.fragments, self.measure_interner)
+        dropped = sum(target.invalidate_object(obj) for target in targets)
+        stale_fp = _fingerprint.peek(obj)
+        if stale_fp is not None:
+            part = ("fp", stale_fp)
+            dropped += sum(target.invalidate_key(part) for target in targets)
         return dropped
 
     def stats(self) -> Dict[str, Dict[str, int]]:
@@ -306,11 +350,28 @@ def configure(*, enabled: Optional[bool] = None) -> None:
 
 
 def clear() -> None:
+    # Forgetting memoized fingerprints alongside the entries they key keeps
+    # recycled ids from ever resolving to a stale digest.
     CACHE.clear()
+    _fingerprint.clear_memo()
 
 
 def invalidate(obj: Any) -> int:
-    return CACHE.invalidate(obj)
+    """Drop every cached value derived from ``obj`` from both tiers.
+
+    In-memory entries go first (identity scan plus fingerprint-keyed
+    scan), then the fingerprint memo forgets the object — a later
+    fingerprint call re-hashes the mutated structure — and finally any
+    active persistent store drops the entries that depended on the stale
+    digest."""
+    stale_fp = _fingerprint.peek(obj)
+    dropped = CACHE.invalidate(obj)
+    _fingerprint.forget(obj)
+    if stale_fp is not None:
+        persistent = _store.active_store()
+        if persistent is not None:
+            persistent.invalidate(stale_fp)
+    return dropped
 
 
 def stats() -> Dict[str, Dict[str, int]]:
@@ -324,11 +385,27 @@ def stats() -> Dict[str, Dict[str, int]]:
 # the disabled path pays only one attribute read.
 
 
+def owner_key(obj: Any) -> Tuple[str, Any]:
+    """The cache owner key for ``obj``: its content hash when one is already
+    memoized, its identity otherwise.
+
+    This never *computes* a fingerprint (``peek`` is a dict probe), so hot
+    paths pay O(1) and the identity-keyed behaviour is preserved exactly
+    until a memo boundary — the persistent unfolding memo or the sweep
+    memo — has fingerprinted the object once.  From then on value-equal
+    objects resolve to the same owner and share entries.
+    """
+    digest = _fingerprint.peek(obj)
+    if digest is not None:
+        return ("fp", digest)
+    return ("id", id(obj))
+
+
 def cached_transition(automaton: Any, state: Hashable, action: Hashable) -> Any:
     """Memoized ``eta_(A, q, a)`` — calls the automaton's raw transition
     function on a miss.  Lookup failures (disabled actions) propagate and
     are never cached."""
-    owner = id(automaton)
+    owner = owner_key(automaton)
     key = (state, action)
     eta = CACHE.transitions.get(owner, key)
     if eta is not None:
@@ -341,7 +418,7 @@ def cached_transition(automaton: Any, state: Hashable, action: Hashable) -> Any:
 
 def cached_decision(scheduler: Any, automaton: Any, fragment: Hashable) -> Any:
     """Memoized validated scheduler decision for ``(automaton, fragment)``."""
-    owner = (id(scheduler), id(automaton))
+    owner = (owner_key(scheduler), owner_key(automaton))
     decision = CACHE.decisions.get(owner, fragment)
     if decision is not None:
         return decision
@@ -354,7 +431,7 @@ def cached_derived(owner_obj: Any, key: Hashable, compute: Callable[[], Any]) ->
     """Generic per-object memo for derived values (e.g. ``acts(A)``)."""
     if not CACHE.enabled:
         return compute()
-    owner = id(owner_obj)
+    owner = owner_key(owner_obj)
     value = CACHE.derived.get(owner, key)
     if value is not None:
         return value
@@ -364,21 +441,22 @@ def cached_derived(owner_obj: Any, key: Hashable, compute: Callable[[], Any]) ->
 
 
 def measure_cache_get(automaton: Any, scheduler: Any, key: Hashable) -> Optional[Any]:
-    """Lookup of a memoized full unfolding; the key already encodes
-    ``id(scheduler)`` plus the unfolding parameters."""
-    return CACHE.measures.get(id(automaton), key)
+    """Lookup of a memoized full unfolding; the key already encodes the
+    scheduler's owner key plus the unfolding parameters."""
+    return CACHE.measures.get(owner_key(automaton), key)
 
 
 def measure_cache_put(automaton: Any, scheduler: Any, key: Hashable, measure: Any) -> None:
-    # The scheduler rides inside the keepalive so its id (part of the key)
-    # cannot be recycled while the entry lives.
-    CACHE.measures.put(id(automaton), (automaton, scheduler), key, measure)
+    # The scheduler rides inside the keepalive so the identity behind its
+    # owner key (part of the entry key) cannot be recycled while the entry
+    # lives.
+    CACHE.measures.put(owner_key(automaton), (automaton, scheduler), key, measure)
 
 
 def intern_fragment(automaton: Any, fragment: Any) -> Any:
     """Return the canonical twin of ``fragment`` within ``automaton``'s scope
     (equal and hash-equal; see :class:`_Interner` for why scoping matters)."""
-    return CACHE.fragments.intern(id(automaton), automaton, fragment)
+    return CACHE.fragments.intern(owner_key(automaton), automaton, fragment)
 
 
 def intern_measure(automaton: Any, measure: Any) -> Any:
@@ -390,4 +468,4 @@ def intern_measure(automaton: Any, measure: Any) -> Any:
     """
     if not _weights_exact(measure):
         return measure
-    return CACHE.measure_interner.intern(id(automaton), automaton, measure)
+    return CACHE.measure_interner.intern(owner_key(automaton), automaton, measure)

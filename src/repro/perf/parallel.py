@@ -37,21 +37,26 @@ TCP worker pool:
 
 Backend resolution, in order: the ``backend`` argument (an
 :class:`~repro.perf.backends.ExecutionBackend` instance or a spec string),
-the deprecated ``workers`` argument (mapped to ``fork:N``), then the
+the legacy ``workers`` argument (mapped to ``fork:N``), then the
 process-wide default (:func:`repro.perf.backends.configure_backend`, else
-``REPRO_BACKEND``, else the deprecated ``REPRO_PARALLEL`` integer, else
-serial).  The experiment runner's ``--parallel`` flag deliberately does
-*not* configure a backend: runner parallelism fans whole experiments, and
-nesting both layers oversubscribes the host (see ``docs/performance.md``).
+``REPRO_BACKEND``, else serial).  The experiment runner's ``--parallel``
+flag deliberately does *not* configure a backend: runner parallelism fans
+whole experiments, and nesting both layers oversubscribes the host (see
+``docs/performance.md``).
 
-Deprecated (one release, shims below): :func:`configure_workers` /
-:func:`default_workers` and bare ``REPRO_PARALLEL`` integers — use
-:func:`~repro.perf.backends.configure_backend` with ``fork:N`` specs.
+**Sweep memoization** — with the cache enabled *and* a persistent store
+active (``REPRO_CACHE_DIR``; :mod:`repro.perf.store`), a whole sweep whose
+``(fn, items)`` pair has a canonical structural fingerprint is memoized on
+disk: an identical sweep (same closure structure, same captured automata
+and parameters, same items — seeds ride in the items, so seed rotation
+naturally re-keys) skips dispatch entirely and returns the stored results,
+counted in ``perf.cache.sweep.{hits,misses}``.  Only *successful* sweeps
+are persisted, and unfingerprintable sweeps simply run — memoization is
+strictly best-effort and invisible in results.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.obs import distributed as _distributed
@@ -60,9 +65,11 @@ from repro.obs import profile as _profile
 from repro.obs import progress as _progress
 from repro.obs import trace as _trace
 from repro.obs.metrics import counter as _counter
+from repro.perf import cache as _perf_cache
+from repro.perf import fingerprint as _fingerprint
+from repro.perf import store as _perf_store
 from repro.perf.backends import (
     ExecutionBackend,
-    configure_backend,
     get_backend,
     make_backend,
 )
@@ -70,13 +77,13 @@ from repro.perf.backends import (
 __all__ = [
     "ParallelWorkerError",
     "parallel_map",
-    "configure_workers",
-    "default_workers",
 ]
 
 _MAPS = _counter("perf.parallel.maps")
 _ITEMS = _counter("perf.parallel.items")
 _FALLBACKS = _counter("perf.parallel.chunk_fallbacks")
+_SWEEP_HITS = _counter("perf.cache.sweep.hits")
+_SWEEP_MISSES = _counter("perf.cache.sweep.misses")
 
 
 class ParallelWorkerError(RuntimeError):
@@ -90,6 +97,24 @@ class ParallelWorkerError(RuntimeError):
         self.child_traceback = child_traceback
 
 
+def _sweep_memo(fn: Any, work: List[Any]):
+    """``(store, entry_fingerprint)`` when this sweep is disk-memoizable.
+
+    Requires the cache switch on, an active persistent store, and a
+    canonical fingerprint for ``(fn, items)`` — the function encodes by
+    value when it is a local closure, so captured automata, schedulers and
+    bounds all participate in the key."""
+    if not _perf_cache.CACHE.enabled:
+        return None
+    store = _perf_store.active_store()
+    if store is None:
+        return None
+    key = _fingerprint.try_fingerprint(("parallel_map", fn, work))
+    if key is None:
+        return None
+    return store, key
+
+
 def parallel_map(
     fn: Callable[[Any], Any],
     items: Iterable[Any],
@@ -101,6 +126,30 @@ def parallel_map(
     """``[fn(x) for x in items]`` fanned across an execution backend (see
     module docstring for the determinism contract)."""
     work = list(items)
+    if not work:
+        return []
+    memo = _sweep_memo(fn, work)
+    if memo is not None:
+        store, entry_fp = memo
+        stored = store.get("sweep", entry_fp)
+        if stored is not None:
+            _SWEEP_HITS.inc()
+            return list(stored)
+        _SWEEP_MISSES.inc()
+    results = _dispatch(fn, work, workers=workers, merge_metrics=merge_metrics, backend=backend)
+    if memo is not None:
+        store.put("sweep", entry_fp, results)
+    return results
+
+
+def _dispatch(
+    fn: Callable[[Any], Any],
+    work: List[Any],
+    *,
+    workers: Optional[int],
+    merge_metrics: bool,
+    backend: Union[None, str, ExecutionBackend],
+) -> List[Any]:
     owned = False
     if backend is not None:
         resolved = backend if isinstance(backend, ExecutionBackend) else make_backend(backend)
@@ -175,34 +224,3 @@ def parallel_map(
         index, error = min(failures)
         raise ParallelWorkerError(index, error)
     return results
-
-
-# -- deprecated shims (kept for one release) -----------------------------------
-
-
-def configure_workers(workers: Optional[int]) -> None:
-    """Deprecated: use ``configure_backend("fork:N")`` (or ``None``).
-
-    ``configure_workers(n)`` maps to ``configure_backend(f"fork:{n}")``;
-    ``configure_workers(None)`` drops the explicit configuration so the
-    environment is re-read, exactly like ``configure_backend(None)``.
-    """
-    warnings.warn(
-        "configure_workers is deprecated; use "
-        "repro.perf.configure_backend('fork:N') instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    configure_backend(None if workers is None else f"fork:{max(1, int(workers))}")
-
-
-def default_workers() -> int:
-    """Deprecated: the resolved default backend's parallelism
-    (use ``get_backend().parallelism``)."""
-    warnings.warn(
-        "default_workers is deprecated; use "
-        "repro.perf.get_backend().parallelism instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return get_backend().parallelism

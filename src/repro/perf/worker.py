@@ -79,6 +79,14 @@ def _handle_run(
     # profile wish works exactly the same way (REPRO_PROFILE gate).
     trace = True if (ctx.get("trace") or _trace.is_enabled()) else None
     profile = True if (ctx.get("profile") or _profile.PROFILER.enabled) else None
+    # The caller's persistent cache directory also rides in the ctx (the
+    # path must be meaningful on this host — loopback pools and shared
+    # filesystems).  Exported to the environment so the forked chunk child
+    # below inherits it and dedupes against the same store; an explicit
+    # --cache-dir on this worker wins.
+    cache_dir = ctx.get("cache_dir")
+    if cache_dir and "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
     started = time.perf_counter()
     # Protocol v3: a supervised client asks for liveness frames while the
     # chunk runs (ctx["heartbeat_s"]); the chunk executes in a helper
@@ -196,6 +204,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="HOST:PORT",
         help="interface and port to bind (port 0 picks a free one)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent perf-cache directory (exports REPRO_CACHE_DIR so "
+            "chunk children dedupe unfoldings and sweeps against it; "
+            "defaults to the inherited environment, else the directory a "
+            "client ships in its run frames)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if not hasattr(os, "fork"):
@@ -213,6 +232,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # A sweep nested inside a chunk must run serially, never dial back into
     # the pool this worker belongs to (that would deadlock the pool).
     os.environ["REPRO_BACKEND"] = "serial"
+    if args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = os.path.abspath(args.cache_dir)
     # Marker for shipped closures that must behave differently inside a
     # worker than in the caller's fallback path (chaos tests lean on this).
     os.environ["REPRO_PERF_WORKER"] = "1"

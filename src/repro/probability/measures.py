@@ -178,6 +178,17 @@ class DiscreteMeasure:
             self._hash = hash(frozenset(self._weights.keys()))
         return self._hash
 
+    # The lazily cached hash is salted per interpreter (PYTHONHASHSEED), so
+    # it must never survive a pickle round-trip into another process — the
+    # persistent perf store ships measures across exactly that boundary.
+    def __getstate__(self):
+        return (self._weights, self._total)
+
+    def __setstate__(self, state) -> None:
+        self._weights = state[0]
+        self._total = state[1]
+        self._hash = None
+
     def __repr__(self) -> str:
         body = ", ".join(f"{o!r}: {w}" for o, w in sorted(self._weights.items(), key=repr))
         return f"DiscreteMeasure({{{body}}})"

@@ -68,4 +68,13 @@ def _clean_observability():
     # Drop any explicitly configured execution backend so each test resolves
     # from the environment (REPRO_BACKEND — the CI matrix exercises specs).
     perf_backends.configure_backend(None)
+    # The persistent store resolves from REPRO_CACHE_DIR per call; a value
+    # inherited from the invoking shell would make unrelated tests share a
+    # warm disk cache.  Tests opt in with monkeypatch.setenv (monkeypatch
+    # runs after this autouse fixture, so opting in still works).
+    inherited_cache_dir = os.environ.pop("REPRO_CACHE_DIR", None)
     yield
+    if inherited_cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = inherited_cache_dir
+    else:
+        os.environ.pop("REPRO_CACHE_DIR", None)

@@ -121,7 +121,6 @@ class TestResolution:
 
     def test_default_is_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_BACKEND", raising=False)
-        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
         assert current_spec() == "serial"
 
     def test_describe_shape(self):
@@ -146,7 +145,10 @@ class TestPublicSurface:
             "SocketBackend",
             "ParallelWorkerError",
             "BackendSpecError",
-            "configure_workers",  # deprecated shim, still one release away
+            "fingerprint",
+            "try_fingerprint",
+            "owner_key",
+            "active_store",
         ):
             assert hasattr(perf, name), name
 

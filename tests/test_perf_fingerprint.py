@@ -1,0 +1,283 @@
+"""Property battery for ``repro.perf.fingerprint``.
+
+The structural hash is the key the content-addressed cache trusts, so its
+contract is locked down three ways:
+
+* **extensionality** — structurally equal values (rebuilt, reordered,
+  deep-copied) hash equal;
+* **sensitivity** — any single structural mutation (a weight, a target
+  state, a signature action, a captured constant) changes the hash;
+* **process stability** — hashes are pure functions of structure, never of
+  ``id()``, dict insertion order, or the interpreter's hash salt: a child
+  interpreter running under a *different* ``PYTHONHASHSEED`` reproduces
+  them byte-for-byte.
+
+Randomized structure generation runs under hypothesis; the cross-process
+check spawns real subprocesses.
+"""
+
+import copy
+import json
+import random
+import subprocess
+import sys
+import textwrap
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.psioa import TablePSIOA
+from repro.core.signature import Signature
+from repro.probability.measures import DiscreteMeasure, dirac
+from repro.semantics.scheduler import ActionSequenceScheduler, BoundedScheduler
+from repro.perf.fingerprint import (
+    Unfingerprintable,
+    fingerprint,
+    try_fingerprint,
+)
+from tests.conftest import subprocess_env
+
+# -- strategies ----------------------------------------------------------------
+
+_leaves = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+    st.fractions(),
+)
+
+_hashable_leaves = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**20), max_value=2**20),
+    st.text(max_size=8),
+    st.fractions(),
+)
+
+
+def _containers(children):
+    return st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+        st.frozensets(_hashable_leaves, max_size=4),
+    )
+
+
+_structures = st.recursive(_leaves, _containers, max_leaves=16)
+
+
+def _automaton(weight_num=1, target="q1", action="a", start="q0", name="m"):
+    """A tiny branching automaton; every argument is one mutation site."""
+    return TablePSIOA(
+        name,
+        start,
+        {
+            "q0": Signature(outputs={action}),
+            "q1": Signature(outputs={"b"}),
+            "q2": Signature(outputs={"b"}),
+            "q3": Signature(),
+            "q4": Signature(),
+        },
+        {
+            ("q0", action): DiscreteMeasure(
+                {target: Fraction(weight_num, 2), "q2": Fraction(2 - weight_num, 2)}
+            ),
+            ("q1", "b"): dirac("q3"),
+            ("q2", "b"): dirac("q4"),
+        },
+    )
+
+
+# -- extensionality ------------------------------------------------------------
+
+
+class TestEqualStructuresHashEqual:
+    @given(_structures)
+    @settings(max_examples=150, deadline=None)
+    def test_deep_copy_hashes_equal(self, value):
+        assert fingerprint(value) == fingerprint(copy.deepcopy(value))
+
+    @given(st.dictionaries(st.text(max_size=6), st.integers(), min_size=1, max_size=8))
+    @settings(max_examples=80, deadline=None)
+    def test_dict_insertion_order_is_invisible(self, mapping):
+        items = list(mapping.items())
+        random.Random(0).shuffle(items)
+        assert fingerprint(mapping) == fingerprint(dict(items))
+
+    def test_rebuilt_automata_hash_equal(self):
+        assert fingerprint(_automaton()) == fingerprint(_automaton())
+
+    def test_rebuilt_measures_hash_equal(self):
+        m = lambda: DiscreteMeasure({"x": Fraction(1, 3), ("y", 2): Fraction(2, 3)})
+        assert fingerprint(m()) == fingerprint(m())
+
+    def test_rebuilt_schedulers_hash_equal(self):
+        s = lambda: BoundedScheduler(ActionSequenceScheduler(["a", "b"]), 3)
+        assert fingerprint(s()) == fingerprint(s())
+
+    def test_equivalent_closures_hash_equal(self):
+        def make(n):
+            return lambda x: x * n
+
+        assert fingerprint(make(5)) == fingerprint(make(5))
+
+    def test_cycles_are_safe_and_stable(self):
+        def knot():
+            a = ["spine"]
+            a.append(a)
+            return a
+
+        assert fingerprint(knot()) == fingerprint(knot())
+
+
+# -- sensitivity ---------------------------------------------------------------
+
+
+class TestSingleMutationChangesHash:
+    BASE_KWARGS = dict(weight_num=1, target="q1", action="a", start="q0", name="m")
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"weight_num": 2},
+            {"target": "q3"},
+            {"action": "c"},
+            {"start": "q1"},
+            {"name": "m2"},
+        ],
+        ids=lambda m: next(iter(m)),
+    )
+    def test_automaton_mutations(self, mutation):
+        base = fingerprint(_automaton(**self.BASE_KWARGS))
+        mutated = fingerprint(_automaton(**{**self.BASE_KWARGS, **mutation}))
+        assert base != mutated
+
+    def test_measure_weight_mutation(self):
+        a = DiscreteMeasure({"x": Fraction(1, 2), "y": Fraction(1, 2)})
+        b = DiscreteMeasure({"x": Fraction(1, 3), "y": Fraction(2, 3)})
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_scheduler_parameter_mutation(self):
+        a = BoundedScheduler(ActionSequenceScheduler(["a", "b"]), 3)
+        b = BoundedScheduler(ActionSequenceScheduler(["a", "b"]), 4)
+        c = BoundedScheduler(ActionSequenceScheduler(["a", "c"]), 3)
+        assert len({fingerprint(a), fingerprint(b), fingerprint(c)}) == 3
+
+    def test_closure_capture_mutation(self):
+        def make(n):
+            return lambda x: x * n
+
+        assert fingerprint(make(5)) != fingerprint(make(6))
+
+    def test_closure_body_mutation(self):
+        assert fingerprint(lambda x: x * 2) != fingerprint(lambda x: x * 3)
+
+    @given(
+        st.lists(st.integers(), min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=7),
+        st.integers(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_list_element_mutation(self, values, index, replacement):
+        index %= len(values)
+        if values[index] == replacement:
+            replacement += 1
+        mutated = list(values)
+        mutated[index] = replacement
+        assert fingerprint(values) != fingerprint(mutated)
+
+    def test_numeric_types_do_not_collide(self):
+        # 1, 1.0, True and Fraction(1) compare equal in Python but are
+        # structurally distinct cache keys.
+        prints = {fingerprint(1), fingerprint(1.0), fingerprint(True), fingerprint(Fraction(1))}
+        assert len(prints) == 4
+
+
+# -- failure behaviour ---------------------------------------------------------
+
+
+class TestUnfingerprintable:
+    def test_opaque_objects_raise(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(Unfingerprintable):
+            fingerprint(Opaque())
+        assert try_fingerprint(Opaque()) is None
+
+    def test_try_fingerprint_passes_through(self):
+        assert try_fingerprint((1, 2)) == fingerprint((1, 2))
+
+
+# -- process stability ---------------------------------------------------------
+
+_CHILD_PROGRAM = textwrap.dedent(
+    """
+    import json, sys
+    from fractions import Fraction
+    from repro.core.psioa import TablePSIOA
+    from repro.core.signature import Signature
+    from repro.probability.measures import DiscreteMeasure, dirac
+    from repro.semantics.scheduler import ActionSequenceScheduler, BoundedScheduler
+    from repro.perf.fingerprint import fingerprint
+
+    def battery():
+        auto = TablePSIOA(
+            "branch", "q0",
+            {"q0": Signature(outputs={"a"}), "q1": Signature(outputs={"b"}),
+             "q2": Signature(outputs={"b"}), "q3": Signature(), "q4": Signature()},
+            {("q0", "a"): DiscreteMeasure({"q1": Fraction(1, 2), "q2": Fraction(1, 2)}),
+             ("q1", "b"): dirac("q3"), ("q2", "b"): dirac("q4")},
+        )
+        return {
+            "auto": auto,
+            "sched": BoundedScheduler(ActionSequenceScheduler(["a", "b"]), 2),
+            "measure": DiscreteMeasure({"x": Fraction(1, 3), ("y", 2): Fraction(2, 3)}),
+            "nested": {"b": [1, 2.5, "s", b"\\xff",
+                             frozenset({1, "a", (2, 3)})], "a": None},
+            "fn": lambda x: x * auto.start.count("q"),
+            "set": {True, 0, 2.5, "z", Fraction(7, 2)},
+        }
+
+    print(json.dumps({k: fingerprint(v) for k, v in battery().items()},
+                     sort_keys=True))
+    """
+)
+
+
+def _battery_in_child(hash_seed):
+    env = subprocess_env()
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_PROGRAM],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+class TestCrossProcessStability:
+    def test_stable_across_interpreter_hash_salts(self):
+        # Two children with *different* hash salts: any dependence on
+        # str/bytes hashing, set iteration order, or id() would diverge.
+        first = _battery_in_child(1)
+        second = _battery_in_child(424242)
+        assert first == second
+
+    def test_child_matches_this_process(self):
+        local = {
+            "pair": fingerprint((1, "x")),
+            "measure": fingerprint(
+                DiscreteMeasure({"x": Fraction(1, 3), ("y", 2): Fraction(2, 3)})
+            ),
+        }
+        child = _battery_in_child(7)
+        assert child["measure"] == local["measure"]

@@ -15,13 +15,7 @@ from fractions import Fraction
 import pytest
 
 from repro.obs import metrics
-from repro.perf.backends import configure_backend
-from repro.perf.parallel import (
-    ParallelWorkerError,
-    configure_workers,
-    default_workers,
-    parallel_map,
-)
+from repro.perf.parallel import ParallelWorkerError, parallel_map
 
 
 class TestOrderAndExactness:
@@ -127,47 +121,3 @@ class TestErrors:
         with pytest.raises(ParallelWorkerError) as excinfo:
             parallel_map(boom_high, list(range(12)), workers=4)
         assert excinfo.value.index == 5
-
-
-class TestDeprecatedShims:
-    def test_configure_workers_maps_to_fork_backend(self):
-        with pytest.warns(DeprecationWarning, match="configure_workers"):
-            configure_workers(3)
-        with pytest.warns(DeprecationWarning, match="default_workers"):
-            assert default_workers() == 3
-
-    def test_configure_workers_matches_configure_backend(self):
-        items = list(range(17))
-
-        def draw(seed):
-            return random.Random(seed).random()
-
-        configure_backend("fork:2")
-        via_backend = parallel_map(draw, items)
-        with pytest.warns(DeprecationWarning):
-            configure_workers(2)
-        assert parallel_map(draw, items) == via_backend
-
-    def test_configure_workers_none_rereads_environment(self, monkeypatch):
-        monkeypatch.setenv("REPRO_BACKEND", "fork:6")
-        with pytest.warns(DeprecationWarning):
-            configure_workers(3)
-        with pytest.warns(DeprecationWarning):
-            assert default_workers() == 3
-        with pytest.warns(DeprecationWarning):
-            configure_workers(None)
-        with pytest.warns(DeprecationWarning):
-            assert default_workers() == 6
-
-    def test_legacy_repro_parallel_env_still_works(self, monkeypatch):
-        monkeypatch.delenv("REPRO_BACKEND", raising=False)
-        monkeypatch.setenv("REPRO_PARALLEL", "6")
-        with pytest.warns(DeprecationWarning) as records:
-            assert default_workers() == 6
-        assert any("REPRO_PARALLEL" in str(r.message) for r in records)
-
-    def test_invalid_legacy_env_falls_back_to_serial(self, monkeypatch):
-        monkeypatch.delenv("REPRO_BACKEND", raising=False)
-        monkeypatch.setenv("REPRO_PARALLEL", "many")
-        with pytest.warns(DeprecationWarning):
-            assert default_workers() == 1

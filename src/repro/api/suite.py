@@ -1,0 +1,324 @@
+"""The suite engine behind the CLI and the job service.
+
+:func:`run_suite` is the body the runner's ``main`` historically inlined:
+apply a resolved :class:`~repro.api.config.RunConfig`, run the selected
+experiments (crash-isolated, optionally ``parallel`` at a time), render
+each record through :mod:`repro.obs.report`, and wrap everything into a
+schema-valid run report.  The CLI prints the emitted lines; the service
+captures the report per job; tests call it in-process — all three share
+this one code path, so their outputs cannot drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    ALL_EXPERIMENTS,
+    DEFAULT_SEED,
+    run_experiment_guarded,
+)
+from repro.obs import analyze as obs_analyze
+from repro.obs import distributed as obs_distributed
+from repro.obs import profile as obs_profile
+from repro.obs import progress as obs_progress
+from repro.obs.report import (
+    ReportSchemaError,
+    build_report,
+    cache_summary,
+    format_record,
+    format_suite_summary,
+    outcome_record,
+    profile_summary,
+    resilience_summary,
+    validate_report,
+)
+from repro.perf import backends as perf_backends
+from repro.perf import store as perf_store
+from repro.perf.supervise import SupervisionPolicy
+
+from repro.api.config import RunConfig
+
+__all__ = [
+    "SuiteResult",
+    "UnknownExperimentError",
+    "list_experiments",
+    "load_report",
+    "run_suite",
+]
+
+
+class UnknownExperimentError(ValueError):
+    """A selection names experiment ids the registry does not know."""
+
+    def __init__(self, unknown: Sequence[str]) -> None:
+        self.unknown = list(unknown)
+        super().__init__(
+            f"unknown experiment(s) {', '.join(map(repr, self.unknown))}; "
+            f"known: {', '.join(ALL_EXPERIMENTS)}"
+        )
+
+
+def list_experiments() -> Dict[str, str]:
+    """Known experiment ids mapped to their claim strings (registry order)."""
+    return {
+        experiment_id: claim
+        for experiment_id, (_module, claim) in ALL_EXPERIMENTS.items()
+    }
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read and validate a ``--metrics-out`` report file.
+
+    Raises :class:`repro.obs.report.ReportSchemaError` for schema
+    violations and ``OSError`` / ``json.JSONDecodeError`` for unreadable
+    files — callers that just want "valid or not" can catch ``ValueError``
+    plus ``OSError``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_report(payload)
+    return payload
+
+
+@dataclass
+class SuiteResult:
+    """Everything one suite run produced."""
+
+    #: canonical per-experiment records, in experiment order
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    #: the schema-valid run report wrapping the records
+    report: Dict[str, Any] = field(default_factory=dict)
+    #: 0 all passed, 1 any experiment did not pass
+    exit_code: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+
+def run_suite(
+    experiments: Optional[Sequence[str]] = None,
+    *,
+    config: Optional[RunConfig] = None,
+    argv: Optional[Sequence[str]] = None,
+    metrics_out: Optional[str] = None,
+    emit: Optional[Callable[[str], None]] = None,
+    on_record: Optional[Callable[[str, Dict[str, Any], int, int], None]] = None,
+) -> SuiteResult:
+    """Run ``experiments`` (default: all) under ``config`` (default: resolved
+    purely from the environment) and return records + a validated report.
+
+    ``emit`` receives every human-output line (the CLI passes ``print``;
+    the service captures them into its job log).  ``on_record`` fires
+    after each experiment completes with ``(experiment_id, record, done,
+    total)`` — the service turns these into job progress events.  The
+    report is also written to ``metrics_out`` when given.
+    """
+    from repro.api.config import resolve_config
+
+    if config is None:
+        config = resolve_config()
+    selected = list(experiments) if experiments else list(ALL_EXPERIMENTS)
+    unknown = [e for e in selected if e not in ALL_EXPERIMENTS]
+    if unknown:
+        raise UnknownExperimentError(unknown)
+
+    def say(line: str) -> None:
+        if emit is not None:
+            emit(line)
+
+    # One resolution, one application: children and workers inherit the
+    # exported environment, this process configures its live subsystems.
+    config.apply()
+    cache_enabled = config.cache != "off"
+    # The profiler may have been enabled programmatically by an embedding
+    # caller (without the flag or REPRO_PROFILE); honor the live switch.
+    profiling = config.profile or obs_profile.PROFILER.enabled
+    supervision_policy = SupervisionPolicy.from_env()
+    backend_block = perf_backends.make_backend(perf_backends.current_spec()).describe()
+
+    suite_start = time.perf_counter()
+
+    def trace_path_for(experiment_id: str) -> Optional[str]:
+        if not config.trace_dir:
+            return None
+        return os.path.join(config.trace_dir, f"{experiment_id}.trace.json")
+
+    def profile_path_for(experiment_id: str) -> Optional[str]:
+        if not config.profile_dir:
+            return None
+        return os.path.join(config.profile_dir, f"{experiment_id}.folded")
+
+    def run_one(experiment_id: str):
+        return run_experiment_guarded(
+            experiment_id,
+            fast=not config.full,
+            timeout=config.timeout,
+            retries=config.retries,
+            seed=config.seed,
+            isolated=config.isolated,
+            trace_path=trace_path_for(experiment_id),
+            profile_path=profile_path_for(experiment_id),
+        )
+
+    records: List[Dict[str, Any]] = []
+    # Profile lanes and folded files ride the outcomes, not the records:
+    # per-experiment records must stay byte-identical with profiling on or
+    # off, so phase data only ever lands in summary.profile.
+    profile_lanes: List[Dict[str, Any]] = []
+    folded_files: List[str] = []
+
+    def record_outcome(experiment_id: str, outcome) -> bool:
+        record = outcome_record(
+            outcome,
+            ALL_EXPERIMENTS[experiment_id][1],
+            default_seed=DEFAULT_SEED,
+            trace_file=outcome.trace_path,
+        )
+        records.append(record)
+        for lane in outcome.profile or []:
+            profile_lanes.append(
+                {
+                    "pid": lane.get("pid", 0),
+                    "lane": f"{experiment_id}: {lane.get('lane', '?')}",
+                    "phases": lane.get("phases") or {},
+                }
+            )
+        if outcome.profile_path:
+            folded_files.append(outcome.profile_path)
+        say(format_record(record))
+        say("")
+        obs_progress.advance()
+        if on_record is not None:
+            on_record(experiment_id, record, len(records), len(selected))
+        return outcome.ok
+
+    obs_progress.begin("experiments", len(selected), "experiments")
+
+    if config.parallel > 1:
+        # Pre-import every selected experiment module, so forked children
+        # never race the import machinery from worker threads.
+        import importlib
+
+        for experiment_id in selected:
+            module_name, _claim = ALL_EXPERIMENTS[experiment_id]
+            if "." not in module_name:
+                module_name = f"repro.experiments.{module_name}"
+            try:
+                importlib.import_module(module_name)
+            except Exception:  # noqa: BLE001 - the guarded child reports it
+                pass
+        from concurrent.futures import ThreadPoolExecutor
+
+        # Each worker thread just babysits an isolated child process, so
+        # threads-per-experiment is cheap.  Futures are *consumed in
+        # experiment order*: output and the report are identical at every
+        # worker count (only wall-clock fields differ).
+        with ThreadPoolExecutor(max_workers=config.parallel) as pool:
+            futures = [(e, pool.submit(run_one, e)) for e in selected]
+            for experiment_id, future in futures:
+                ok = record_outcome(experiment_id, future.result())
+                if not ok and not config.keep_going:
+                    for _e, pending in futures:
+                        pending.cancel()
+                    break
+    else:
+        for experiment_id in selected:
+            ok = record_outcome(experiment_id, run_one(experiment_id))
+            if not ok and not config.keep_going:
+                break
+
+    obs_progress.finish()
+    say(format_suite_summary(records))
+
+    # When a persistent store is active, describe it in the cache block
+    # (directory, entry count, byte size); stat failures must never fail
+    # the run, and store-less runs keep the block byte-identical to before.
+    persistent_block = None
+    if cache_enabled:
+        store = perf_store.active_store()
+        if store is not None:
+            try:
+                persistent_block = store.stats()
+            except OSError:
+                persistent_block = None
+    cache_block = cache_summary(
+        records, enabled=cache_enabled, persistent=persistent_block
+    )
+    if config.cache == "stats":
+        counters = cache_block["counters"]
+        hits = sum(v for k, v in counters.items() if k.endswith(".hits"))
+        misses = sum(v for k, v in counters.items() if k.endswith(".misses"))
+        say(
+            f"cache: enabled={cache_enabled} hits={hits} misses={misses} "
+            f"({len(counters)} perf counters; see summary.cache in --metrics-out)"
+        )
+
+    # The trace summary exists only when tracing actually produced files,
+    # so untraced runs emit reports byte-identical to pre-tracing ones.
+    trace_block = None
+    analysis_block = None
+    trace_files = [
+        r["trace_file"]
+        for r in records
+        if r.get("trace_file") and os.path.exists(r["trace_file"])
+    ]
+    if trace_files:
+        try:
+            merged = obs_distributed.merge_trace_files(trace_files)
+            trace_block = obs_distributed.summarize_events(merged["traceEvents"])
+            trace_block["files"] = list(trace_files)
+            # Analytics piggyback on tracing alone (never on profiling), so
+            # the profile on/off differential guarantee holds.
+            analysis_block = obs_analyze.analyze_events(merged["traceEvents"])
+        except (OSError, ValueError, json.JSONDecodeError):
+            trace_block = None  # a corrupt trace must not fail the run
+            analysis_block = None
+
+    # Same only-when-active contract for the phase-profile block.
+    profile_block = None
+    if profiling:
+        profile_block = profile_summary(
+            profile_lanes,
+            enabled=True,
+            folded_files=folded_files if folded_files else None,
+        )
+
+    # Like the trace block, the resilience block exists only when
+    # supervision was actually on, so unsupervised runs emit reports
+    # byte-identical to pre-supervision ones.
+    resilience_block = None
+    if supervision_policy.enabled:
+        resilience_block = resilience_summary(
+            records,
+            supervised=True,
+            chunk_deadline_s=supervision_policy.chunk_deadline_s,
+        )
+
+    payload = build_report(
+        records,
+        argv=list(argv) if argv is not None else None,
+        fast=not config.full,
+        wall_time_s=time.perf_counter() - suite_start,
+        cache=cache_block,
+        backend=backend_block,
+        trace=trace_block,
+        resilience=resilience_block,
+        profile=profile_block,
+        analysis=analysis_block,
+        config=config.describe(),
+    )
+    if metrics_out:
+        parent = os.path.dirname(metrics_out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, default=repr)
+        say(f"metrics report written to {metrics_out}")
+
+    exit_code = 1 if any(not r["ok"] for r in records) else 0
+    return SuiteResult(records=records, report=payload, exit_code=exit_code)

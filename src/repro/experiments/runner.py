@@ -20,33 +20,6 @@ Performance (see ``docs/performance.md``)::
     python -m repro.experiments.runner --backend pool:3 --supervise # self-healing
     python -m repro.experiments.runner --chunk-deadline 30          # bound chunks
 
-``--parallel N`` fans whole experiments across N concurrently-running
-isolated children; records are printed and reported in experiment order,
-so the run report is identical at every N (modulo wall-clock fields).
-``--cache`` controls the ``repro.perf`` memoization layer for the run
-(children inherit the setting through ``REPRO_CACHE``); ``stats``
-additionally aggregates the per-experiment cache counters into the
-summary.  ``--cache-dir DIR`` layers the content-addressed persistent
-store on top (exported as ``REPRO_CACHE_DIR``, so isolated children,
-fork sweep children and socket workers all dedupe unfoldings and whole
-sweep results against the same tree across runs; the report's
-``summary.cache`` gains a ``persistent`` block — see
-``docs/performance.md``).  ``--backend SPEC`` selects the execution backend experiment
-*sweeps* run on (``serial``, ``fork:N``, or ``socket:host:port,...`` — see
-``repro.perf.backends``); children inherit it through ``REPRO_BACKEND``,
-the resolved backend is recorded in the report's ``summary.backend``
-block, and results are byte-identical on every backend.
-
-``--supervise`` turns on the self-healing transport layer for remote
-sweep backends (per-chunk deadlines, worker heartbeats, seeded
-reconnect backoff, circuit breakers, poison-chunk quarantine — see
-``docs/resilience.md``); children inherit it through ``REPRO_SUPERVISE``
-(seeded from ``--seed`` via ``REPRO_SUPERVISE_SEED`` so backoff schedules
-are reproducible), and the report gains a ``summary.resilience`` block
-aggregating the supervision counters.  ``--chunk-deadline SECONDS``
-bounds each sweep chunk's wall clock (exported as
-``REPRO_CHUNK_DEADLINE``; ``0`` disables the bound).
-
 Observability (see ``docs/observability.md``)::
 
     python -m repro.experiments.runner --metrics-out report.json
@@ -56,36 +29,17 @@ Observability (see ``docs/observability.md``)::
     python -m repro.experiments.runner --progress
     python -m repro.experiments.runner --report report.json   # summarize, don't run
 
-``--metrics-out`` writes a schema-valid machine-readable run report (per
-experiment: outcome, wall time, attempts, seeds — including sampled
-fault-plan seeds — peak RSS, the hot-path counters and histogram
-summaries, marshalled out of the crash-isolated child even when it died
-mid-run).  ``--trace-dir`` saves one Chrome-trace JSON per experiment —
-including clock-aligned spans collected from fork/socket sweep executors
-(:mod:`repro.obs.distributed`) — loadable in ``chrome://tracing`` /
-Perfetto, and summarized in the report's ``summary.trace`` block; merge
-the saved files with ``python -m repro.obs trace traces/*.json``.
-``--progress`` renders a live stderr status line (experiments done/total,
-rate, ETA; sweep chunks inside inline runs) and exports ``REPRO_PROGRESS``
-to children.  ``--report`` validates an existing report file and prints
-its summary table without running anything.
-
-``--profile`` turns on the deterministic phase profiler
-(:mod:`repro.obs.profile`; children inherit it through ``REPRO_PROFILE``,
-and sweep executors — fork children and socket workers — ship their phase
-totals back as per-pid lanes); the report gains a ``summary.profile``
-block attributing inclusive/exclusive time and call counts to semantic
-phases (unfold/compose/decide/transition/cache/transport).
-``--profile-dir DIR`` additionally saves one flamegraph-ready
-collapsed-stack ``E*.folded`` file per experiment (and implies
-``--profile``).  When tracing ran, the report also gains a
-``summary.analysis`` block — critical path and per-lane
-straggler/skew/idle-gap statistics over the merged trace
-(:mod:`repro.obs.analyze`; also offline via ``python -m repro.obs
-analyze traces/*.json`` and diffable run-to-run via ``python -m
-repro.obs compare A.json B.json``).  Profiling changes nothing outside
-``summary.profile``/``summary.analysis``: per-experiment records are
-byte-identical with it on or off.
+This module is a thin CLI over :mod:`repro.api`: flags parse into one
+frozen :class:`repro.api.RunConfig` (explicit flags win over the
+``REPRO_*`` environment gates, which win over defaults — resolved in
+exactly one place, :func:`repro.api.resolve_config`, so the CLI, its
+forked children, socket workers and the job service can never disagree
+about the effective settings), and the suite itself runs through
+:func:`repro.api.run_suite`.  The resolved configuration is recorded in
+the report's ``summary.config`` block.  Flag semantics are unchanged —
+see ``docs/performance.md`` / ``docs/resilience.md`` /
+``docs/observability.md`` for what each knob does, and ``docs/service.md``
+for submitting the same runs to a long-lived job service instead.
 
 Every experiment runs in its own subprocess (see
 :func:`repro.experiments.common.run_experiment_guarded`): an experiment that
@@ -102,50 +56,64 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
-import time
+import warnings
 
-from repro.experiments.common import (
-    ALL_EXPERIMENTS,
-    DEFAULT_SEED,
-    run_experiment_guarded,
-)
-from repro.obs import analyze as obs_analyze
-from repro.obs import distributed as obs_distributed
-from repro.obs import profile as obs_profile
-from repro.obs import progress as obs_progress
-from repro.obs.report import (
-    ReportSchemaError,
-    build_report,
-    cache_summary,
-    format_record,
-    format_suite_summary,
-    format_summary_table,
-    outcome_record,
-    profile_summary,
-    resilience_summary,
-    validate_report,
-)
-from repro.perf import backends as perf_backends
-from repro.perf import cache as perf_cache
-from repro.perf import store as perf_store
-from repro.perf.supervise import SupervisionPolicy
+from repro import api
+
+#: Names importable from this module before the repro.api split, mapped to
+#: the module that canonically defines them now.  Resolving one emits a
+#: DeprecationWarning but keeps working (module __getattr__ below).
+_DEPRECATED_REEXPORTS = {
+    "ALL_EXPERIMENTS": "repro.experiments.common",
+    "DEFAULT_SEED": "repro.experiments.common",
+    "run_experiment_guarded": "repro.experiments.common",
+    "ReportSchemaError": "repro.obs.report",
+    "build_report": "repro.obs.report",
+    "cache_summary": "repro.obs.report",
+    "format_record": "repro.obs.report",
+    "format_suite_summary": "repro.obs.report",
+    "format_summary_table": "repro.obs.report",
+    "outcome_record": "repro.obs.report",
+    "profile_summary": "repro.obs.report",
+    "resilience_summary": "repro.obs.report",
+    "validate_report": "repro.obs.report",
+    "SupervisionPolicy": "repro.perf.supervise",
+}
+
+
+def __getattr__(name):
+    target = _DEPRECATED_REEXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"importing {name!r} from repro.experiments.runner is deprecated; "
+        f"import it from {target} (or use the repro.api facade)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
 
 
 def _summarize_existing_report(path: str) -> int:
+    from repro.obs.report import format_summary_table
+
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-        validate_report(payload)
-    except (OSError, json.JSONDecodeError, ReportSchemaError) as exc:
+        payload = api.load_report(path)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
         print(f"invalid report {path}: {exc}")
         return 2
     print(format_summary_table(payload))
     return 0
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI surface.  Env-gated flags default to ``None`` (not given):
+    an absent flag falls through to its ``REPRO_*`` environment gate in
+    :func:`repro.api.resolve_config`, so ``REPRO_CACHE=off`` is no longer
+    silently clobbered by the flag's default the way it once was."""
     parser = argparse.ArgumentParser(
         description="Run the reproduction's experiment suite.",
         formatter_class=argparse.ArgumentDefaultsHelpFormatter,
@@ -200,8 +168,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--cache",
         choices=("on", "off", "stats"),
-        default="on",
-        help="memoization layer: on, off, or on + aggregated statistics",
+        default=None,
+        help=(
+            "memoization layer: on, off, or on + aggregated statistics "
+            "(default: REPRO_CACHE, else on)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -217,7 +188,7 @@ def main(argv=None) -> int:
         default=None,
         metavar="SPEC",
         help=(
-            "execution backend for experiment sweeps: serial, fork:N, or "
+            "execution backend for experiment sweeps: serial, fork:N, pool:N, or "
             "socket:HOST:PORT[,HOST:PORT...] (default: REPRO_BACKEND, else serial)"
         ),
     )
@@ -277,272 +248,60 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list known experiments and exit"
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
 
     if args.list:
-        for experiment_id, (_module, claim) in ALL_EXPERIMENTS.items():
+        for experiment_id, claim in api.list_experiments().items():
             print(f"{experiment_id:4s} {claim}")
         return 0
 
     if args.report is not None:
         return _summarize_existing_report(args.report)
 
-    selected = args.experiments or list(ALL_EXPERIMENTS)
-    unknown = [e for e in selected if e not in ALL_EXPERIMENTS]
-    if unknown:
-        print(
-            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
-            f"known: {', '.join(ALL_EXPERIMENTS)}"
-        )
-        return 2
-
-    parallel = max(1, args.parallel)
-    if parallel > 1 and not args.isolated:
-        print("--parallel requires isolation; drop --no-isolation")
-        return 2
-
-    # Children inherit the cache mode through the environment (they fork
-    # from this process); the parent cache mirrors it so inline runs and
-    # the "stats" aggregation agree with what the children did.
-    cache_enabled = args.cache != "off"
-    os.environ["REPRO_CACHE"] = "on" if cache_enabled else "off"
-    perf_cache.configure(enabled=cache_enabled)
-
-    # The persistent store resolves purely through the environment
-    # (store.active_store() re-reads it per call), so exporting the flag is
-    # the whole configuration: isolated children fork with it, sweep
-    # backends ship it to socket workers in the run-frame ctx.
-    if args.cache_dir:
-        os.environ["REPRO_CACHE_DIR"] = os.path.abspath(args.cache_dir)
-
-    if args.progress:
-        # Children inherit the live switch through fork memory; the env
-        # export additionally covers any process that re-imports from
-        # scratch (parity with REPRO_CACHE / REPRO_BACKEND / REPRO_TRACE).
-        # A user-set REPRO_PROGRESS=plain keeps its forced rendering mode.
-        if not obs_progress.env_plain():
-            os.environ["REPRO_PROGRESS"] = "on"
-        obs_progress.enable()
-
-    # Phase profiling: --profile-dir implies --profile; the env export is
-    # what standalone socket workers (fresh interpreters) read, the live
-    # enable is what this process and its forked children see.  With the
-    # flag absent the profiler may still be on through REPRO_PROFILE.
-    if args.profile or args.profile_dir:
-        os.environ["REPRO_PROFILE"] = "on"
-        obs_profile.enable()
-    elif obs_profile.env_enabled():
-        # REPRO_PROFILE set after this module was imported (e.g. an
-        # embedding caller): honor it the way a fresh process would.
-        obs_profile.enable()
-    profiling = obs_profile.PROFILER.enabled
-
-    # Supervision resolves like the other perf toggles: the flags export
-    # environment overrides (isolated children and the socket transport
-    # both read them through SupervisionPolicy.from_env), and the backoff
-    # seed defaults to --seed so reconnect schedules are reproducible.
-    if args.supervise:
-        os.environ["REPRO_SUPERVISE"] = "on"
-        if args.seed is not None and "REPRO_SUPERVISE_SEED" not in os.environ:
-            os.environ["REPRO_SUPERVISE_SEED"] = str(args.seed)
-    if args.chunk_deadline is not None:
-        os.environ["REPRO_CHUNK_DEADLINE"] = str(args.chunk_deadline)
-    supervision_policy = SupervisionPolicy.from_env()
-
-    # Same inheritance story for the sweep execution backend: validate the
-    # spec up front (a typo should fail the run before any experiment
-    # does), export it so isolated children resolve the same backend, and
-    # record the resolved description in the report summary.
     try:
-        if args.backend is not None:
-            backend_spec = perf_backends.normalize_spec(args.backend)
-            os.environ["REPRO_BACKEND"] = backend_spec
-            perf_backends.configure_backend(backend_spec)
-        else:
-            backend_spec = perf_backends.current_spec()
-    except perf_backends.BackendSpecError as exc:
-        print(f"invalid backend spec: {exc}")
-        return 2
-    backend_block = perf_backends.make_backend(backend_spec).describe()
-
-    timeout = args.timeout if args.timeout and args.timeout > 0 else None
-    suite_start = time.perf_counter()
-
-    def trace_path_for(experiment_id):
-        if not args.trace_dir:
-            return None
-        return os.path.join(args.trace_dir, f"{experiment_id}.trace.json")
-
-    def profile_path_for(experiment_id):
-        if not args.profile_dir:
-            return None
-        return os.path.join(args.profile_dir, f"{experiment_id}.folded")
-
-    def run_one(experiment_id):
-        return run_experiment_guarded(
-            experiment_id,
-            fast=not args.full,
-            timeout=timeout,
+        config = api.resolve_config(
+            full=args.full,
+            timeout=args.timeout,
             retries=args.retries,
             seed=args.seed,
             isolated=args.isolated,
-            trace_path=trace_path_for(experiment_id),
-            profile_path=profile_path_for(experiment_id),
+            keep_going=args.keep_going,
+            parallel=max(1, args.parallel),
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            backend=args.backend,
+            supervise=args.supervise,
+            chunk_deadline=args.chunk_deadline,
+            trace_dir=args.trace_dir,
+            profile=args.profile,
+            profile_dir=args.profile_dir,
+            progress=args.progress,
         )
+    except api.ConfigError as exc:
+        if "backend" in str(exc):
+            print(str(exc))
+        elif "isolation" in str(exc):
+            print("--parallel requires isolation; drop --no-isolation")
+        else:
+            print(f"invalid configuration: {exc}")
+        return 2
 
-    records = []
-    # Profile lanes and folded files ride the outcomes, not the records:
-    # per-experiment records must stay byte-identical with profiling on or
-    # off, so phase data only ever lands in summary.profile.
-    profile_lanes = []
-    folded_files = []
-
-    def record_outcome(experiment_id, outcome):
-        record = outcome_record(
-            outcome,
-            ALL_EXPERIMENTS[experiment_id][1],
-            default_seed=DEFAULT_SEED,
-            trace_file=outcome.trace_path,
-        )
-        records.append(record)
-        for lane in outcome.profile or []:
-            profile_lanes.append(
-                {
-                    "pid": lane.get("pid", 0),
-                    "lane": f"{experiment_id}: {lane.get('lane', '?')}",
-                    "phases": lane.get("phases") or {},
-                }
-            )
-        if outcome.profile_path:
-            folded_files.append(outcome.profile_path)
-        print(format_record(record))
-        print()
-        obs_progress.advance()
-        return outcome.ok
-
-    obs_progress.begin("experiments", len(selected), "experiments")
-
-    if parallel > 1:
-        # Pre-import every selected experiment module, so forked children
-        # never race the import machinery from worker threads.
-        import importlib
-
-        for experiment_id in selected:
-            module_name, _claim = ALL_EXPERIMENTS[experiment_id]
-            if "." not in module_name:
-                module_name = f"repro.experiments.{module_name}"
-            try:
-                importlib.import_module(module_name)
-            except Exception:  # noqa: BLE001 - the guarded child reports it
-                pass
-        from concurrent.futures import ThreadPoolExecutor
-
-        # Each worker thread just babysits an isolated child process, so
-        # threads-per-experiment is cheap.  Futures are *consumed in
-        # experiment order*: output and the report are identical at every
-        # worker count (only wall-clock fields differ).
-        with ThreadPoolExecutor(max_workers=parallel) as pool:
-            futures = [(e, pool.submit(run_one, e)) for e in selected]
-            for experiment_id, future in futures:
-                ok = record_outcome(experiment_id, future.result())
-                if not ok and not args.keep_going:
-                    for _e, pending in futures:
-                        pending.cancel()
-                    break
-    else:
-        for experiment_id in selected:
-            ok = record_outcome(experiment_id, run_one(experiment_id))
-            if not ok and not args.keep_going:
-                break
-
-    obs_progress.finish()
-    print(format_suite_summary(records))
-
-    # When a persistent store is active, describe it in the cache block
-    # (directory, entry count, byte size); stat failures must never fail
-    # the run, and store-less runs keep the block byte-identical to before.
-    persistent_block = None
-    if cache_enabled:
-        store = perf_store.active_store()
-        if store is not None:
-            try:
-                persistent_block = store.stats()
-            except OSError:
-                persistent_block = None
-    cache_block = cache_summary(
-        records, enabled=cache_enabled, persistent=persistent_block
-    )
-    if args.cache == "stats":
-        counters = cache_block["counters"]
-        hits = sum(v for k, v in counters.items() if k.endswith(".hits"))
-        misses = sum(v for k, v in counters.items() if k.endswith(".misses"))
-        print(
-            f"cache: enabled={cache_enabled} hits={hits} misses={misses} "
-            f"({len(counters)} perf counters; see summary.cache in --metrics-out)"
-        )
-
-    # The trace summary exists only when tracing actually produced files,
-    # so untraced runs emit reports byte-identical to pre-tracing ones.
-    trace_block = None
-    analysis_block = None
-    trace_files = [
-        r["trace_file"]
-        for r in records
-        if r.get("trace_file") and os.path.exists(r["trace_file"])
-    ]
-    if trace_files:
-        try:
-            merged = obs_distributed.merge_trace_files(trace_files)
-            trace_block = obs_distributed.summarize_events(merged["traceEvents"])
-            trace_block["files"] = list(trace_files)
-            # Analytics piggyback on tracing alone (never on profiling), so
-            # the profile on/off differential guarantee holds.
-            analysis_block = obs_analyze.analyze_events(merged["traceEvents"])
-        except (OSError, ValueError, json.JSONDecodeError):
-            trace_block = None  # a corrupt trace must not fail the run
-            analysis_block = None
-
-    # Same only-when-active contract for the phase-profile block.
-    profile_block = None
-    if profiling:
-        profile_block = profile_summary(
-            profile_lanes,
-            enabled=True,
-            folded_files=folded_files if folded_files else None,
-        )
-
-    # Like the trace block, the resilience block exists only when
-    # supervision was actually on, so unsupervised runs emit reports
-    # byte-identical to pre-supervision ones.
-    resilience_block = None
-    if supervision_policy.enabled:
-        resilience_block = resilience_summary(
-            records,
-            supervised=True,
-            chunk_deadline_s=supervision_policy.chunk_deadline_s,
-        )
-
-    if args.metrics_out:
-        payload = build_report(
-            records,
+    try:
+        result = api.run_suite(
+            args.experiments or None,
+            config=config,
             argv=list(argv) if argv is not None else sys.argv[1:],
-            fast=not args.full,
-            wall_time_s=time.perf_counter() - suite_start,
-            cache=cache_block,
-            backend=backend_block,
-            trace=trace_block,
-            resilience=resilience_block,
-            profile=profile_block,
-            analysis=analysis_block,
+            metrics_out=args.metrics_out,
+            emit=print,
         )
-        parent = os.path.dirname(args.metrics_out)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, default=repr)
-        print(f"metrics report written to {args.metrics_out}")
-
-    return 1 if any(not r["ok"] for r in records) else 0
+    except api.UnknownExperimentError as exc:
+        print(str(exc))
+        return 2
+    return result.exit_code
 
 
 if __name__ == "__main__":

@@ -79,6 +79,10 @@ The report schema (``repro.obs.run-report/4``; the validator still accepts
                          "exclusive_us": 1500.0}, ...}}, ...],
           "folded_files": ["profiles/E15.folded"]              # flamegraph input
         },
+        "config": {                                            # optional:
+          "full": false, "parallel": 2, "cache": "on",         # the resolved
+          "backend": "fork:4", "supervise": true, ...          # RunConfig
+        },
         "analysis": {                                          # optional:
           "critical_path": {"wall_us": 5400.0,                 # only when
             "steps": [{"name": "parallel.map", "pid": 1,       # tracing ran
@@ -212,6 +216,7 @@ def build_report(
     trace: Optional[Dict[str, Any]] = None,
     profile: Optional[Dict[str, Any]] = None,
     analysis: Optional[Dict[str, Any]] = None,
+    config: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Wrap per-experiment records into a schema-valid run report.
 
@@ -237,6 +242,12 @@ def build_report(
     given it lands in ``summary.analysis`` — its presence must depend on
     tracing alone (never on profiling) so the profile-differential
     guarantee holds.
+    ``config`` is the optional resolved run configuration
+    (:meth:`repro.api.RunConfig.describe`: flat scalar fields); when given
+    it lands in ``summary.config``, recording exactly which knobs the run
+    resolved to (an optional key like ``cache.persistent`` — no schema
+    bump).  Like ``argv``, it is provenance: differential comparisons
+    treat it as volatile.
     """
     failures = [
         {"experiment": r["experiment"], "status": r["status"]}
@@ -265,6 +276,8 @@ def build_report(
         summary["profile"] = profile
     if analysis is not None:
         summary["analysis"] = analysis
+    if config is not None:
+        summary["config"] = config
     payload = {
         "schema": REPORT_SCHEMA,
         "created_unix": time.time(),
@@ -693,6 +706,15 @@ def validate_report(payload: Any) -> None:
                      f"{where}.straggler must be a boolean")
         _require(isinstance(analysis.get("stragglers"), list),
                  "summary.analysis.stragglers must be a list")
+    if "config" in summary:
+        config = summary["config"]
+        _require(isinstance(config, dict), "summary.config must be an object")
+        for key, value in config.items():
+            _require(
+                isinstance(key, str)
+                and (value is None or isinstance(value, (str, int, float, bool))),
+                "summary.config must map str -> scalar or null",
+            )
 
 
 # -- human rendering (the runner's only output path) ----------------------------

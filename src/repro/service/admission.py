@@ -1,0 +1,86 @@
+"""Admission control: a bounded job queue plus per-tenant quotas.
+
+The service is a shared resource in front of a finite warm pool, so it
+must say *no* early rather than queue unboundedly: a submission is
+admitted only while the total number of active (queued or running) jobs
+is under ``max_active`` **and** the submitting tenant's own active jobs
+are under ``max_active_per_tenant``.  Rejections are 429-shaped — the
+decision carries a ``retry_after_s`` hint sized to the service's typical
+job latency, and the server maps it onto ``HTTP 429`` + ``Retry-After``.
+
+Coalesced followers (identical submissions riding an already-admitted
+job) still count toward their tenant's quota — a tenant cannot amplify
+its footprint by resubmitting the same sweep — but they add no execution
+load, which is exactly the fairness the coalescing is for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["AdmissionPolicy", "AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The service's load bounds (one frozen bundle, like SupervisionPolicy)."""
+
+    #: queued + running jobs the service will hold, across all tenants
+    max_active: int = 16
+    #: queued + running jobs one tenant may hold
+    max_active_per_tenant: int = 4
+    #: seconds clients are told to back off after a rejection
+    retry_after_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_active < 1:
+            raise ValueError(f"max_active must be >= 1, got {self.max_active}")
+        if self.max_active_per_tenant < 1:
+            raise ValueError(
+                f"max_active_per_tenant must be >= 1, "
+                f"got {self.max_active_per_tenant}"
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Admit or reject, with the HTTP-shaped rejection detail."""
+
+    admitted: bool
+    #: machine-readable reason: ``queue_full`` | ``tenant_quota``
+    reason: Optional[str] = None
+    #: human detail for the error body
+    detail: Optional[str] = None
+    #: seconds the client should wait before retrying (rejections only)
+    retry_after_s: Optional[float] = None
+
+
+class AdmissionController:
+    """Apply an :class:`AdmissionPolicy` to live registry load numbers."""
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        self.policy = policy
+
+    def admit(self, *, total_active: int, tenant_active: int, tenant: str) -> AdmissionDecision:
+        if total_active >= self.policy.max_active:
+            return AdmissionDecision(
+                admitted=False,
+                reason="queue_full",
+                detail=(
+                    f"service at capacity: {total_active} active job(s), "
+                    f"limit {self.policy.max_active}"
+                ),
+                retry_after_s=self.policy.retry_after_s,
+            )
+        if tenant_active >= self.policy.max_active_per_tenant:
+            return AdmissionDecision(
+                admitted=False,
+                reason="tenant_quota",
+                detail=(
+                    f"tenant {tenant!r} at quota: {tenant_active} active "
+                    f"job(s), limit {self.policy.max_active_per_tenant}"
+                ),
+                retry_after_s=self.policy.retry_after_s,
+            )
+        return AdmissionDecision(admitted=True)

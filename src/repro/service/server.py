@@ -1,0 +1,531 @@
+"""Sweep-as-a-service: the long-lived job server over the repro.api facade.
+
+One :class:`JobService` owns four things:
+
+* a :class:`~repro.service.jobs.JobRegistry` (submissions, states, events),
+* an :class:`~repro.service.admission.AdmissionController` (bounded queue,
+  per-tenant quotas — rejections are HTTP 429 with ``Retry-After``),
+* an optional **warm worker pool**: long-lived ``repro.perf.worker``
+  subprocesses (:class:`repro.perf.supervise.WorkerProcess`) spawned once
+  at startup; jobs that do not pin a backend run their sweeps on
+  ``socket:<pool addresses>``, so consecutive jobs reuse hot interpreters
+  instead of paying fork+import per sweep.  Dead workers are respawned
+  between jobs (``service.pool.respawns`` counts them); a worker dying
+  *mid-job* degrades gracefully through the socket transport's lost-chunk
+  fallback — the chunk is recomputed in the service process and the job
+  still completes,
+* a single **dispatcher thread** executing queued jobs strictly one at a
+  time.  Serial execution is load-bearing, not a simplification:
+  :meth:`repro.api.RunConfig.apply` exports the resolved configuration
+  into the process environment (that is how children and workers inherit
+  it), so two concurrently-applied configs would race; within one job,
+  ``parallel``/backend fan-out still provides the concurrency.
+
+Result reuse is layered, cheapest first: an *identical active* submission
+coalesces onto the in-flight job (one execution, every submitter gets the
+report); a submission with ``"reuse": true`` is served a completed
+identical job's report without running at all; and an ordinary warm
+resubmission re-runs the suite but its sweeps are answered from the
+persistent content-addressed store (``REPRO_CACHE_DIR`` shared across the
+pool), so nothing is re-dispatched — the report's
+``summary.cache.counters`` shows ``perf.cache.sweep.hits`` > 0, which is
+also how the CI smoke asserts warmness.
+
+The HTTP surface is versioned under ``/v1`` (JSON in/out; see
+``docs/service.md``)::
+
+    GET    /v1/health                  liveness + pool/job gauges
+    GET    /v1/experiments             known experiment ids and claims
+    POST   /v1/jobs                    submit {experiments?, config?, tenant?,
+                                       reuse?} -> 202 {job} | 400 | 429
+    GET    /v1/jobs[?tenant=]          list job snapshots
+    GET    /v1/jobs/<id>               one job snapshot
+    GET    /v1/jobs/<id>/report        the run report (409 until done)
+    GET    /v1/jobs/<id>/events        Server-Sent Events progress stream
+    POST   /v1/jobs/<id>/cancel        cancel a queued job (409 otherwise)
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import traceback
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro import api
+from repro.obs import metrics as obs_metrics
+from repro.obs import progress as obs_progress
+from repro.perf.fingerprint import try_fingerprint
+from repro.perf.supervise import WorkerProcess
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.jobs import DONE, QUEUED, RUNNING, Job, JobRegistry
+
+__all__ = ["API_VERSION", "JobService", "ServiceError"]
+
+API_VERSION = "v1"
+
+#: Submissions larger than this are rejected outright (413).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceError(Exception):
+    """An HTTP-shaped service failure."""
+
+    def __init__(self, status: int, detail: str, **extra: Any) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.body = {"error": detail, **extra}
+        self.headers: Dict[str, str] = {}
+
+
+class JobService:
+    """The service core: submissions in, validated run reports out."""
+
+    def __init__(
+        self,
+        *,
+        pool: int = 0,
+        backend: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        policy: Optional[AdmissionPolicy] = None,
+        log_dir: Optional[str] = None,
+        auto_dispatch: bool = True,
+    ) -> None:
+        if pool and backend:
+            raise ValueError("pass either pool=N or backend=SPEC, not both")
+        self.registry = JobRegistry()
+        self.admission = AdmissionController(policy or AdmissionPolicy())
+        self.pool_size = int(pool)
+        self.default_backend = backend
+        self.default_cache_dir = cache_dir
+        self.log_dir = log_dir
+        self._pool: List[WorkerProcess] = []
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._auto_dispatch = auto_dispatch
+        self._started_unix: Optional[float] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the warm pool (if any) and the dispatcher thread."""
+        self._started_unix = time.time()
+        for slot in range(self.pool_size):
+            worker = WorkerProcess(slot, log_dir=self.log_dir)
+            worker.start()
+            self._pool.append(worker)
+        if self._auto_dispatch:
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="repro-service-dispatcher",
+                daemon=True,
+            )
+            self._dispatcher.start()
+
+    def serve_http(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind the HTTP API and serve it on a background thread.
+
+        Returns the bound ``(host, port)`` — pass port 0 to let the OS
+        pick one (tests do)."""
+        service = self
+
+        class _BoundHandler(_Handler):
+            pass
+
+        _BoundHandler.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _BoundHandler)
+        self._httpd.daemon_threads = True
+        thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service-http", daemon=True
+        )
+        thread.start()
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._wake.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=10)
+            self._dispatcher = None
+        for worker in self._pool:
+            worker.terminate()
+        self._pool = []
+
+    # -- the warm pool -----------------------------------------------------------
+
+    def pool_spec(self) -> Optional[str]:
+        """The ``socket:`` spec addressing the live warm pool, if any."""
+        if not self._pool:
+            return None
+        addresses = ",".join(f"{host}:{port}" for host, port in
+                             (w.address for w in self._pool))
+        return f"socket:{addresses}"
+
+    def pool_alive(self) -> int:
+        return sum(1 for worker in self._pool if worker.alive)
+
+    def ensure_workers(self) -> int:
+        """Respawn dead pool workers (between jobs); returns respawn count.
+
+        A respawned worker binds a fresh port, so the pool spec is
+        recomputed per job — which is why jobs resolve their backend at
+        execution time, not admission time."""
+        respawned = 0
+        for worker in self._pool:
+            if not worker.alive:
+                worker.terminate()  # reap + close the old pipe/log handles
+                worker.start()
+                respawned += 1
+        if respawned:
+            obs_metrics.counter("service.pool.respawns").inc(respawned)
+        return respawned
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, payload: Any) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Admit one submission; returns (status, body, extra headers).
+
+        ``payload``: ``{"experiments": [...], "config": {...},
+        "tenant": "...", "reuse": bool}`` — all fields optional."""
+        if payload is None:
+            payload = {}
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "submission must be a JSON object")
+        unknown = sorted(set(payload) - {"experiments", "config", "tenant", "reuse"})
+        if unknown:
+            raise ServiceError(
+                400, f"unknown submission field(s): {', '.join(unknown)}"
+            )
+
+        tenant = payload.get("tenant") or "default"
+        if not isinstance(tenant, str):
+            raise ServiceError(400, "tenant must be a string")
+        reuse = payload.get("reuse", False)
+        if not isinstance(reuse, bool):
+            raise ServiceError(400, "reuse must be a boolean")
+
+        experiments = payload.get("experiments")
+        known = api.list_experiments()
+        if experiments is not None and (
+            not isinstance(experiments, list)
+            or not all(isinstance(e, str) for e in experiments)
+        ):
+            raise ServiceError(400, "experiments must be a list of ids")
+        if not experiments:  # None or [] both mean the whole suite
+            experiments = list(known)
+        bad = [e for e in experiments if e not in known]
+        if bad:
+            raise ServiceError(
+                400,
+                f"unknown experiment(s): {', '.join(sorted(bad))}",
+                known=list(known),
+            )
+
+        config_payload = payload.get("config") or {}
+        if not isinstance(config_payload, dict):
+            raise ServiceError(400, "config must be an object")
+        overrides = dict(config_payload)
+        # Service-wide defaults fill fields the submission left open; the
+        # submission's own values always win (spec > service > env gates).
+        if overrides.get("cache_dir") is None and self.default_cache_dir:
+            overrides["cache_dir"] = self.default_cache_dir
+        if overrides.get("backend") is None and self.default_backend:
+            overrides["backend"] = self.default_backend
+        try:
+            config = api.resolve_config(**overrides)
+        except api.ConfigError as exc:
+            raise ServiceError(400, f"invalid config: {exc}")
+        if config.progress:
+            # Heartbeat rendering belongs to interactive terminals; job
+            # progress is streamed through the registry's events instead.
+            config = api.RunConfig(**{**config.describe(), "progress": False})
+
+        cache_key = try_fingerprint(
+            (
+                "service.job",
+                tuple(experiments),
+                tuple(sorted(config.describe().items(), key=lambda kv: kv[0])),
+            )
+        )
+
+        # Reuse: serve a completed identical job's report without running.
+        if reuse and cache_key is not None:
+            finished = self.registry.find_done_by_key(cache_key)
+            if finished is not None:
+                job = self.registry.create(
+                    tenant=tenant,
+                    experiments=experiments,
+                    config=config,
+                    cache_key=cache_key,
+                )
+                self.registry.mark_running(job)
+                self.registry.finish(
+                    job,
+                    report=finished.report,
+                    exit_code=finished.exit_code,
+                    served_from=finished.id,
+                )
+                return 202, {"job": job.snapshot()}, {}
+
+        decision = self.admission.admit(
+            total_active=self.registry.active_count(),
+            tenant_active=self.registry.active_count(tenant=tenant),
+            tenant=tenant,
+        )
+        if not decision.admitted:
+            error = ServiceError(
+                429, decision.detail or "rejected",
+                reason=decision.reason,
+                retry_after_s=decision.retry_after_s,
+            )
+            if decision.retry_after_s is not None:
+                error.headers["Retry-After"] = str(int(decision.retry_after_s) or 1)
+            raise error
+
+        # Coalesce onto an identical in-flight job: one execution, every
+        # submitter gets the report.
+        leader = (
+            self.registry.find_active_by_key(cache_key)
+            if cache_key is not None
+            else None
+        )
+        job = self.registry.create(
+            tenant=tenant,
+            experiments=experiments,
+            config=config,
+            cache_key=cache_key,
+            leader=leader.id if leader is not None else None,
+        )
+        self._wake.set()
+        return 202, {"job": job.snapshot()}, {}
+
+    # -- execution ---------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.registry.next_queued()
+            if job is None:
+                self._wake.wait(0.2)
+                self._wake.clear()
+                continue
+            self.registry.mark_running(job)
+            self.execute(job)
+
+    def execute(self, job: Job) -> None:
+        """Run one job's suite in this process (the dispatcher's body)."""
+        self.ensure_workers()
+        config = job.config
+        if config.backend is None:
+            spec = self.pool_spec()
+            if spec is not None:
+                # Resolved at execution time: respawned workers bind fresh
+                # ports, so admission-time specs could point at the dead.
+                config = api.RunConfig(**{**config.describe(), "backend": spec})
+
+        progress_state = {"label": None, "done": 0}
+
+        def on_heartbeat(event: str, **details: Any) -> None:
+            # repro.obs.progress heartbeats -> job progress events.  Only
+            # the suite-level phase counts: sweep phases inside inline
+            # experiments advance in this process too, but they belong to
+            # an experiment, not the job.
+            if event == "begin":
+                progress_state["label"] = details.get("label")
+            elif (
+                event == "advance"
+                and progress_state["label"] == "experiments"
+            ):
+                progress_state["done"] += int(details.get("n", 1))
+                self.registry.record_progress(
+                    job, progress_state["done"], job.total
+                )
+
+        def on_record(
+            experiment_id: str, record: Dict[str, Any], done: int, total: int
+        ) -> None:
+            self.registry.record_experiment(
+                job, experiment_id, record["status"], record["ok"]
+            )
+
+        obs_progress.add_listener(on_heartbeat)
+        obs_metrics.counter("service.jobs.started").inc()
+        try:
+            result = api.run_suite(
+                job.experiments,
+                config=config,
+                argv=["service", *job.experiments],
+                on_record=on_record,
+            )
+        except Exception:  # noqa: BLE001 - the job absorbs the failure
+            obs_metrics.counter("service.jobs.failed").inc()
+            self.registry.finish(job, error=traceback.format_exc())
+        else:
+            obs_metrics.counter("service.jobs.completed").inc()
+            self.registry.finish(
+                job, report=result.report, exit_code=result.exit_code
+            )
+        finally:
+            obs_progress.remove_listener(on_heartbeat)
+
+    # -- health ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        jobs = self.registry.jobs()
+        return {
+            "status": "ok",
+            "version": API_VERSION,
+            "started_unix": self._started_unix,
+            "pool": {"workers": len(self._pool), "alive": self.pool_alive()},
+            "jobs": {
+                "total": len(jobs),
+                "queued": sum(1 for j in jobs if j.state == QUEUED),
+                "running": sum(1 for j in jobs if j.state == RUNNING),
+                "done": sum(1 for j in jobs if j.state == DONE),
+            },
+            "limits": {
+                "max_active": self.admission.policy.max_active,
+                "max_active_per_tenant": self.admission.policy.max_active_per_tenant,
+            },
+        }
+
+
+# -- the HTTP layer --------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/v1/...`` onto the bound :class:`JobService`."""
+
+    service: JobService  # injected per server by serve_http
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
+        pass  # request logging is the service log's job, not stderr noise
+
+    def _send_json(
+        self, status: int, body: Dict[str, Any], headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        data = json.dumps(body, default=repr).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(413, f"body too large ({length} bytes)")
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(400, f"body is not valid JSON: {exc}")
+
+    def _job_or_404(self, job_id: str) -> Job:
+        job = self.service.registry.get(job_id)
+        if job is None:
+            raise ServiceError(404, f"no such job: {job_id}")
+        return job
+
+    def _route(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        try:
+            if not parts or parts[0] != API_VERSION:
+                raise ServiceError(
+                    404, f"unknown API version (use /{API_VERSION}/...)"
+                )
+            self._dispatch(method, parts[1:], parse_qs(parsed.query))
+        except ServiceError as exc:
+            self._send_json(exc.status, exc.body, exc.headers)
+        except BrokenPipeError:
+            pass  # client went away mid-stream
+        except Exception:  # noqa: BLE001 - the server must not die per request
+            self._send_json(500, {"error": traceback.format_exc()})
+
+    def _dispatch(self, method: str, parts: List[str], query: Dict[str, List[str]]) -> None:
+        registry = self.service.registry
+        if method == "GET" and parts == ["health"]:
+            self._send_json(200, self.service.health())
+        elif method == "GET" and parts == ["experiments"]:
+            self._send_json(200, {"experiments": api.list_experiments()})
+        elif method == "POST" and parts == ["jobs"]:
+            status, body, headers = self.service.submit(self._read_body())
+            self._send_json(status, body, headers)
+        elif method == "GET" and parts == ["jobs"]:
+            tenant = (query.get("tenant") or [None])[0]
+            self._send_json(
+                200,
+                {"jobs": [j.snapshot() for j in registry.jobs(tenant=tenant)]},
+            )
+        elif method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+            self._send_json(200, {"job": self._job_or_404(parts[1]).snapshot()})
+        elif method == "GET" and len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "report":
+            job = self._job_or_404(parts[1])
+            if job.report is None:
+                raise ServiceError(
+                    409, f"job {job.id} has no report (state: {job.state})",
+                    state=job.state,
+                )
+            self._send_json(200, {"job": job.id, "report": job.report})
+        elif method == "GET" and len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "events":
+            self._stream_events(self._job_or_404(parts[1]))
+        elif method == "POST" and len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "cancel":
+            job = self._job_or_404(parts[1])
+            if not registry.cancel(job):
+                raise ServiceError(
+                    409, f"job {job.id} is not cancellable (state: {job.state})",
+                    state=job.state,
+                )
+            self._send_json(200, {"job": job.snapshot()})
+        else:
+            raise ServiceError(404, f"no route for {method} {self.path}")
+
+    # -- SSE ---------------------------------------------------------------------
+
+    def _stream_events(self, job: Job) -> None:
+        """Server-Sent Events: every job event as one ``data:`` frame.
+
+        The stream replays the job's full event history, then follows it
+        live and closes after the terminal-state event — a client reading
+        to EOF has seen the whole lifecycle."""
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        registry = self.service.registry
+        last_seq = 0
+        from repro.service.jobs import TERMINAL_STATES
+
+        while True:
+            events = registry.wait_events(job, last_seq, timeout=5.0)
+            for event in events:
+                last_seq = event["seq"]
+                frame = f"data: {json.dumps(event, default=repr)}\n\n"
+                self.wfile.write(frame.encode("utf-8"))
+            self.wfile.flush()
+            if job.state in TERMINAL_STATES and not registry.events_since(job, last_seq):
+                return
+
+    # -- verbs -------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")

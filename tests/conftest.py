@@ -63,6 +63,7 @@ def _clean_observability():
     profile.disable()
     profile.clear()
     progress.disable()
+    del progress._LISTENERS[:]
     perf_cache.clear()
     perf_cache.configure(enabled=None)
     # Drop any explicitly configured execution backend so each test resolves
@@ -73,8 +74,17 @@ def _clean_observability():
     # warm disk cache.  Tests opt in with monkeypatch.setenv (monkeypatch
     # runs after this autouse fixture, so opting in still works).
     inherited_cache_dir = os.environ.pop("REPRO_CACHE_DIR", None)
+    # RunConfig.apply() exports the resolved REPRO_CACHE so children inherit
+    # it; restore the invoking shell's value after each test so the CI cache
+    # matrix (on/off) governs every test, not just the ones before the first
+    # runner invocation.
+    inherited_cache = os.environ.get("REPRO_CACHE")
     yield
     if inherited_cache_dir is not None:
         os.environ["REPRO_CACHE_DIR"] = inherited_cache_dir
     else:
         os.environ.pop("REPRO_CACHE_DIR", None)
+    if inherited_cache is not None:
+        os.environ["REPRO_CACHE"] = inherited_cache
+    else:
+        os.environ.pop("REPRO_CACHE", None)

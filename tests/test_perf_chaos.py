@@ -245,7 +245,7 @@ class TestForkFaultHooks:
 # -- the acceptance scenario -----------------------------------------------------
 
 _VOLATILE_REPORT = {"created_unix", "argv"}
-_VOLATILE_SUMMARY = {"wall_time_s", "cache", "backend", "resilience"}
+_VOLATILE_SUMMARY = {"wall_time_s", "cache", "backend", "resilience", "config"}
 _VOLATILE_RECORD = {"elapsed_s", "peak_rss_bytes", "trace_file", "counters"}
 
 

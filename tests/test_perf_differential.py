@@ -38,7 +38,9 @@ VOLATILE_DATA_KEYS = {"timings_ms"}
 #: Optional observability summary blocks: their *presence* is the feature
 #: under differential test, so they are scrubbed before byte comparison —
 #: everything outside them must be identical with profiling on or off.
-OPTIONAL_SUMMARY_BLOCKS = {"trace", "profile", "analysis"}
+#: ``summary.config`` rides along: it records the resolved RunConfig, and
+#: differential runs intentionally vary knobs — provenance, like ``argv``.
+OPTIONAL_SUMMARY_BLOCKS = {"trace", "profile", "analysis", "config"}
 
 
 def _normalized(report):

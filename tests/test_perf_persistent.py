@@ -146,6 +146,7 @@ class TestWarmStoreDifferential:
 class TestSweepMemo:
     def test_identical_sweep_served_from_disk(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        perf_cache.configure(enabled=True)  # the suite may run REPRO_CACHE=off
         hits = metrics.counter("perf.cache.sweep.hits")
         misses = metrics.counter("perf.cache.sweep.misses")
         first = parallel_map(lambda x: x * Fraction(1, 3), [1, 2, 3])
@@ -163,6 +164,7 @@ class TestSweepMemo:
 
     def test_failed_sweep_not_persisted(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        perf_cache.configure(enabled=True)  # the suite may run REPRO_CACHE=off
         misses = metrics.counter("perf.cache.sweep.misses")
 
         def boom(x):

@@ -30,6 +30,11 @@ ROADMAP's performance work builds on:
 * :mod:`repro.obs.report` — the machine-readable run-report schema the
   experiment runner emits (``--metrics-out``), its validator, and the
   formatting helpers all human runner output flows through;
+* :mod:`repro.obs.log` — structured JSONL event logging with job
+  correlation ids (``REPRO_LOG`` gated, atomic line appends; the service
+  layer's access/admission/lifecycle records flow through it);
+* :mod:`repro.obs.expo` — Prometheus text exposition (and a validating
+  parser) over the metrics registry, served by ``GET /v1/metrics``;
 * :mod:`repro.obs.procinfo` — process introspection (peak RSS via
   ``resource.getrusage``).
 
@@ -64,6 +69,10 @@ from repro.obs.analyze import (
     critical_path,
     lane_analysis,
 )
+from repro.obs.expo import parse as parse_exposition
+from repro.obs.expo import render as render_exposition
+from repro.obs.log import configure as configure_log
+from repro.obs.log import correlation, get_logger, set_correlation
 from repro.obs.procinfo import peak_rss_bytes
 from repro.obs.profile import (
     PROFILER,
@@ -150,6 +159,14 @@ __all__ = [
     "format_record",
     "format_suite_summary",
     "format_summary_table",
+    # log
+    "configure_log",
+    "get_logger",
+    "correlation",
+    "set_correlation",
+    # expo
+    "render_exposition",
+    "parse_exposition",
     # procinfo
     "peak_rss_bytes",
 ]

@@ -49,6 +49,7 @@ import os
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs import log as _log
 from repro.obs import trace as _trace
 
 __all__ = [
@@ -77,26 +78,33 @@ def chunk_payload(lane: str, tracer: Optional[_trace.Tracer] = None) -> Optional
     tracer = tracer if tracer is not None else _trace.TRACER
     if not tracer.enabled:
         return None
-    return {
+    payload = {
         "pid": os.getpid(),
         "lane": lane,
         "epoch_ns": tracer.epoch_ns,
         "now_ns": time.perf_counter_ns(),
         "events": tracer.events(),
     }
+    job = _log.correlation()
+    if job is not None:  # untagged runs keep the exact pre-correlation shape
+        payload["job"] = job
+    return payload
 
 
 # -- caller side: clock alignment and lane splicing ------------------------------
 
 
-def _lane_metadata(pid: int, name: str) -> Dict[str, Any]:
+def _lane_metadata(pid: int, name: str, job: Optional[str] = None) -> Dict[str, Any]:
+    args: Dict[str, Any] = {"name": name}
+    if job is not None:
+        args["job"] = job
     return {
         "name": "process_name",
         "ph": "M",
         "pid": pid,
         "tid": 0,
         "ts": 0,
-        "args": {"name": name},
+        "args": args,
     }
 
 
@@ -124,13 +132,19 @@ def absorb_chunk_trace(
     # worker-relative µs -> absolute worker ns -> caller ns -> caller-relative µs
     shift_us = (payload["epoch_ns"] + delta_ns - tracer.epoch_ns) / 1000.0
     pid = payload["pid"]
+    # The executor stamps its own correlation id; lanes absorbed by an
+    # untagged caller (direct library use) inherit it so the merged trace
+    # still answers "which job ran this chunk?".
+    job = payload.get("job") or _log.correlation()
     aligned: List[Dict[str, Any]] = []
     if pid not in tracer.named_lanes:
         tracer.named_lanes.add(pid)
-        aligned.append(_lane_metadata(pid, f"{payload.get('lane', 'worker')} (pid {pid})"))
+        aligned.append(
+            _lane_metadata(pid, f"{payload.get('lane', 'worker')} (pid {pid})", job)
+        )
         if os.getpid() not in tracer.named_lanes:
             tracer.named_lanes.add(os.getpid())
-            aligned.append(_lane_metadata(os.getpid(), f"caller (pid {os.getpid()})"))
+            aligned.append(_lane_metadata(os.getpid(), f"caller (pid {os.getpid()})", job))
     for event in events:
         moved = dict(event)
         moved["pid"] = pid

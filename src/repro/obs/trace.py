@@ -213,8 +213,19 @@ class Tracer:
             self._events.extend(events)
 
     def to_chrome_trace(self) -> Dict[str, Any]:
-        """The trace as a ``chrome://tracing``-loadable JSON object."""
-        return {"traceEvents": self.events(), "displayTimeUnit": "ms"}
+        """The trace as a ``chrome://tracing``-loadable JSON object.
+
+        When a correlation id is set (:func:`repro.obs.log.set_correlation`
+        or an inherited ``REPRO_JOB_ID``), the payload carries a top-level
+        ``job`` key so a saved trace stays attributable to its service job.
+        """
+        from repro.obs import log as _log  # deferred: keep the hot path import-free
+
+        payload: Dict[str, Any] = {"traceEvents": self.events(), "displayTimeUnit": "ms"}
+        job = _log.correlation()
+        if job is not None:
+            payload["job"] = job
+        return payload
 
     def save(self, path) -> None:
         """Write the Chrome-trace JSON to ``path`` (parent dirs created)."""

@@ -23,6 +23,7 @@ import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import distributed as _distributed
+from repro.obs import log as _obs_log
 from repro.obs import metrics as _metrics
 from repro.obs import profile as _profile
 from repro.obs import progress as _progress
@@ -69,6 +70,7 @@ def _chunk_child(
     trace: Optional[bool] = None,
     lane: str = "fork",
     profile: Optional[bool] = None,
+    job: Optional[str] = None,
 ) -> None:
     """Child body: compute the chunk, ship ``(results, metrics, trace,
     profile)`` back.
@@ -88,6 +90,11 @@ def _chunk_child(
     """
     exit_code = 0
     try:
+        if job is not None:
+            # Socket workers pass the run frame's correlation id down here so
+            # the chunk's trace payload comes back job-tagged; fork-backend
+            # children inherit the caller's id through memory instead.
+            _obs_log.set_correlation(job)
         _metrics.reset()
         _trace.TRACER.clear()  # buffered parent events are not this chunk's work
         if trace is True:
@@ -163,6 +170,7 @@ def run_chunk_in_fork(
     trace: Optional[bool] = None,
     lane: str = "fork",
     profile: Optional[bool] = None,
+    job: Optional[str] = None,
 ) -> Optional[
     Tuple[
         List[Tuple[int, Optional[str], Any]],
@@ -186,7 +194,7 @@ def run_chunk_in_fork(
     pid = os.fork()
     if pid == 0:
         os.close(read_fd)
-        _chunk_child(write_fd, fn, chunk, trace=trace, lane=lane, profile=profile)
+        _chunk_child(write_fd, fn, chunk, trace=trace, lane=lane, profile=profile, job=job)
         # _chunk_child never returns
     _FORKS.inc()
     os.close(write_fd)

@@ -12,8 +12,10 @@ the pool.  The wire protocol is deliberately small:
   pickle of a tuple; requests are ``("ping",)`` and
   ``("run", fn_blob, chunk_blob, ctx)`` where ``ctx`` carries the caller's
   trace wish (``{"trace": bool}``), its persistent cache directory when one
-  is active (``{"cache_dir": str}``) and, for supervised v3 pools, the
-  heartbeat cadence (``{"heartbeat_s": float}``); replies are
+  is active (``{"cache_dir": str}``), the active job correlation id when
+  one is set (``{"job": str}`` — see :mod:`repro.obs.log`) and, for
+  supervised v3 pools, the heartbeat cadence
+  (``{"heartbeat_s": float}``); replies are
   ``("pong", info)``, ``("ok", results, metrics_snapshot, trace_payload)``,
   ``("lost", detail)``, ``("fatal", traceback)`` and — protocol v3 —
   ``("hb", seq)`` liveness frames interleaved while a chunk runs.  The
@@ -74,6 +76,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import log as _obs_log
 from repro.obs import profile as _profile
 from repro.obs import progress as _progress
 from repro.obs import trace as _trace
@@ -576,6 +579,12 @@ class SocketBackend(ExecutionBackend):
                 "trace": _trace.TRACER.enabled,
                 "profile": _profile.PROFILER.enabled,
             }
+            job = _obs_log.correlation()
+            if job is not None:
+                # Workers are fresh interpreters (possibly other hosts), so
+                # the correlation id rides the run frame instead of the
+                # environment; the worker re-installs it around the chunk.
+                ctx["job"] = job
             cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
             if cache_dir:
                 # Ship the caller's persistent cache directory; meaningful

@@ -39,6 +39,7 @@ import time
 import traceback
 from typing import Optional, Sequence, Tuple
 
+from repro.obs import log as _obs_log
 from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 from repro.perf import pickling
@@ -50,6 +51,12 @@ __all__ = ["main", "serve"]
 
 def _log(message: str) -> None:
     print(f"repro-perf-worker[{os.getpid()}] {message}", file=sys.stderr, flush=True)
+
+
+#: Structured mirror of the stderr request log (active when the worker was
+#: launched with ``REPRO_LOG`` in its environment — pool workers inherit
+#: the service's sink and append to the same JSONL file).
+_WORKER_LOG = _obs_log.get_logger("perf.worker")
 
 
 def _locked_send(conn: socket.socket, lock: threading.Lock, message: tuple) -> None:
@@ -87,6 +94,11 @@ def _handle_run(
     cache_dir = ctx.get("cache_dir")
     if cache_dir and "REPRO_CACHE_DIR" not in os.environ:
         os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    # The caller's job correlation id (repro.obs.log) also rides the ctx.
+    # It is installed only inside the forked chunk child, never in this
+    # worker process: connection threads serve many clients concurrently,
+    # and a process-global id would bleed across their chunks.
+    job = ctx.get("job")
     started = time.perf_counter()
     # Protocol v3: a supervised client asks for liveness frames while the
     # chunk runs (ctx["heartbeat_s"]); the chunk executes in a helper
@@ -102,7 +114,7 @@ def _handle_run(
             try:
                 collected_box.append(
                     run_chunk_in_fork(
-                        fn, chunk, trace=trace, lane="worker", profile=profile
+                        fn, chunk, trace=trace, lane="worker", profile=profile, job=job
                     )
                 )
             finally:
@@ -119,12 +131,17 @@ def _handle_run(
         runner.join()
         collected = collected_box[0] if collected_box else None
     else:
-        collected = run_chunk_in_fork(fn, chunk, trace=trace, lane="worker", profile=profile)
+        collected = run_chunk_in_fork(
+            fn, chunk, trace=trace, lane="worker", profile=profile, job=job
+        )
     elapsed = time.perf_counter() - started
     beaten = f", {beats} heartbeats" if beats else ""
     if collected is None:
         _locked_send(
             conn, send_lock, ("lost", "worker's chunk subprocess died without reporting")
+        )
+        _WORKER_LOG.warning(
+            "worker.chunk.lost", job=job, items=len(chunk), elapsed_s=round(elapsed, 3)
         )
         return f"lost ({len(chunk)} items, {elapsed:.2f}s{beaten})"
     results, snapshot, trace_payload, profile_payload = collected
@@ -137,6 +154,15 @@ def _handle_run(
     status = "ok" if not failed else f"ok with {failed} item error(s)"
     traced = ", traced" if trace_payload is not None else ""
     profiled = ", profiled" if profile_payload is not None else ""
+    _WORKER_LOG.info(
+        "worker.chunk",
+        job=job,
+        items=len(chunk),
+        failed=failed or None,
+        elapsed_s=round(elapsed, 3),
+        traced=True if trace_payload is not None else None,
+        heartbeats=beats or None,
+    )
     return f"{status} ({len(chunk)} items, {elapsed:.2f}s{traced}{profiled}{beaten})"
 
 

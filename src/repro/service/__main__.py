@@ -2,22 +2,36 @@
 
 Prints a parseable banner (``repro-service listening on HOST:PORT``, the
 same convention as ``repro.perf.worker``) once the API is bound, then
-serves until SIGINT/SIGTERM.
+serves until SIGINT/SIGTERM.  With ``--log-dir``, the structured JSONL
+service log lands at ``<dir>/service.jsonl`` next to the per-worker pool
+logs (and, via the inherited ``REPRO_LOG``, the pool workers append to
+the same file).
+
+``python -m repro.service top --url http://HOST:PORT`` runs the live
+dashboard over a service started elsewhere (see :mod:`repro.service.top`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 import threading
 from typing import List, Optional
 
+from repro.obs import log as obs_log
 from repro.service.admission import AdmissionPolicy
 from repro.service.server import JobService
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "top":
+        from repro.service.top import main as top_main
+
+        return top_main(arguments[1:])
+    argv = arguments
     parser = argparse.ArgumentParser(
         description="Serve experiment/sweep submissions over HTTP.",
         formatter_class=argparse.ArgumentDefaultsHelpFormatter,
@@ -48,9 +62,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="Retry-After seconds sent with 429 rejections")
     parser.add_argument(
         "--log-dir", default=None, metavar="DIR",
-        help="write per-worker pool logs into this directory",
+        help="write per-worker pool logs and the structured JSONL service "
+             "log (service.jsonl) into this directory",
+    )
+    parser.add_argument(
+        "--job-ttl", type=float, default=None, metavar="SECONDS",
+        help="evict finished jobs older than this (default: no age bound)",
+    )
+    parser.add_argument(
+        "--max-done", type=int, default=512, metavar="N",
+        help="keep at most N finished jobs (oldest evicted first)",
     )
     args = parser.parse_args(argv)
+
+    if args.log_dir:
+        # Configure before anything else logs; exports REPRO_LOG so the
+        # pool workers spawned below append to the same JSONL file.
+        obs_log.configure(os.path.join(args.log_dir, "service.jsonl"))
 
     service = JobService(
         pool=args.pool,
@@ -62,6 +90,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             retry_after_s=args.retry_after,
         ),
         log_dir=args.log_dir,
+        job_ttl_s=args.job_ttl,
+        max_done=args.max_done,
     )
     service.start()
     host, port = service.serve_http(args.host, args.port)

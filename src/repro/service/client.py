@@ -12,6 +12,8 @@ The module doubles as a tiny CLI for scripting and CI smoke tests::
     python -m repro.service.client --url ... submit E12 E15 --wait --out report.json
     python -m repro.service.client --url ... status job-1-abc123
     python -m repro.service.client --url ... report job-1-abc123 --out report.json
+    python -m repro.service.client --url ... metrics            # Prometheus text
+    python -m repro.service.client --url ... trace job-1-abc123 --out job.trace.json
 """
 
 from __future__ import annotations
@@ -79,6 +81,24 @@ class ServiceClient:
 
     def experiments(self) -> Dict[str, str]:
         return self._request("GET", "/experiments")["experiments"]
+
+    def metrics(self) -> Dict[str, Any]:
+        """The service metrics snapshot (counters/gauges/histograms dict)."""
+        return self._request("GET", "/metrics?format=json")["metrics"]
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text exposition from ``GET /v1/metrics``."""
+        url = f"{self.base_url}/v1/metrics"
+        request = urllib.request.Request(url, headers={"Accept": "text/plain"})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceClientError(exc.code, {"error": str(exc)}) from None
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """A finished traced job's merged Chrome trace (409/404 otherwise)."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
 
     def submit(
         self,
@@ -159,6 +179,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("health", help="print the health document")
     sub.add_parser("experiments", help="list known experiments")
 
+    metrics = sub.add_parser("metrics", help="scrape /v1/metrics")
+    metrics.add_argument("--json", action="store_true",
+                         help="fetch the JSON snapshot instead of Prometheus text")
+
     submit = sub.add_parser("submit", help="submit a job")
     submit.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
     submit.add_argument(
@@ -180,6 +204,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     report.add_argument("job_id")
     report.add_argument("--out", default=None, help="write the report JSON here")
 
+    trace = sub.add_parser("trace", help="fetch a traced job's merged trace")
+    trace.add_argument("job_id")
+    trace.add_argument("--out", default=None, help="write the Chrome trace JSON here")
+
     cancel = sub.add_parser("cancel", help="cancel a queued job")
     cancel.add_argument("job_id")
 
@@ -189,6 +217,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "health":
             print(json.dumps(client.health(), indent=1))
+        elif args.command == "metrics":
+            if args.json:
+                print(json.dumps(client.metrics(), indent=1))
+            else:
+                print(client.metrics_text(), end="")
         elif args.command == "experiments":
             for experiment_id, claim in client.experiments().items():
                 print(f"{experiment_id:4s} {claim}")
@@ -222,6 +255,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"report written to {args.out}")
             else:
                 print(json.dumps(payload, indent=1))
+        elif args.command == "trace":
+            payload = client.trace(args.job_id)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                print(
+                    f"trace ({len(payload.get('traceEvents', []))} events) "
+                    f"written to {args.out}"
+                )
+            else:
+                print(json.dumps(payload))
         elif args.command == "cancel":
             job = client.cancel(args.job_id)
             print(f"{job['id']}: {job['state']}")

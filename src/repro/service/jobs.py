@@ -17,6 +17,14 @@ Identical active submissions *coalesce*: a submission whose content
 fingerprint matches a queued/running job becomes a **follower** of that
 leader — it gets its own job id and lifecycle events, but the sweep runs
 once and the leader's report fans out to every follower on completion.
+
+Telemetry: every state transition is mirrored as a structured
+``service.job.*`` record (:mod:`repro.obs.log`) carrying the job id, and
+the registry feeds the service SLO instruments — queue-wait and
+end-to-end latency histograms, and the eviction counter.  Finished jobs
+are retained for reuse/coalescing but not forever: ``ttl_s`` ages
+terminal jobs out and ``max_done`` caps how many are kept (oldest
+evicted first), closing the unbounded-growth gap the ROADMAP called out.
 """
 
 from __future__ import annotations
@@ -27,6 +35,9 @@ import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "Job",
@@ -47,6 +58,8 @@ CANCELLED = "cancelled"
 
 #: States a job never leaves.
 TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+_LOG = obs_log.get_logger("service.jobs")
 
 
 @dataclass
@@ -79,6 +92,8 @@ class Job:
     followers: List[str] = field(default_factory=list)
     #: job id whose finished report this job was served from (reuse)
     served_from: Optional[str] = None
+    #: directory the job's per-experiment trace files landed in (traced jobs)
+    trace_dir: Optional[str] = None
     #: monotonically numbered lifecycle/progress events (SSE source)
     events: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -106,12 +121,17 @@ class Job:
 class JobRegistry:
     """Thread-safe job store shared by HTTP handlers and the dispatcher."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, *, ttl_s: Optional[float] = None, max_done: Optional[int] = None
+    ) -> None:
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._counter = itertools.count(1)
+        #: retention bounds for terminal jobs (None = keep; see evict())
+        self.ttl_s = ttl_s
+        self.max_done = max_done
 
     # -- creation ----------------------------------------------------------------
 
@@ -125,6 +145,9 @@ class JobRegistry:
         leader: Optional[str] = None,
     ) -> Job:
         with self._changed:
+            # Every submission pays the (cheap) retention sweep, so the
+            # registry cannot grow without bound between explicit evictions.
+            self._evict_locked(time.time())
             job_id = f"job-{next(self._counter)}-{os.urandom(3).hex()}"
             job = Job(
                 id=job_id,
@@ -204,6 +227,9 @@ class JobRegistry:
         with self._changed:
             job.state = RUNNING
             job.started_unix = time.time()
+            obs_metrics.histogram("service.jobs.queue_wait_s").observe(
+                max(0.0, job.started_unix - job.submitted_unix)
+            )
             self._event_locked(job, "state", state=RUNNING)
             self._changed.notify_all()
 
@@ -245,6 +271,9 @@ class JobRegistry:
             for target in targets:
                 target.state = state
                 target.finished_unix = now
+                obs_metrics.histogram("service.jobs.e2e_latency_s").observe(
+                    max(0.0, now - target.submitted_unix)
+                )
                 target.report = report
                 target.exit_code = exit_code
                 target.error = error
@@ -312,6 +341,50 @@ class JobRegistry:
                     return []
                 self._changed.wait(remaining)
 
+    # -- retention ---------------------------------------------------------------
+
+    def evict(self, *, now: Optional[float] = None) -> int:
+        """Apply the retention bounds now; returns how many jobs were dropped.
+
+        ``create`` already calls this on every submission — the explicit
+        entry point exists for idle-time sweeps and tests."""
+        with self._changed:
+            return self._evict_locked(time.time() if now is None else now)
+
+    def _evict_locked(self, now: float) -> int:
+        if self.ttl_s is None and self.max_done is None:
+            return 0
+        terminal = [
+            job
+            for job_id in self._order
+            if (job := self._jobs[job_id]).state in TERMINAL_STATES
+        ]
+        victims: List[Job] = []
+        if self.ttl_s is not None:
+            victims = [
+                job
+                for job in terminal
+                if job.finished_unix is not None
+                and now - job.finished_unix > self.ttl_s
+            ]
+        if self.max_done is not None:
+            kept = [job for job in terminal if job not in victims]
+            overflow = len(kept) - self.max_done
+            if overflow > 0:
+                victims.extend(kept[:overflow])  # _order is insertion order: oldest first
+        for job in victims:
+            del self._jobs[job.id]
+            self._order.remove(job.id)
+            obs_metrics.counter("service.jobs.evicted").inc()
+            _LOG.info(
+                "service.jobs.evicted",
+                job=job.id,
+                tenant=job.tenant,
+                state=job.state,
+                age_s=round(now - (job.finished_unix or job.submitted_unix), 3),
+            )
+        return len(victims)
+
     # -- internals ---------------------------------------------------------------
 
     def _event_locked(self, job: Job, kind: str, **details: Any) -> None:
@@ -323,3 +396,8 @@ class JobRegistry:
                 **details,
             }
         )
+        # Mirror every lifecycle/progress event into the structured log —
+        # `service.job.state`, `service.job.experiment`, `service.job.progress`
+        # — always keyed by the job's own id (a follower logs its own id even
+        # while the leader's execution drives the transition).
+        _LOG.info(f"service.job.{kind}", job=job.id, tenant=job.tenant, **details)

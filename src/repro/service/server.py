@@ -36,18 +36,32 @@ The HTTP surface is versioned under ``/v1`` (JSON in/out; see
 
     GET    /v1/health                  liveness + pool/job gauges
     GET    /v1/experiments             known experiment ids and claims
+    GET    /v1/metrics                 Prometheus exposition (?format=json)
     POST   /v1/jobs                    submit {experiments?, config?, tenant?,
                                        reuse?} -> 202 {job} | 400 | 429
     GET    /v1/jobs[?tenant=]          list job snapshots
     GET    /v1/jobs/<id>               one job snapshot
     GET    /v1/jobs/<id>/report        the run report (409 until done)
+    GET    /v1/jobs/<id>/trace         merged job trace (409/404; traced jobs)
     GET    /v1/jobs/<id>/events        Server-Sent Events progress stream
     POST   /v1/jobs/<id>/cancel        cancel a queued job (409 otherwise)
+
+Telemetry: every request, admission decision, job transition and pool
+respawn is mirrored into the structured JSONL log (:mod:`repro.obs.log`,
+enabled by ``--log-dir``/``REPRO_LOG``).  The dispatcher brackets each
+execution with the job's correlation id, which then rides the environment
+into forked experiment children and the run-frame ctx into socket
+workers — so the per-lane trace payloads, the saved trace files, and
+every log record written anywhere in the tree carry the job id, and
+``GET /v1/jobs/<id>/trace`` can hand back one merged, attributable trace.
 """
 
 from __future__ import annotations
 
+import glob
 import json
+import os
+import tempfile
 import threading
 import time
 import traceback
@@ -56,14 +70,27 @@ from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro import api
+from repro.obs import distributed as obs_distributed
+from repro.obs import expo as obs_expo
+from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
 from repro.obs import progress as obs_progress
 from repro.perf.fingerprint import try_fingerprint
 from repro.perf.supervise import WorkerProcess
 from repro.service.admission import AdmissionController, AdmissionPolicy
-from repro.service.jobs import DONE, QUEUED, RUNNING, Job, JobRegistry
+from repro.service.jobs import (
+    DONE,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobRegistry,
+)
 
 __all__ = ["API_VERSION", "JobService", "ServiceError"]
+
+_LOG = obs_log.get_logger("service")
+_ACCESS_LOG = obs_log.get_logger("service.http")
 
 API_VERSION = "v1"
 
@@ -93,15 +120,21 @@ class JobService:
         policy: Optional[AdmissionPolicy] = None,
         log_dir: Optional[str] = None,
         auto_dispatch: bool = True,
+        job_ttl_s: Optional[float] = None,
+        max_done: Optional[int] = 512,
+        sse_keepalive_s: float = 5.0,
     ) -> None:
         if pool and backend:
             raise ValueError("pass either pool=N or backend=SPEC, not both")
-        self.registry = JobRegistry()
+        self.registry = JobRegistry(ttl_s=job_ttl_s, max_done=max_done)
         self.admission = AdmissionController(policy or AdmissionPolicy())
         self.pool_size = int(pool)
         self.default_backend = backend
         self.default_cache_dir = cache_dir
         self.log_dir = log_dir
+        #: seconds of SSE silence before a comment frame probes the client
+        #: (also how fast a vanished subscriber is noticed and cleaned up)
+        self.sse_keepalive_s = float(sse_keepalive_s)
         self._pool: List[WorkerProcess] = []
         self._stop = threading.Event()
         self._wake = threading.Event()
@@ -109,6 +142,8 @@ class JobService:
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._auto_dispatch = auto_dispatch
         self._started_unix: Optional[float] = None
+        self._sse_lock = threading.Lock()
+        self._sse_count = 0
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -184,6 +219,11 @@ class JobService:
                 worker.terminate()  # reap + close the old pipe/log handles
                 worker.start()
                 respawned += 1
+                host, port = worker.address
+                _LOG.warning(
+                    "service.pool.respawn", slot=worker.slot,
+                    address=f"{host}:{port}",
+                )
         if respawned:
             obs_metrics.counter("service.pool.respawns").inc(respawned)
         return respawned
@@ -273,6 +313,10 @@ class JobService:
                     exit_code=finished.exit_code,
                     served_from=finished.id,
                 )
+                _LOG.info(
+                    "service.job.reused", job=job.id, tenant=tenant,
+                    served_from=finished.id,
+                )
                 return 202, {"job": job.snapshot()}, {}
 
         decision = self.admission.admit(
@@ -281,6 +325,15 @@ class JobService:
             tenant=tenant,
         )
         if not decision.admitted:
+            obs_metrics.counter("service.admission.rejected").inc()
+            obs_metrics.counter(f"service.admission.rejected.{tenant}").inc()
+            _LOG.warning(
+                "service.admission.rejected",
+                tenant=tenant,
+                reason=decision.reason,
+                detail=decision.detail,
+                retry_after_s=decision.retry_after_s,
+            )
             error = ServiceError(
                 429, decision.detail or "rejected",
                 reason=decision.reason,
@@ -289,6 +342,8 @@ class JobService:
             if decision.retry_after_s is not None:
                 error.headers["Retry-After"] = str(int(decision.retry_after_s) or 1)
             raise error
+        obs_metrics.counter("service.admission.admitted").inc()
+        obs_metrics.counter(f"service.admission.admitted.{tenant}").inc()
 
         # Coalesce onto an identical in-flight job: one execution, every
         # submitter gets the report.
@@ -303,6 +358,13 @@ class JobService:
             config=config,
             cache_key=cache_key,
             leader=leader.id if leader is not None else None,
+        )
+        _LOG.info(
+            "service.admission.admitted",
+            job=job.id,
+            tenant=tenant,
+            experiments=len(experiments),
+            coalesced_onto=leader.id if leader is not None else None,
         )
         self._wake.set()
         return 202, {"job": job.snapshot()}, {}
@@ -323,12 +385,28 @@ class JobService:
         """Run one job's suite in this process (the dispatcher's body)."""
         self.ensure_workers()
         config = job.config
+        overrides: Dict[str, Any] = {}
         if config.backend is None:
             spec = self.pool_spec()
             if spec is not None:
                 # Resolved at execution time: respawned workers bind fresh
                 # ports, so admission-time specs could point at the dead.
-                config = api.RunConfig(**{**config.describe(), "backend": spec})
+                overrides["backend"] = spec
+        if config.trace and config.trace_dir is None:
+            # Traced jobs get a per-job trace directory so the merged trace
+            # stays retrievable via GET /v1/jobs/<id>/trace.  Injected at
+            # execution time — like the backend — so it never perturbs the
+            # submission's content fingerprint (coalescing/reuse).
+            root = (
+                os.path.join(self.log_dir, "traces")
+                if self.log_dir
+                else os.path.join(tempfile.gettempdir(), "repro-service-traces")
+            )
+            job.trace_dir = os.path.join(root, job.id)
+            os.makedirs(job.trace_dir, exist_ok=True)
+            overrides["trace_dir"] = job.trace_dir
+        if overrides:
+            config = api.RunConfig(**{**config.describe(), **overrides})
 
         progress_state = {"label": None, "done": 0}
 
@@ -357,6 +435,19 @@ class JobService:
 
         obs_progress.add_listener(on_heartbeat)
         obs_metrics.counter("service.jobs.started").inc()
+        # The correlation bracket: from here until the finally, every log
+        # record, trace lane and chunk payload produced anywhere in this
+        # job's process tree carries job.id (fork children inherit it via
+        # REPRO_JOB_ID, socket workers via the run-frame ctx).
+        obs_log.set_correlation(job.id)
+        _LOG.info(
+            "service.job.dispatch",
+            job=job.id,
+            tenant=job.tenant,
+            backend=config.backend,
+            experiments=len(job.experiments),
+            trace_dir=job.trace_dir,
+        )
         try:
             result = api.run_suite(
                 job.experiments,
@@ -373,6 +464,7 @@ class JobService:
                 job, report=result.report, exit_code=result.exit_code
             )
         finally:
+            obs_log.set_correlation(None)
             obs_progress.remove_listener(on_heartbeat)
 
     # -- health ------------------------------------------------------------------
@@ -396,6 +488,84 @@ class JobService:
             },
         }
 
+    # -- telemetry ---------------------------------------------------------------
+
+    def sse_subscribers(self) -> int:
+        with self._sse_lock:
+            return self._sse_count
+
+    def _sse_add(self) -> None:
+        with self._sse_lock:
+            self._sse_count += 1
+            obs_metrics.gauge("service.sse.subscribers").set(self._sse_count)
+
+    def _sse_remove(self) -> None:
+        with self._sse_lock:
+            self._sse_count = max(0, self._sse_count - 1)
+            obs_metrics.gauge("service.sse.subscribers").set(self._sse_count)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The registry snapshot behind ``GET /v1/metrics``.
+
+        Point-in-time gauges (queue depth, pool health, uptime) are
+        refreshed at scrape time — counters and histograms accumulate on
+        their own as the service runs."""
+        jobs = self.registry.jobs()
+        obs_metrics.gauge("service.jobs.queue_depth").set(
+            sum(1 for j in jobs if j.state == QUEUED)
+        )
+        obs_metrics.gauge("service.jobs.running").set(
+            sum(1 for j in jobs if j.state == RUNNING)
+        )
+        obs_metrics.gauge("service.jobs.retained").set(len(jobs))
+        obs_metrics.gauge("service.pool.workers").set(len(self._pool))
+        obs_metrics.gauge("service.pool.alive").set(self.pool_alive())
+        obs_metrics.gauge("service.sse.subscribers").set(self.sse_subscribers())
+        if self._started_unix is not None:
+            obs_metrics.gauge("service.uptime_s").set(
+                round(time.time() - self._started_unix, 3)
+            )
+        return obs_metrics.snapshot()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of :meth:`metrics_snapshot`."""
+        return obs_expo.render(self.metrics_snapshot())
+
+    def job_trace(self, job: Job) -> Dict[str, Any]:
+        """The merged Chrome trace behind ``GET /v1/jobs/<id>/trace``.
+
+        409 while the job is still queued/running, 404 when it was not
+        traced.  Followers and reuse-served jobs resolve through the job
+        that actually executed.  Every ``process_name`` lane in the merged
+        payload (and the payload itself) is stamped with the requested
+        job's id — the correlation contract the analyze tooling and tests
+        lean on."""
+        if job.state not in TERMINAL_STATES:
+            raise ServiceError(
+                409, f"job {job.id} has no trace yet (state: {job.state})",
+                state=job.state,
+            )
+        trace_dir = job.trace_dir
+        if trace_dir is None and job.served_from is not None:
+            source = self.registry.get(job.served_from)
+            if source is not None:
+                trace_dir = source.trace_dir
+        files = sorted(glob.glob(os.path.join(trace_dir, "*.trace.json"))) if trace_dir else []
+        if not files:
+            raise ServiceError(
+                404,
+                f"job {job.id} was not traced "
+                '(submit with config {"trace": true})',
+            )
+        merged = obs_distributed.merge_trace_files(files)
+        merged["job"] = job.id
+        for event in merged["traceEvents"]:
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                args = dict(event.get("args") or {})
+                args["job"] = job.id
+                event["args"] = args
+        return merged
+
 
 # -- the HTTP layer --------------------------------------------------------------
 
@@ -409,17 +579,32 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------------
 
     def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
-        pass  # request logging is the service log's job, not stderr noise
+        # http.server's own per-response lines, routed into the structured
+        # log instead of stderr (debug level: _route emits the richer
+        # `http.request` record for every request at info).
+        _ACCESS_LOG.debug(
+            "http.log", client=self.address_string(), message=fmt % args
+        )
 
     def _send_json(
         self, status: int, body: Dict[str, Any], headers: Optional[Dict[str, str]] = None
     ) -> None:
         data = json.dumps(body, default=repr).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        data = text.encode("utf-8")
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
 
@@ -444,6 +629,9 @@ class _Handler(BaseHTTPRequestHandler):
     def _route(self, method: str) -> None:
         parsed = urlparse(self.path)
         parts = [p for p in parsed.path.split("/") if p]
+        self._status: Optional[int] = None
+        started = time.perf_counter()
+        disconnected = False
         try:
             if not parts or parts[0] != API_VERSION:
                 raise ServiceError(
@@ -452,10 +640,24 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch(method, parts[1:], parse_qs(parsed.query))
         except ServiceError as exc:
             self._send_json(exc.status, exc.body, exc.headers)
-        except BrokenPipeError:
-            pass  # client went away mid-stream
+        except (BrokenPipeError, ConnectionResetError):
+            disconnected = True  # client went away mid-stream
         except Exception:  # noqa: BLE001 - the server must not die per request
             self._send_json(500, {"error": traceback.format_exc()})
+        # The structured access log: one record per request, job-correlated
+        # whenever the path addresses a job (this is the satellite replacing
+        # the old silently-discarding log_message).
+        job_id = parts[2] if len(parts) >= 3 and parts[1] == "jobs" else None
+        _ACCESS_LOG.info(
+            "http.request",
+            method=method,
+            path=parsed.path,
+            status=self._status,
+            duration_ms=round((time.perf_counter() - started) * 1000.0, 3),
+            client=self.client_address[0] if self.client_address else None,
+            job=job_id,
+            disconnected=True if disconnected else None,
+        )
 
     def _dispatch(self, method: str, parts: List[str], query: Dict[str, List[str]]) -> None:
         registry = self.service.registry
@@ -463,6 +665,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.health())
         elif method == "GET" and parts == ["experiments"]:
             self._send_json(200, {"experiments": api.list_experiments()})
+        elif method == "GET" and parts == ["metrics"]:
+            if (query.get("format") or [None])[0] == "json":
+                self._send_json(200, {"metrics": self.service.metrics_snapshot()})
+            else:
+                self._send_text(
+                    200, self.service.metrics_text(), obs_expo.CONTENT_TYPE
+                )
         elif method == "POST" and parts == ["jobs"]:
             status, body, headers = self.service.submit(self._read_body())
             self._send_json(status, body, headers)
@@ -482,6 +691,8 @@ class _Handler(BaseHTTPRequestHandler):
                     state=job.state,
                 )
             self._send_json(200, {"job": job.id, "report": job.report})
+        elif method == "GET" and len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "trace":
+            self._send_json(200, self.service.job_trace(self._job_or_404(parts[1])))
         elif method == "GET" and len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "events":
             self._stream_events(self._job_or_404(parts[1]))
         elif method == "POST" and len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "cancel":
@@ -502,7 +713,14 @@ class _Handler(BaseHTTPRequestHandler):
 
         The stream replays the job's full event history, then follows it
         live and closes after the terminal-state event — a client reading
-        to EOF has seen the whole lifecycle."""
+        to EOF has seen the whole lifecycle.  Quiet periods are bridged by
+        SSE comment frames (``: keepalive``) every ``sse_keepalive_s``:
+        clients ignore them by spec, and the write is what surfaces a
+        vanished subscriber (a silent wait would otherwise hold the
+        listener slot forever on an idle queued job).  The subscriber
+        gauge is maintained in a try/finally, so a mid-stream disconnect
+        — which raises out of the write — still releases the slot."""
+        self._status = 200
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
@@ -510,17 +728,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         registry = self.service.registry
         last_seq = 0
-        from repro.service.jobs import TERMINAL_STATES
 
-        while True:
-            events = registry.wait_events(job, last_seq, timeout=5.0)
-            for event in events:
-                last_seq = event["seq"]
-                frame = f"data: {json.dumps(event, default=repr)}\n\n"
-                self.wfile.write(frame.encode("utf-8"))
-            self.wfile.flush()
-            if job.state in TERMINAL_STATES and not registry.events_since(job, last_seq):
-                return
+        self.service._sse_add()
+        try:
+            while True:
+                events = registry.wait_events(
+                    job, last_seq, timeout=self.service.sse_keepalive_s
+                )
+                for event in events:
+                    last_seq = event["seq"]
+                    frame = f"data: {json.dumps(event, default=repr)}\n\n"
+                    self.wfile.write(frame.encode("utf-8"))
+                if not events:
+                    self.wfile.write(b": keepalive\n\n")
+                self.wfile.flush()
+                if job.state in TERMINAL_STATES and not registry.events_since(job, last_seq):
+                    return
+        finally:
+            self.service._sse_remove()
 
     # -- verbs -------------------------------------------------------------------
 

@@ -1,0 +1,134 @@
+"""``python -m repro.service top`` — a live terminal view of one service.
+
+Polls ``GET /v1/health`` and ``GET /v1/metrics?format=json`` and renders a
+compact dashboard: queue/running/done, pool health, admission totals, and
+the p50/p90/p99 queue-wait and end-to-end job latencies the SLO
+histograms accumulate.  On a TTY each frame repaints in place (ANSI
+clear); on a pipe (or with ``--plain``) frames print sequentially, which
+is also what the ``--frames N`` one-shot mode in tests and CI uses.
+
+The rendering is split from the fetching (:func:`render_frame` is a pure
+function of the two JSON documents) so tests can exercise the layout
+without a live service.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["main", "render_frame"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_quantiles(digest: Optional[Dict[str, Any]]) -> str:
+    if not digest or not digest.get("count"):
+        return "-"
+    parts = []
+    for key in ("p50", "p90", "p99"):
+        value = digest.get(key)
+        parts.append(f"{key} {value:.3f}s" if isinstance(value, (int, float)) else f"{key} -")
+    return "  ".join(parts)
+
+
+def render_frame(
+    health: Dict[str, Any], metrics: Dict[str, Any], *, url: str = ""
+) -> str:
+    """One dashboard frame from a health document and a metrics snapshot."""
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    jobs = health.get("jobs", {})
+    pool = health.get("pool", {})
+
+    started = health.get("started_unix")
+    uptime = f"{time.time() - started:.0f}s" if isinstance(started, (int, float)) else "?"
+    lines: List[str] = []
+    title = f"repro-service {url}".rstrip()
+    lines.append(f"{title} — up {uptime}")
+    lines.append(
+        "jobs     queued {queued}  running {running}  done {done}  "
+        "failed {failed}  evicted {evicted}".format(
+            queued=jobs.get("queued", 0),
+            running=jobs.get("running", 0),
+            done=jobs.get("done", 0),
+            failed=counters.get("service.jobs.failed", 0),
+            evicted=counters.get("service.jobs.evicted", 0),
+        )
+    )
+    lines.append(
+        "pool     alive {alive}/{workers}  respawns {respawns}  "
+        "sse subscribers {sse}".format(
+            alive=pool.get("alive", 0),
+            workers=pool.get("workers", 0),
+            respawns=counters.get("service.pool.respawns", 0),
+            sse=gauges.get("service.sse.subscribers", 0),
+        )
+    )
+    limits = health.get("limits", {})
+    lines.append(
+        "admit    admitted {admitted}  rejected {rejected}  "
+        "(max_active {max_active}, per-tenant {per_tenant})".format(
+            admitted=counters.get("service.admission.admitted", 0),
+            rejected=counters.get("service.admission.rejected", 0),
+            max_active=limits.get("max_active", "?"),
+            per_tenant=limits.get("max_active_per_tenant", "?"),
+        )
+    )
+    lines.append(
+        f"latency  queue-wait  {_fmt_quantiles(histograms.get('service.jobs.queue_wait_s'))}"
+    )
+    lines.append(
+        f"         end-to-end  {_fmt_quantiles(histograms.get('service.jobs.e2e_latency_s'))}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service top",
+        description="Live dashboard over a running sweep service.",
+    )
+    parser.add_argument("--url", required=True, help="service base URL")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between refreshes")
+    parser.add_argument("--frames", type=int, default=0, metavar="N",
+                        help="render N frames then exit (0 = until interrupted)")
+    parser.add_argument("--plain", action="store_true",
+                        help="never repaint in place (default off a TTY)")
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(args.url)
+    repaint = sys.stdout.isatty() and not args.plain
+    rendered = 0
+    try:
+        while True:
+            try:
+                health = client.health()
+                metrics = client.metrics()
+            except (ServiceClientError, OSError) as exc:
+                print(f"cannot reach {args.url}: {exc}")
+                return 1
+            frame = render_frame(health, metrics, url=args.url)
+            if repaint:
+                print(f"{_CLEAR}{frame}", flush=True)
+            else:
+                print(frame, flush=True)
+            rendered += 1
+            if args.frames and rendered >= args.frames:
+                return 0
+            if not repaint and not args.frames:
+                print("---", flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

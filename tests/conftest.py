@@ -15,6 +15,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import log as obs_log
 from repro.obs import metrics, profile, progress, trace
 from repro.perf import backends as perf_backends
 from repro.perf import cache as perf_cache
@@ -79,7 +80,30 @@ def _clean_observability():
     # matrix (on/off) governs every test, not just the ones before the first
     # runner invocation.
     inherited_cache = os.environ.get("REPRO_CACHE")
+    # apply() exports these gates the same way.  A service job executed
+    # in-process leaves them behind (e.g. REPRO_BACKEND pointing at a pool
+    # that died with its test), and the env gate would beat a later test's
+    # defaults — so restore the invoking shell's value after each test,
+    # keeping the CI backend/supervise matrices in force throughout.
+    applied_gates = {
+        name: os.environ.get(name)
+        for name in ("REPRO_BACKEND", "REPRO_SUPERVISE", "REPRO_SUPERVISE_SEED",
+                     "REPRO_CHUNK_DEADLINE", "REPRO_PROFILE", "REPRO_TRACE",
+                     "REPRO_PROGRESS")
+    }
+    # The structured log sink and the job correlation id are process-global
+    # (and env-exported by configure/set_correlation); start every test with
+    # both cleared so records/tags never leak across tests, and restore the
+    # invoking shell's REPRO_LOG afterwards.
+    inherited_log = os.environ.pop("REPRO_LOG", None)
+    os.environ.pop("REPRO_JOB_ID", None)
+    obs_log.configure(None)
+    obs_log.set_correlation(None)
     yield
+    obs_log.configure(None)
+    obs_log.set_correlation(None)
+    if inherited_log is not None:
+        os.environ["REPRO_LOG"] = inherited_log
     if inherited_cache_dir is not None:
         os.environ["REPRO_CACHE_DIR"] = inherited_cache_dir
     else:
@@ -88,3 +112,8 @@ def _clean_observability():
         os.environ["REPRO_CACHE"] = inherited_cache
     else:
         os.environ.pop("REPRO_CACHE", None)
+    for name, value in applied_gates.items():
+        if value is not None:
+            os.environ[name] = value
+        else:
+            os.environ.pop(name, None)
